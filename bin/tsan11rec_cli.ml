@@ -1,0 +1,344 @@
+(* The tsan11rec command-line tool.
+
+   Subcommands mirror how the paper's tool is used:
+     list              show the available workloads
+     run WORKLOAD      one execution under a chosen tool configuration
+                       (--tsan prints ThreadSanitizer-style warnings)
+     record WORKLOAD   record a demo
+     replay WORKLOAD   replay a demo (reports desynchronisation)
+     hunt WORKLOAD     repeated controlled runs hunting for races
+     explore WORKLOAD  schedule-coverage report with race sightings
+     check WORKLOAD    bounded systematic exploration (model checking)
+     icb WORKLOAD      smallest preemption bound exposing a failure
+     demo-info DIR     summarise a recorded demo *)
+
+open Cmdliner
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module Demo = Tsan11rec.Demo
+module Policy = Tsan11rec.Policy
+module World = T11r_env.World
+module Workloads = T11r_harness.Workloads
+
+(* ---- shared arguments --------------------------------------------- *)
+
+let workload_arg =
+  let doc = "Workload to run (see `list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let tool_arg =
+  let doc =
+    "Tool configuration: native, tsan11, rr, tsan11+rr, or tsan11rec."
+  in
+  Arg.(value & opt string "tsan11rec" & info [ "tool" ] ~docv:"TOOL" ~doc)
+
+let strategy_arg =
+  let doc = "Scheduling strategy for tsan11rec: random, queue, or pct:D." in
+  Arg.(value & opt string "random" & info [ "strategy"; "s" ] ~docv:"STRAT" ~doc)
+
+let seed_arg =
+  let doc = "Scheduler PRNG seed (two seeds are derived from it)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let env_seed_arg =
+  let doc = "Environment (external world) seed." in
+  Arg.(value & opt int 42 & info [ "env-seed" ] ~docv:"N" ~doc)
+
+let demo_arg =
+  let doc = "Demo directory." in
+  Arg.(value & opt string "demo" & info [ "demo"; "d" ] ~docv:"DIR" ~doc)
+
+let runs_arg =
+  let doc = "Number of runs." in
+  Arg.(value & opt int 100 & info [ "runs"; "n" ] ~docv:"N" ~doc)
+
+let lookup_workload name =
+  match Workloads.find name with
+  | Some w -> w
+  | None ->
+      Fmt.epr "unknown workload %S; try `list'@." name;
+      exit 2
+
+let strategy_of name =
+  match Conf.strategy_of_name name with
+  | Some s -> Some s
+  | None -> (
+      match name with
+      | "rnd" | "random" -> Some Conf.Random
+      | "queue" -> Some Conf.Queue
+      | _ -> None)
+
+let base_conf ~tool ~strategy =
+  let strat =
+    match strategy_of strategy with
+    | Some s -> s
+    | None ->
+        Fmt.epr "unknown strategy %S@." strategy;
+        exit 2
+  in
+  match tool with
+  | "native" -> Conf.native
+  | "tsan11" -> Conf.tsan11
+  | "rr" -> Conf.rr_model
+  | "tsan11+rr" -> Conf.tsan11_rr
+  | "tsan11rec" -> Conf.tsan11rec ~strategy:strat ()
+  | _ ->
+      Fmt.epr "unknown tool %S@." tool;
+      exit 2
+
+let prepare ~w ~conf ~seed ~env_seed ~mode =
+  let conf = { conf with Conf.mode } in
+  let conf = Conf.with_policy conf w.Workloads.w_policy in
+  let conf =
+    Conf.with_seeds conf (Int64.of_int seed) (Int64.of_int (seed + 7919))
+  in
+  let world = World.create ~seed:(Int64.of_int env_seed) () in
+  w.Workloads.w_setup world;
+  (conf, world)
+
+let report (r : Interp.result) =
+  Fmt.pr "outcome:   %a@." Interp.pp_outcome r.outcome;
+  Fmt.pr "makespan:  %.3f ms (simulated)@."
+    (float_of_int r.makespan_us /. 1000.0);
+  Fmt.pr "ticks:     %d critical sections@." r.ticks;
+  Fmt.pr "races:     %d distinct report(s)@." r.race_count;
+  List.iter (fun rep -> Fmt.pr "  %a@." T11r_race.Report.pp rep) r.races;
+  List.iter
+    (fun c -> Fmt.pr "  %a@." T11r_race.Lockorder.pp_cycle c)
+    r.lock_cycles;
+  if r.soft_desync then Fmt.pr "NOTE: replay soft-desynchronised@.";
+  (match r.demo with
+  | Some d -> Fmt.pr "demo:      %a@." Demo.pp_summary d
+  | None -> ());
+  if String.length r.output > 0 then
+    Fmt.pr "---- program output ----@.%s@." r.output
+
+let exit_of (r : Interp.result) =
+  match r.outcome with
+  | Interp.Completed -> if r.soft_desync then 3 else 0
+  | Interp.Crashed _ -> 4
+  | Interp.Deadlock _ -> 5
+  | Interp.Hard_desync _ -> 6
+  | Interp.Unsupported_app _ -> 7
+  | Interp.Tick_limit -> 8
+
+(* ---- subcommands --------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.t) -> Fmt.pr "%-18s %s@." w.w_name w.w_desc)
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name tool strategy seed env_seed tsan_style =
+    let w = lookup_workload name in
+    let conf, world =
+      prepare ~w
+        ~conf:(base_conf ~tool ~strategy)
+        ~seed ~env_seed ~mode:Conf.Free
+    in
+    let r = Interp.run ~world conf (w.w_build ()) in
+    if tsan_style then begin
+      List.iter
+        (fun race ->
+          print_string
+            (T11r_race.Reportfmt.race ~thread_names:r.thread_names race))
+        r.races;
+      List.iter
+        (fun c ->
+          print_string
+            (T11r_race.Reportfmt.lock_cycle ~thread_names:r.thread_names c))
+        r.lock_cycles;
+      let s =
+        T11r_race.Reportfmt.summary ~races:r.races ~cycles:r.lock_cycles
+      in
+      if s <> "" then print_endline s
+    end;
+    report r;
+    exit (exit_of r)
+  in
+  let tsan_flag =
+    Arg.(
+      value & flag
+      & info [ "tsan" ] ~doc:"Print ThreadSanitizer-style warning blocks.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload once under a tool configuration")
+    Term.(
+      const run $ workload_arg $ tool_arg $ strategy_arg $ seed_arg
+      $ env_seed_arg $ tsan_flag)
+
+let record_cmd =
+  let run name strategy seed env_seed demo =
+    let w = lookup_workload name in
+    let conf, world =
+      prepare ~w
+        ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
+        ~seed ~env_seed ~mode:(Conf.Record demo)
+    in
+    let r = Interp.run ~world conf (w.w_build ()) in
+    report r;
+    Fmt.pr "recorded demo in %s@." demo;
+    exit (exit_of r)
+  in
+  Cmd.v (Cmd.info "record" ~doc:"Record a demo of one execution")
+    Term.(
+      const run $ workload_arg $ strategy_arg $ seed_arg $ env_seed_arg
+      $ demo_arg)
+
+let replay_cmd =
+  let run name strategy env_seed demo =
+    let w = lookup_workload name in
+    let conf, world =
+      prepare ~w
+        ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
+        ~seed:0 ~env_seed ~mode:(Conf.Replay demo)
+    in
+    let r = Interp.run ~world conf (w.w_build ()) in
+    report r;
+    exit (exit_of r)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a recorded demo (checks for desync)")
+    Term.(const run $ workload_arg $ strategy_arg $ env_seed_arg $ demo_arg)
+
+let hunt_cmd =
+  let run name strategy runs env_seed =
+    let w = lookup_workload name in
+    let racy = ref 0 in
+    let crashed = ref 0 in
+    let first_crash = ref None in
+    for i = 1 to runs do
+      let conf, world =
+        prepare ~w
+          ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
+          ~seed:i
+          ~env_seed:(env_seed + i)
+          ~mode:Conf.Free
+      in
+      let r = Interp.run ~world conf (w.w_build ()) in
+      if r.race_count > 0 then incr racy;
+      match r.outcome with
+      | Interp.Crashed (_, msg) ->
+          incr crashed;
+          if !first_crash = None then first_crash := Some (i, msg)
+      | _ -> ()
+    done;
+    Fmt.pr "%d runs (%s strategy): %d racy (%.1f%%), %d crashed@." runs
+      strategy !racy
+      (100.0 *. float_of_int !racy /. float_of_int runs)
+      !crashed;
+    (match !first_crash with
+    | Some (i, msg) ->
+        Fmt.pr "first crash at seed %d: %s@." i msg;
+        Fmt.pr "reproduce with: record %s -s %s --seed %d --env-seed %d@." name
+          strategy i (env_seed + i)
+    | None -> ());
+    exit (if !racy > 0 || !crashed > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Controlled concurrency testing: many seeds, race/crash counts")
+    Term.(const run $ workload_arg $ strategy_arg $ runs_arg $ env_seed_arg)
+
+let explore_cmd =
+  let run name strategy runs =
+    let w = lookup_workload name in
+    let strat =
+      match strategy_of strategy with
+      | Some s -> s
+      | None ->
+          Fmt.epr "unknown strategy %S@." strategy;
+          exit 2
+    in
+    let spec =
+      T11r_harness.Runner.spec ~label:name
+        ~base_conf:(Conf.with_policy (Conf.tsan11rec ~strategy:strat ()) w.Workloads.w_policy)
+        ~setup_world:w.Workloads.w_setup w.Workloads.w_build
+    in
+    let report = T11r_harness.Explore.explore spec ~n:runs in
+    Fmt.pr "%a" T11r_harness.Explore.pp report
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Schedule-space exploration report: coverage, races, crashes")
+    Term.(const run $ workload_arg $ strategy_arg $ runs_arg)
+
+let check_cmd =
+  let run name max_runs =
+    let w = lookup_workload name in
+    let r =
+      T11r_harness.Systematic.explore ~max_runs ~build:w.Workloads.w_build ()
+    in
+    Fmt.pr "%a" T11r_harness.Systematic.pp r;
+    exit
+      (if r.racy_schedules > 0 || r.deadlock_schedules > 0 || r.crash_schedules > 0
+       then 1
+       else 0)
+  in
+  let max_runs =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-runs" ] ~docv:"N" ~doc:"Schedule budget for the DFS.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Bounded systematic exploration (stateless model checking) of a \
+          closed workload")
+    Term.(const run $ workload_arg $ max_runs)
+
+let icb_cmd =
+  let run name max_bound =
+    let w = lookup_workload name in
+    let r =
+      T11r_harness.Minimize.find_bug ~max_bound ~build:w.Workloads.w_build ()
+    in
+    Fmt.pr "%a@." T11r_harness.Minimize.pp r;
+    exit (match r with T11r_harness.Minimize.Found _ -> 1 | _ -> 0)
+  in
+  let max_bound =
+    Arg.(
+      value & opt int 4
+      & info [ "max-bound" ] ~docv:"B" ~doc:"Largest preemption bound to try.")
+  in
+  Cmd.v
+    (Cmd.info "icb"
+       ~doc:
+         "Iterative context bounding: find the smallest preemption bound \
+          that exposes a failure")
+    Term.(const run $ workload_arg $ max_bound)
+
+let demo_info_cmd =
+  let run dir =
+    match Demo.load ~dir with
+    | d ->
+        Fmt.pr "%a@." Demo.pp_summary d;
+        Fmt.pr "  strategy:      %s@." d.meta.strategy;
+        Fmt.pr "  seeds:         %Ld %Ld@." d.meta.seed1 d.meta.seed2;
+        Fmt.pr "  syscall bytes: %d@." (Demo.syscall_bytes d);
+        Fmt.pr "  total bytes:   %d@." (Demo.size_bytes d)
+    | exception Invalid_argument msg ->
+        Fmt.epr "cannot load demo: %s@." msg;
+        exit 2
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Demo directory")
+  in
+  Cmd.v (Cmd.info "demo-info" ~doc:"Summarise a recorded demo")
+    Term.(const run $ dir)
+
+let () =
+  let doc = "sparse record and replay with controlled scheduling" in
+  let info = Cmd.info "tsan11rec" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; record_cmd; replay_cmd; hunt_cmd; explore_cmd;
+            check_cmd; icb_cmd; demo_info_cmd;
+          ]))

@@ -1,0 +1,30 @@
+(* The §4.4 htop example: a monitor that samples /proc and displays it.
+
+   "To handle a program such as htop would require instrumentation of
+   the interaction with the /proc filesystem, but doing this in the
+   general case would be wasteful." — the default policy does not
+   record regular-file reads, so replaying this program soft-desyncs
+   (the displayed numbers differ); extending the policy
+   ({!Tsan11rec.Policy.with_proc}) makes replay faithful. Used by the
+   tests and the `limits` bench to demonstrate per-application policy
+   configuration. *)
+
+open T11r_vm
+module World = T11r_env.World
+
+let proc_path = "/proc/stat"
+
+let setup_world world =
+  World.add_proc_file world ~path:proc_path (fun rng ->
+      Printf.sprintf "cpu %d %d" (T11r_util.Prng.int rng 100)
+        (T11r_util.Prng.int rng 1_000_000))
+
+let program ?(samples = 3) () =
+  Api.program ~name:"htop-like" (fun () ->
+      for _ = 1 to samples do
+        let fd = (Api.Sys_api.open_ proc_path).Syscall.ret in
+        let r = Api.Sys_api.read ~fd ~len:64 in
+        ignore (Api.Sys_api.close ~fd);
+        Api.Sys_api.print (Bytes.to_string r.Syscall.data ^ "|");
+        Api.sleep_ms 2
+      done)

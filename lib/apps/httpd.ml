@@ -1,0 +1,198 @@
+(* Apache httpd model (§5.2): a single-process multi-threaded web
+   server under stress test.
+
+   Structure mirrors httpd's worker MPM: a listener socket, a pool of
+   worker threads protected by an accept mutex, each worker handling a
+   keep-alive connection (poll, recv query, compute response, send).
+   The [ab]-style load: [clients] concurrent remote clients, each
+   issuing queries back-to-back (next query leaves once the previous
+   response arrives), [queries] in total.
+
+   httpd's own races: the model includes the kind of benign-but-real
+   races tsan11 reports by the hundred on httpd — non-atomic shared
+   scoreboard counters updated by all workers without synchronisation.
+   Every worker touches several scoreboard slots per request, so
+   configurations that overlap more worker pairs report more distinct
+   races (the paper's Rate column: queue > rnd > tsan11 + rr).
+
+   The epoll issue: with [use_epoll = true] the accept path uses
+   epoll_wait, which the sparse interposition layer cannot record
+   (§5.2); the supported configuration uses the poll workaround. *)
+
+open T11r_vm
+module World = T11r_env.World
+
+type config = {
+  clients : int;
+  queries : int;  (** total queries across all clients *)
+  port : int;
+  workers : int;
+  think_us : int;  (** client think time between queries *)
+  service_us : int;  (** per-request compute *)
+  use_epoll : bool;
+  access_log : bool;
+      (** pipe request lines to a logger thread, as httpd's piped-log
+          feature — exercises the paper's pipe-recording case (§4.4) *)
+  graceful_stop : bool;
+      (** install a SIGTERM handler and drain instead of counting down *)
+}
+
+let default_config =
+  {
+    clients = 10;
+    queries = 400;
+    port = 80;
+    workers = 10;
+    think_us = 100;
+    service_us = 250;
+    use_epoll = false;
+    access_log = false;
+    graceful_stop = false;
+  }
+
+(* A remote ab client: opens the connection, sends a query, and sends
+   the next one [think_us] after each response, [per_client] times. *)
+let client_peer cfg ~per_client =
+  let sent = ref 0 in
+  {
+    World.on_receive =
+      (fun rng _response ->
+        if !sent >= per_client then []
+        else begin
+          incr sent;
+          [
+            ( cfg.think_us + T11r_util.Prng.int rng (max 1 cfg.think_us),
+              Bytes.of_string (Printf.sprintf "GET /%d" !sent) );
+          ]
+        end);
+    spontaneous =
+      (fun rng i ->
+        if i = 0 then begin
+          incr sent;
+          Some (T11r_util.Prng.int rng 200, Bytes.of_string "GET /0")
+        end
+        else None);
+  }
+
+let setup_world cfg world =
+  let per_client = cfg.queries / cfg.clients in
+  for i = 0 to cfg.clients - 1 do
+    World.expect_connection world ~port:cfg.port ~at:(i * 37)
+      (client_peer cfg ~per_client)
+  done
+
+let program ?(cfg = default_config) () =
+  Api.program ~name:"httpd" (fun () ->
+      let per_client = cfg.queries / cfg.clients in
+      let listen_fd = (Api.Sys_api.bind ~port:cfg.port).Syscall.ret in
+      let accept_mtx = Api.Mutex.create ~name:"accept_mtx" () in
+      let stopping = Api.Atomic.create ~name:"stopping" 0 in
+      if cfg.graceful_stop then
+        Api.set_signal_handler 15 (fun () -> Api.Atomic.store stopping 1);
+      (* Piped access log: workers write lines into a pipe; a logger
+         thread drains it into the (deterministic) log file. *)
+      let log_r, log_w =
+        if cfg.access_log then Api.Sys_api.pipe () else (-1, -1)
+      in
+      let log_mtx = Api.Mutex.create ~name:"log_mtx" () in
+      let logger =
+        if not cfg.access_log then None
+        else
+          Some
+            (Api.Thread.spawn ~name:"logger" (fun () ->
+                 let eof = ref false in
+                 while not !eof do
+                   let r = Api.Sys_api.read ~fd:log_r ~len:128 in
+                   if r.Syscall.ret > 0 then
+                     Api.Sys_api.print (Bytes.to_string r.Syscall.data)
+                   else if r.Syscall.ret = 0 then eof := true
+                   else Api.sleep_ms 1
+                 done))
+      in
+      let log_line line =
+        if cfg.access_log then
+          Api.Mutex.with_lock log_mtx (fun () ->
+              ignore (Api.Sys_api.write ~fd:log_w (Bytes.of_string line)))
+      in
+      (* The scoreboard: intentionally unsynchronised shared counters,
+         as in httpd's worker scoreboard. *)
+      let scoreboard =
+        Array.init 4 (fun i ->
+            Api.Var.create ~name:(Printf.sprintf "scoreboard%d" i) 0)
+      in
+      let served = Api.Atomic.create ~name:"served" 0 in
+      let worker wid () =
+        let handled_conns = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          (* Serialized accept, as in httpd's accept mutex. *)
+          Api.Mutex.lock accept_mtx;
+          let conn =
+            if
+              Api.Atomic.load served >= cfg.queries
+              || (cfg.graceful_stop && Api.Atomic.load stopping = 1)
+            then None
+            else begin
+              let wait_call =
+                if cfg.use_epoll then
+                  Api.Sys_api.epoll_wait ~fds:[ listen_fd ] ~timeout_ms:2
+                else Api.Sys_api.poll ~fds:[ listen_fd ] ~timeout_ms:2
+              in
+              if wait_call.Syscall.ret > 0 then
+                let a = Api.Sys_api.accept ~fd:listen_fd in
+                if a.Syscall.ret >= 0 then Some a.Syscall.ret else None
+              else None
+            end
+          in
+          Api.Mutex.unlock accept_mtx;
+          match conn with
+          | Some fd ->
+              incr handled_conns;
+              (* Keep-alive loop: serve per_client requests. *)
+              let remaining = ref per_client in
+              while !remaining > 0 do
+                if cfg.graceful_stop && Api.Atomic.load stopping = 1 then
+                  remaining := 0
+                else
+                let p = Api.Sys_api.poll ~fds:[ fd ] ~timeout_ms:50 in
+                if p.Syscall.ret > 0 then begin
+                  let q = Api.Sys_api.recv ~fd ~len:64 in
+                  if q.Syscall.ret > 0 then begin
+                    (* request log timestamps, as httpd takes per request *)
+                    ignore (Api.Sys_api.clock_gettime ());
+                    Api.work_mem ~accesses:(2 * cfg.service_us) cfg.service_us;
+                    ignore (Api.Sys_api.clock_gettime ());
+                    (* racy scoreboard updates *)
+                    Api.Var.incr scoreboard.(wid mod Array.length scoreboard);
+                    Api.Var.incr scoreboard.((wid + 1) mod Array.length scoreboard);
+                    ignore (Api.Sys_api.send ~fd (Bytes.of_string "200 OK"));
+                    log_line
+                      (Printf.sprintf "%s 200\n" (Bytes.to_string q.Syscall.data));
+                    ignore (Api.Atomic.fetch_add served 1);
+                    decr remaining
+                  end
+                  else remaining := 0 (* connection closed *)
+                end
+                else remaining := 0 (* client gone quiet *)
+              done;
+              ignore (Api.Sys_api.close ~fd)
+          | None ->
+              if
+                Api.Atomic.load served >= cfg.queries
+                || (cfg.graceful_stop && Api.Atomic.load stopping = 1)
+              then continue_ := false
+              else Api.work 10
+        done
+      in
+      let threads =
+        List.init cfg.workers (fun wid ->
+            Api.Thread.spawn ~name:(Printf.sprintf "worker%d" wid) (worker wid))
+      in
+      List.iter Api.Thread.join threads;
+      (match logger with
+      | Some l ->
+          ignore (Api.Sys_api.close ~fd:log_w);
+          Api.Thread.join l
+      | None -> ());
+      Api.Sys_api.print
+        (Printf.sprintf "served=%d" (Api.Atomic.load served)))

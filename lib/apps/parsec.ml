@@ -1,0 +1,220 @@
+(* PARSEC kernel models (§5.3, Tables 3-4).
+
+   Each kernel reproduces the concurrency *profile* that drives the
+   paper's overhead table — the ratio of invisible computation to
+   visible operations, the synchronisation idiom, and the thread
+   topology — rather than the numerical algorithm itself:
+
+   - blackscholes: work distributed up front, threads compute
+     independently, almost no communication. High parallelism / low
+     visible-op density: good for tsan11rec, bad for rr (the paper
+     calls this out explicitly).
+   - fluidanimate: fine-grained per-cell locking; enormous numbers of
+     instrumented non-atomic accesses and mutex operations per unit of
+     computation. tsan11 alone is ~20x; serializing the visible ops
+     (tsan11rec) is ~50-60x.
+   - streamcluster: barrier-synchronised phases built from atomics;
+     moderate computation between barriers.
+   - bodytrack: a condition-variable task pool where worker threads
+     outnumber runnable work — the random strategy starves the
+     producer and collapses (94x vs queue's 14x).
+   - ferret: a four-stage pipeline with moderate work per stage. *)
+
+open T11r_vm
+
+type kernel = {
+  k_name : string;
+  build : threads:int -> unit -> Api.program;
+}
+
+(* --- blackscholes --------------------------------------------------- *)
+
+let blackscholes ~threads () =
+  Api.program ~name:"blackscholes" (fun () ->
+      (* simlarge: work split up front, threads run independently.
+         Mostly floating-point compute, light memory traffic: tsan11
+         costs ~2x here (Table 4). *)
+      let options_per_thread = 8 in
+      let per_option_us = 50_000 in
+      let ts =
+        List.init threads (fun i ->
+            Api.Thread.spawn ~name:(Printf.sprintf "bs%d" i) (fun () ->
+                for _ = 1 to options_per_thread do
+                  Api.work_mem ~accesses:(per_option_us * 3 / 4) per_option_us
+                done))
+      in
+      List.iter Api.Thread.join ts;
+      Api.Sys_api.print "priced")
+
+(* --- fluidanimate --------------------------------------------------- *)
+
+let fluidanimate ~threads () =
+  Api.program ~name:"fluidanimate" (fun () ->
+      (* Fine-grained per-cell locking: tiny computation per cell,
+         drowned in instrumented accesses (tsan11 ~20x) and mutex
+         operations whose total ordering is what makes tsan11rec
+         expensive here (Table 4's worst row for the tool). *)
+      let cells_per_thread = 8_000 in
+      let locks = 16 in
+      let cell_locks =
+        Array.init locks (fun i ->
+            Api.Mutex.create ~name:(Printf.sprintf "cell%d" i) ())
+      in
+      let ts =
+        List.init threads (fun t ->
+            Api.Thread.spawn ~name:(Printf.sprintf "fluid%d" t) (fun () ->
+                for c = 1 to cells_per_thread do
+                  (* touch this cell and three neighbours *)
+                  let base = ((t * cells_per_thread) + c) mod locks in
+                  Api.work_mem ~accesses:600 25;
+                  for n = 0 to 3 do
+                    let l = cell_locks.((base + n) mod locks) in
+                    Api.Mutex.lock l;
+                    Api.Mutex.unlock l
+                  done
+                done))
+      in
+      List.iter Api.Thread.join ts;
+      Api.Sys_api.print "settled")
+
+(* --- streamcluster -------------------------------------------------- *)
+
+let streamcluster ~threads () =
+  Api.program ~name:"streamcluster" (fun () ->
+      let phases = 14 in
+      let work_per_phase_us = 120_000 in
+      let accesses_per_phase = 2_400_000 in
+      (* A sense-reversing barrier built from atomics, as the real
+         kernel's pthread barrier would be instrumented. *)
+      let count = Api.Atomic.create ~name:"bar_count" 0 in
+      let sense = Api.Atomic.create ~name:"bar_sense" 0 in
+      let barrier phase =
+        let arrived = Api.Atomic.fetch_add ~mo:Acq_rel count 1 in
+        if arrived = threads - 1 then begin
+          Api.Atomic.store count 0;
+          Api.Atomic.store ~mo:Release sense phase
+        end
+        else
+          while Api.Atomic.load ~mo:Acquire sense < phase do
+            (* Spin for a scheduling quantum between probes: free on a
+               real multicore (native/tsan11/tsan11rec leave invisible
+               regions parallel) but catastrophic under rr, which burns
+               serialized CPU on every probe — the paper's 65x. *)
+            Api.work 10_000
+          done
+      in
+      (* Deterministic per-(thread,phase) imbalance: stragglers leave
+         the others spinning at the barrier, which is where rr's
+         sequentialization hurts most. *)
+      let skew t p = 50 + (((t * 7) + (p * 13)) mod 8 * 100 / 7) in
+      let ts =
+        List.init threads (fun i ->
+            Api.Thread.spawn ~name:(Printf.sprintf "sc%d" i) (fun () ->
+                for p = 1 to phases do
+                  let s = skew i p in
+                  Api.work_mem
+                    ~accesses:(accesses_per_phase * s / 100)
+                    (work_per_phase_us * s / 100);
+                  barrier p
+                done))
+      in
+      List.iter Api.Thread.join ts;
+      Api.Sys_api.print "clustered")
+
+(* --- bodytrack ------------------------------------------------------ *)
+
+let bodytrack ~threads () =
+  Api.program ~name:"bodytrack" (fun () ->
+      (* A task pool with more workers than work: workers do timed
+         condvar waits between task claims, which under the random
+         strategy starves the producer. *)
+      let worker_count = threads * 4 in
+      let tasks = 28 in
+      let task_work_us = 120_000 in
+      let task_accesses = 1_400_000 in
+      let mtx = Api.Mutex.create ~name:"pool_mtx" () in
+      let cv = Api.Cond.create ~name:"pool_cv" () in
+      let queue = Api.Var.create ~name:"task_queue" 0 in
+      let consumed = Api.Atomic.create ~name:"consumed" 0 in
+      let producer_done = Api.Atomic.create ~name:"producer_done" 0 in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          Api.Mutex.lock mtx;
+          let n = Api.Var.get queue in
+          if n > 0 then begin
+            Api.Var.set queue (n - 1);
+            Api.Mutex.unlock mtx;
+            Api.work_mem ~accesses:task_accesses task_work_us;
+            ignore (Api.Atomic.fetch_add consumed 1)
+          end
+          else begin
+            if Api.Atomic.load producer_done = 1 then continue_ := false
+            else ignore (Api.Cond.timed_wait cv mtx ~ms:10);
+            Api.Mutex.unlock mtx
+          end
+        done
+      in
+      let ws =
+        List.init worker_count (fun i ->
+            Api.Thread.spawn ~name:(Printf.sprintf "bt%d" i) worker)
+      in
+      (* Producer: frames arrive one at a time. *)
+      for _ = 1 to tasks do
+        Api.work 2_000;
+        Api.Mutex.lock mtx;
+        Api.Var.set queue (Api.Var.get queue + 1);
+        Api.Cond.signal cv;
+        Api.Mutex.unlock mtx
+      done;
+      Api.Atomic.store producer_done 1;
+      Api.Mutex.lock mtx;
+      Api.Cond.broadcast cv;
+      Api.Mutex.unlock mtx;
+      List.iter Api.Thread.join ws;
+      Api.Sys_api.print
+        (Printf.sprintf "tracked=%d" (Api.Atomic.load consumed)))
+
+(* --- ferret --------------------------------------------------------- *)
+
+let ferret ~threads () =
+  Api.program ~name:"ferret" (fun () ->
+      (* A pipeline: each stage pulls from its input counter and pushes
+         to the next; stages run in parallel with moderate work. *)
+      let items = 24 in
+      let stages = max 2 threads in
+      let stage_work_us = 50_000 in
+      let stage_accesses = 500_000 in
+      let counters =
+        Array.init (stages + 1) (fun i ->
+            Api.Atomic.create ~name:(Printf.sprintf "stage%d" i) 0)
+      in
+      Api.Atomic.store counters.(0) items;
+      let stage s () =
+        let processed = ref 0 in
+        while !processed < items do
+          if Api.Atomic.load ~mo:Acquire counters.(s) > !processed then begin
+            Api.work_mem ~accesses:stage_accesses stage_work_us;
+            incr processed;
+            ignore (Api.Atomic.fetch_add ~mo:Acq_rel counters.(s + 1) 1)
+          end
+          else Api.work 2_000
+        done
+      in
+      let ts =
+        List.init stages (fun s ->
+            Api.Thread.spawn ~name:(Printf.sprintf "ferret%d" s) (stage s))
+      in
+      List.iter Api.Thread.join ts;
+      Api.Sys_api.print "indexed")
+
+let kernels =
+  [
+    { k_name = "blackscholes"; build = blackscholes };
+    { k_name = "fluidanimate"; build = fluidanimate };
+    { k_name = "streamcluster"; build = streamcluster };
+    { k_name = "bodytrack"; build = bodytrack };
+    { k_name = "ferret"; build = ferret };
+  ]
+
+let find name = List.find_opt (fun k -> k.k_name = name) kernels

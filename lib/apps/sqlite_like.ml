@@ -1,0 +1,52 @@
+(* The §5.5 limitation study: a SQLite/SpiderMonkey-style application
+   whose control flow depends on memory layout.
+
+   Both real systems iterate ordered containers of pointers (SQLite's
+   page caches, SpiderMonkey's GC-managed object tables). The iteration
+   order — and therefore the sequence of visible operations — depends
+   on the addresses the allocator returned, which tsan11rec's sparse
+   demo deliberately does not capture. Replay allocates at different
+   addresses, takes different branches, and rapidly desynchronises.
+
+   The model: allocate a handful of records, insert them into a set
+   keyed by address, then walk the set in address order doing one
+   visible operation per record whose *kind* depends on the rank of the
+   record in the walk. A replay whose allocator produced a different
+   order issues a different syscall sequence: hard desynchronisation.
+
+   The two escapes, both exercised by the test-suite and the `limits`
+   bench: the rr model enforces layout (deterministic allocator on both
+   sides), and tsan11rec can be pointed at a world with a deterministic
+   allocator — the paper's "adapt the application" workaround. *)
+
+open T11r_vm
+
+type config = { records : int }
+
+let default_config = { records = 6 }
+
+let program ?(cfg = default_config) () =
+  Api.program ~name:"sqlite-like" (fun () ->
+      (* Allocate records; remember (address, id). *)
+      let records =
+        List.init cfg.records (fun i -> (Api.alloc (48 + (i * 16)), i))
+      in
+      (* The ordered container: sorted by address. *)
+      let in_address_order = List.sort compare records in
+      let log = Api.Atomic.create ~name:"log_cursor" 0 in
+      (* Walk in address order. The observable output reveals the walk
+         order, and each *inversion* relative to insertion order incurs
+         a page-cache fixup with a recorded timestamp — so a replay
+         whose allocator produced a different layout both prints
+         differently (soft desync) and issues a different number of
+         recorded syscalls (hard desync when it needs more than the
+         demo holds). *)
+      let prev = ref (-1) in
+      List.iter
+        (fun (_addr, id) ->
+          Api.Sys_api.print (Printf.sprintf "row%d;" id);
+          if id < !prev then ignore (Api.Sys_api.clock_gettime ())
+          else ignore (Api.Atomic.fetch_add log 1);
+          prev := id)
+        in_address_order;
+      Api.Sys_api.print "committed")

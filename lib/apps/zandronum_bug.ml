@@ -1,0 +1,112 @@
+(* The historical Zandronum bug (§5.4, bug tracker id 0002380):
+   incorrect game state sent from the server to the client during a
+   map change, in internet multi-player mode.
+
+   Model: the client consumes a stream of state packets, each tagged
+   with the map generation it belongs to. On a map change the server
+   must send a full snapshot ("S<gen>") before any delta ("D<gen>")
+   for the new generation. The server has a race between its map-change
+   broadcast and its per-client delta queue: with small probability —
+   dependent on network timing, i.e. the environment PRNG — a delta
+   for the new generation overtakes the snapshot. The client then
+   applies a delta to state it never received and fails a consistency
+   CHECK, crashing.
+
+   This is the paper's record/replay showcase: play long enough while
+   recording and the bug eventually fires (they saw it after ~12
+   minutes and a 43 MB demo); replaying the demo reproduces it
+   deterministically, because the recv results are in the SYSCALL file
+   and the schedule in QUEUE. *)
+
+open T11r_vm
+module World = T11r_env.World
+
+type config = {
+  packets : int;  (** packets per map generation *)
+  maps : int;  (** number of map changes in the session *)
+  reorder_permille : int;  (** chance a snapshot is overtaken *)
+}
+
+let default_config = { packets = 30; maps = 8; reorder_permille = 120 }
+
+(* The buggy server: per generation, sends a snapshot then deltas; with
+   probability [reorder_permille]/1000 the snapshot is delayed behind
+   the first delta — the bug. *)
+let server_peer cfg =
+  let packets = ref [] in
+  let generated = ref false in
+  let generate rng =
+    let out = ref [] in
+    let t = ref 0 in
+    for g = 1 to cfg.maps do
+      let gap () = 80 + T11r_util.Prng.int rng 60 in
+      let snapshot_at = ref (!t + gap ()) in
+      let deltas = ref [] in
+      let dt = ref (!snapshot_at + gap ()) in
+      for d = 1 to cfg.packets - 1 do
+        deltas := (!dt, Printf.sprintf "D%d.%d" g d) :: !deltas;
+        dt := !dt + gap ()
+      done;
+      (* The race: the snapshot occasionally lands after the first delta
+         of its generation. *)
+      if g > 1 && T11r_util.Prng.int rng 1000 < cfg.reorder_permille then
+        snapshot_at := !snapshot_at + (3 * gap ());
+      out := ((!snapshot_at, Printf.sprintf "S%d" g) :: List.rev !deltas) @ !out;
+      t := !dt
+    done;
+    List.sort compare !out
+  in
+  {
+    World.on_receive = (fun _ _ -> []);
+    spontaneous =
+      (fun rng i ->
+        if not !generated then begin
+          generated := true;
+          packets := generate rng
+        end;
+        match List.nth_opt !packets i with
+        | None -> None
+        | Some (at, payload) ->
+            let prev_at =
+              if i = 0 then 0
+              else fst (List.nth !packets (i - 1))
+            in
+            Some (at - prev_at, Bytes.of_string payload));
+  }
+
+let setup_world cfg world = World.connect world (server_peer cfg)
+
+let program ~server_fd () =
+  Api.program ~name:"zandronum-client" (fun () ->
+      let current_gen = Api.Var.create ~name:"current_gen" 0 in
+      let applied = Api.Var.create ~name:"applied" 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let p = Api.Sys_api.poll ~fds:[ server_fd ] ~timeout_ms:100 in
+        if p.Syscall.ret = 0 then continue_ := false
+        else begin
+          let r = Api.Sys_api.recv ~fd:server_fd ~len:64 in
+          if r.Syscall.ret <= 0 then continue_ := false
+          else begin
+            let msg = Bytes.to_string r.Syscall.data in
+            Api.work 30;
+            match msg.[0] with
+            | 'S' ->
+                let g = int_of_string (String.sub msg 1 (String.length msg - 1)) in
+                Api.Var.set current_gen g
+            | 'D' ->
+                let dot = String.index msg '.' in
+                let g = int_of_string (String.sub msg 1 (dot - 1)) in
+                (* CHECK: a delta must apply to the current map state. *)
+                if g <> Api.Var.get current_gen then
+                  failwith
+                    (Printf.sprintf
+                       "CHECK failed: delta for map %d applied to map %d" g
+                       (Api.Var.get current_gen));
+                Api.Var.incr applied
+            | _ -> ()
+          end
+        end
+      done;
+      Api.Sys_api.print
+        (Printf.sprintf "session-over applied=%d" (Api.Var.get applied)))

@@ -1,0 +1,182 @@
+type strategy =
+  | Random
+  | Queue
+  | Pct of int
+  | Delay_bounded of int
+  | Preempt_bounded of int
+  | Guided of { prefix : int array; observed : int list ref }
+
+type sched_model = Os_model | Controlled of strategy
+
+type mode = Free | Record of string | Replay of string
+
+type t = {
+  name : string;
+  sched : sched_model;
+  race_detection : bool;
+  emit_reports : bool;
+  serialize_visible : bool;
+  serialize_all : bool;
+  invis_mult : float;
+  var_cost : int;
+  vis_cost : int;
+  vis_cost_syscall : int;
+  record_cost : int;
+  report_cost : int;
+  resched_ms : int;
+  seeds : (int64 * int64) option;
+  policy : Policy.t;
+  mode : mode;
+  forbid_opaque_ioctl : bool;
+  queue_jitter_us : int;
+  startup_us : int;
+  max_ticks : int;
+  max_history : int;
+  suppressions : string list;
+  debug_trace : bool;
+}
+
+(* Cost-model notes. Baseline visible ops take ~1µs natively. tsan11's
+   instrumentation slows invisible work ~3-4x and visible ops ~5x
+   (the paper reports 3x on httpd without reporting, 10-12x for tsan on
+   memory-heavy code). rr's per-event cost is low but everything is
+   serialized. These constants, together with each workload's
+   visible/invisible mix, reproduce the *shape* of Tables 1-5. *)
+
+let default =
+  {
+    name = "tsan11rec-rnd";
+    sched = Controlled Random;
+    race_detection = true;
+    emit_reports = true;
+    serialize_visible = true;
+    serialize_all = false;
+    invis_mult = 1.25;
+    var_cost = 1;
+    vis_cost = 12;
+    vis_cost_syscall = 12;
+    record_cost = 2;
+    report_cost = 3000;
+    resched_ms = 10;
+    seeds = None;
+    policy = Policy.default;
+    mode = Free;
+    forbid_opaque_ioctl = false;
+    queue_jitter_us = 40;
+    startup_us = 0;
+    max_ticks = 5_000_000;
+    max_history = 8;
+    suppressions = [];
+    debug_trace = false;
+  }
+
+let native =
+  {
+    default with
+    name = "native";
+    sched = Os_model;
+    race_detection = false;
+    emit_reports = false;
+    serialize_visible = false;
+    invis_mult = 1.0;
+    var_cost = 0;
+    vis_cost = 1;
+    vis_cost_syscall = 2;
+    resched_ms = 0;
+  }
+
+let tsan11 =
+  {
+    native with
+    name = "tsan11";
+    race_detection = true;
+    emit_reports = true;
+    invis_mult = 1.25;
+    var_cost = 1;
+    vis_cost = 5;
+    vis_cost_syscall = 6;
+  }
+
+let rr_model =
+  {
+    native with
+    name = "rr";
+    sched = Controlled Queue;
+    serialize_visible = true;
+    serialize_all = true;
+    invis_mult = 1.15;
+    (* rr does not intercept user-space atomics or uncontended mutexes;
+       only syscalls (and signals) trap to the supervisor. *)
+    vis_cost = 1;
+    vis_cost_syscall = 25;
+    record_cost = 22;  (* every recorded syscall round-trips the trace *)
+    forbid_opaque_ioctl = true;
+    startup_us = 570_000;
+    (* rr records everything; its policy is "all kinds". *)
+    policy =
+      {
+        Policy.default with
+        name = "rr-full";
+        record_file_rw = true;
+        full_interposition = true;
+      };
+  }
+
+let tsan11_rr =
+  {
+    rr_model with
+    name = "tsan11+rr";
+    race_detection = true;
+    emit_reports = true;
+    invis_mult = 1.45;  (* both instrumentations stack *)
+    var_cost = 1;
+    vis_cost = 5;
+    vis_cost_syscall = 30;
+  }
+
+let tsan11rec ?(strategy = Random) ?(mode = Free) () =
+  let sname =
+    match strategy with
+    | Random -> "rnd"
+    | Queue -> "queue"
+    | Pct d -> Printf.sprintf "pct%d" d
+    | Delay_bounded d -> Printf.sprintf "db%d" d
+    | Preempt_bounded b -> Printf.sprintf "pb%d" b
+    | Guided _ -> "guided"
+  in
+  let mname = match mode with Free -> "" | Record _ -> "+rec" | Replay _ -> "+replay" in
+  {
+    default with
+    name = "tsan11rec-" ^ sname ^ mname;
+    sched = Controlled strategy;
+    mode;
+  }
+
+let with_seeds t s1 s2 = { t with seeds = Some (s1, s2) }
+let with_policy t p = { t with policy = p }
+
+let strategy_name = function
+  | Random -> "random"
+  | Queue -> "queue"
+  | Pct d -> Printf.sprintf "pct:%d" d
+  | Delay_bounded d -> Printf.sprintf "db:%d" d
+  | Preempt_bounded b -> Printf.sprintf "pb:%d" b
+  | Guided _ -> "guided"
+
+let strategy_of_name s =
+  let prefixed prefix mk =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Option.map mk (int_of_string_opt (String.sub s n (String.length s - n)))
+    else None
+  in
+  match s with
+  | "random" -> Some Random
+  | "queue" -> Some Queue
+  | _ -> (
+      match prefixed "pct:" (fun d -> Pct d) with
+      | Some _ as r -> r
+      | None -> (
+          match prefixed "db:" (fun d -> Delay_bounded d) with
+          | Some _ as r -> r
+          | None -> prefixed "pb:" (fun b -> Preempt_bounded b)))

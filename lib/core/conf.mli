@@ -1,0 +1,113 @@
+(** Tool configurations.
+
+    One interpreter executes every configuration of the evaluation:
+    native, tsan11, the rr model, tsan11+rr, and tsan11rec with either
+    strategy, with or without recording. A configuration bundles the
+    scheduling model, the race-detection switches, the cost model that
+    drives the simulated clock, and the record/replay mode. *)
+
+type strategy =
+  | Random
+  | Queue
+  | Pct of int
+  | Delay_bounded of int
+  | Preempt_bounded of int
+  | Guided of { prefix : int array; observed : int list ref }
+      (** Controlled-scheduling strategies. [Random] and [Queue] are
+          §3's two strategies. The rest are the schedule-bounding
+          extensions the paper's conclusion calls for: [Pct d]
+          approximates probabilistic concurrency testing with priority
+          change points; [Delay_bounded d] follows the deterministic
+          FCFS schedule but may divert from it at most [d] times (Emmi
+          et al., POPL 2011); [Preempt_bounded b] runs each thread
+          without preemption, allowing at most [b] preemptions at
+          visible operations (Musuvathi & Qadeer, PLDI 2007). All are
+          PRNG-randomised and therefore replayable from the demo's two
+          seeds alone.
+
+          [Guided] is the substrate of {!T11r_harness.Systematic}'s
+          stateless model checking: at tick [i] it picks the
+          [prefix.(i)]-th enabled thread (tid order), leftmost beyond
+          the prefix, and appends each tick's enabled-thread count to
+          [observed] (in reverse) so the explorer can enumerate the
+          untried alternatives. Not recordable — exploration runs in
+          [Free] mode. *)
+
+type sched_model =
+  | Os_model
+      (** uncontrolled: visible ops execute in arrival order with
+          physical jitter and no global serialization — how native,
+          tsan11 and tsan11+rr runs are scheduled *)
+  | Controlled of strategy
+      (** the tsan11rec scheduler: one visible operation at a time *)
+
+type mode =
+  | Free  (** run without recording or replaying *)
+  | Record of string  (** record a demo into the given directory *)
+  | Replay of string  (** replay the demo in the given directory *)
+
+type t = {
+  name : string;
+  sched : sched_model;
+  race_detection : bool;
+  emit_reports : bool;  (** model the cost of printing race reports *)
+  serialize_visible : bool;
+      (** tsan11rec: visible operations are totally ordered on the
+          global clock; invisible regions stay parallel *)
+  serialize_all : bool;
+      (** rr: invisible work is also globally sequentialized *)
+  invis_mult : float;  (** instrumentation slowdown on invisible work *)
+  var_cost : int;  (** µs per instrumented non-atomic access *)
+  vis_cost : int;  (** µs per visible operation, including interception *)
+  vis_cost_syscall : int;
+      (** µs per intercepted syscall — higher than [vis_cost] for tools
+          that trap to a supervisor process (the rr model) *)
+  record_cost : int;  (** extra µs per item written to the demo *)
+  report_cost : int;  (** µs consumed by emitting one race report *)
+  resched_ms : int;  (** liveness: force a reschedule after this many ms
+                         (§3.3); [0] disables *)
+  seeds : (int64 * int64) option;
+      (** scheduler PRNG seeds; [None] seeds from the wall clock (and
+          is what [Record] stores in META) *)
+  policy : Policy.t;
+  mode : mode;
+  forbid_opaque_ioctl : bool;
+      (** rr model: refuse to run when the program talks to the opaque
+          display driver *)
+  queue_jitter_us : int;
+      (** physical-timing noise added to Wait() arrival order — this is
+          why queue recordings differ run to run (§4.2) *)
+  startup_us : int;
+      (** fixed tool startup overhead added to every run's makespan —
+          large for the rr model ("huge increases due to a constant
+          overhead applied to all programs", §5.1), zero otherwise *)
+  max_ticks : int;  (** safety valve against livelock in tests *)
+  max_history : int;
+      (** store-history window of the weak-memory model; [1] makes
+          every atomic location a sequentially consistent register *)
+  suppressions : string list;
+      (** tsan-style race-suppression patterns (exact location name or
+          '*'-terminated prefix); matching races are muted *)
+  debug_trace : bool;
+      (** also write a TRACE file (tick/tid/op per critical section)
+          into recorded demos, and on replay diff against it to report
+          the precise first divergence — a debugging aid beyond the
+          paper's demo format, off by default *)
+}
+
+val default : t
+(** tsan11rec with the random strategy, race detection on, free mode. *)
+
+val native : t
+val tsan11 : t
+val rr_model : t
+(** The rr baseline: queue-like FCFS, full sequentialization, full
+    recording semantics, no race detection. *)
+
+val tsan11_rr : t
+val tsan11rec : ?strategy:strategy -> ?mode:mode -> unit -> t
+
+val with_seeds : t -> int64 -> int64 -> t
+val with_policy : t -> Policy.t -> t
+val strategy_name : strategy -> string
+val strategy_of_name : string -> strategy option

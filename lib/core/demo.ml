@@ -1,0 +1,230 @@
+open T11r_util
+
+type signal_entry = { s_tid : int; s_tick : int; s_signo : int }
+type async_kind = Reschedule | Signal_wakeup of int
+type async_entry = { a_tick : int; a_kind : async_kind }
+
+type syscall_entry = {
+  sc_tick : int;
+  sc_tid : int;
+  sc_label : string;
+  sc_ret : int;
+  sc_errno : int;
+  sc_elapsed : int;
+  sc_data : bytes;
+}
+
+type queue_data = { first_ticks : (int * int) list; next_ticks : int list }
+
+type meta = {
+  app : string;
+  strategy : string;
+  seed1 : int64;
+  seed2 : int64;
+  ticks : int;
+  output_digest : string;
+}
+
+type t = {
+  meta : meta;
+  queue : queue_data option;
+  signals : signal_entry list;
+  syscalls : syscall_entry list;
+  asyncs : async_entry list;
+}
+
+(* -- rendering ------------------------------------------------------ *)
+
+let render_meta m =
+  [
+    "app " ^ Codec.escape m.app;
+    "strategy " ^ m.strategy;
+    Printf.sprintf "seed1 %Ld" m.seed1;
+    Printf.sprintf "seed2 %Ld" m.seed2;
+    Printf.sprintf "ticks %d" m.ticks;
+    "output_digest " ^ m.output_digest;
+  ]
+
+(* QUEUE: "first" lines map tids to their first tick; the tick list is
+   delta-encoded then run-length encoded, so a thread scheduled many
+   times in a row (delta 1) compresses to a single pair. *)
+let render_queue q =
+  let marker = [ "queue" ] in
+  let firsts =
+    List.map (fun (tid, tick) -> Printf.sprintf "first %d %d" tid tick) q.first_ticks
+  in
+  let deltas =
+    let prev = ref 0 in
+    List.map
+      (fun t ->
+        let d = t - !prev in
+        prev := t;
+        d)
+      q.next_ticks
+  in
+  let pairs = Rle.encode deltas in
+  let ticks =
+    List.map (fun (v, n) -> Printf.sprintf "t %d %d" v n) pairs
+  in
+  marker @ firsts @ ticks
+
+let render_signals ss =
+  List.map (fun s -> Printf.sprintf "%d %d %d" s.s_tid s.s_tick s.s_signo) ss
+
+let render_syscalls scs =
+  List.map
+    (fun s ->
+      Printf.sprintf "%d %d %s %d %d %d %s" s.sc_tick s.sc_tid s.sc_label
+        s.sc_ret s.sc_errno s.sc_elapsed
+        (Codec.escape (Rle.encode_bytes s.sc_data)))
+    scs
+
+let render_asyncs es =
+  List.map
+    (fun e ->
+      match e.a_kind with
+      | Reschedule -> Printf.sprintf "%d resched" e.a_tick
+      | Signal_wakeup tid -> Printf.sprintf "%d sigwake %d" e.a_tick tid)
+    es
+
+let save t ~dir =
+  Codec.write_lines (Filename.concat dir "META") (render_meta t.meta);
+  (match t.queue with
+  | Some q -> Codec.write_lines (Filename.concat dir "QUEUE") (render_queue q)
+  | None ->
+      if Sys.file_exists (Filename.concat dir "QUEUE") then
+        Sys.remove (Filename.concat dir "QUEUE"));
+  Codec.write_lines (Filename.concat dir "SIGNAL") (render_signals t.signals);
+  Codec.write_lines (Filename.concat dir "SYSCALL") (render_syscalls t.syscalls);
+  Codec.write_lines (Filename.concat dir "ASYNC") (render_asyncs t.asyncs)
+
+(* -- parsing -------------------------------------------------------- *)
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let parse_meta lines =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      match Codec.fields line with
+      | key :: rest -> Hashtbl.replace tbl key (String.concat " " rest)
+      | [] -> ())
+    lines;
+  let get k =
+    match Hashtbl.find_opt tbl k with
+    | Some v -> v
+    | None -> fail "Demo: META missing key %s" k
+  in
+  {
+    app = Codec.unescape (get "app");
+    strategy = get "strategy";
+    seed1 = Codec.int64_field (get "seed1");
+    seed2 = Codec.int64_field (get "seed2");
+    ticks = Codec.int_field (get "ticks");
+    output_digest = get "output_digest";
+  }
+
+let parse_queue lines =
+  let firsts = ref [] in
+  let pairs = ref [] in
+  List.iter
+    (fun line ->
+      match Codec.fields line with
+      | [ "queue" ] -> ()
+      | [ "first"; tid; tick ] ->
+          firsts := (Codec.int_field tid, Codec.int_field tick) :: !firsts
+      | [ "t"; v; n ] -> pairs := (Codec.int_field v, Codec.int_field n) :: !pairs
+      | [] -> ()
+      | _ -> fail "Demo: bad QUEUE line %S" line)
+    lines;
+  let deltas = Rle.decode (List.rev !pairs) in
+  let next_ticks =
+    let prev = ref 0 in
+    List.map
+      (fun d ->
+        prev := !prev + d;
+        !prev)
+      deltas
+  in
+  { first_ticks = List.rev !firsts; next_ticks }
+
+let parse_signals lines =
+  List.filter_map
+    (fun line ->
+      match Codec.fields line with
+      | [ tid; tick; signo ] ->
+          Some
+            {
+              s_tid = Codec.int_field tid;
+              s_tick = Codec.int_field tick;
+              s_signo = Codec.int_field signo;
+            }
+      | [] -> None
+      | _ -> fail "Demo: bad SIGNAL line %S" line)
+    lines
+
+let parse_syscalls lines =
+  List.filter_map
+    (fun line ->
+      match Codec.fields line with
+      | [ tick; tid; label; ret; errno; elapsed; data ] ->
+          Some
+            {
+              sc_tick = Codec.int_field tick;
+              sc_tid = Codec.int_field tid;
+              sc_label = label;
+              sc_ret = Codec.int_field ret;
+              sc_errno = Codec.int_field errno;
+              sc_elapsed = Codec.int_field elapsed;
+              sc_data = Rle.decode_bytes (Codec.unescape data);
+            }
+      | [] -> None
+      | _ -> fail "Demo: bad SYSCALL line %S" line)
+    lines
+
+let parse_asyncs lines =
+  List.filter_map
+    (fun line ->
+      match Codec.fields line with
+      | [ tick; "resched" ] ->
+          Some { a_tick = Codec.int_field tick; a_kind = Reschedule }
+      | [ tick; "sigwake"; tid ] ->
+          Some
+            {
+              a_tick = Codec.int_field tick;
+              a_kind = Signal_wakeup (Codec.int_field tid);
+            }
+      | [] -> None
+      | _ -> fail "Demo: bad ASYNC line %S" line)
+    lines
+
+let load ~dir =
+  let file name = Codec.read_lines (Filename.concat dir name) in
+  let meta_lines = file "META" in
+  if meta_lines = [] then fail "Demo: no META in %s" dir;
+  let queue_lines = file "QUEUE" in
+  {
+    meta = parse_meta meta_lines;
+    queue = (if queue_lines = [] then None else Some (parse_queue queue_lines));
+    signals = parse_signals (file "SIGNAL");
+    syscalls = parse_syscalls (file "SYSCALL");
+    asyncs = parse_asyncs (file "ASYNC");
+  }
+
+let lines_size ls = List.fold_left (fun acc l -> acc + String.length l + 1) 0 ls
+
+let size_bytes t =
+  lines_size (render_meta t.meta)
+  + (match t.queue with Some q -> lines_size (render_queue q) | None -> 0)
+  + lines_size (render_signals t.signals)
+  + lines_size (render_syscalls t.syscalls)
+  + lines_size (render_asyncs t.asyncs)
+
+let syscall_bytes t = lines_size (render_syscalls t.syscalls)
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "demo %s (%s): %d ticks, %d signals, %d syscalls, %d async events, %d bytes"
+    t.meta.app t.meta.strategy t.meta.ticks
+    (List.length t.signals) (List.length t.syscalls) (List.length t.asyncs)
+    (size_bytes t)

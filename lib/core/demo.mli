@@ -1,0 +1,71 @@
+(** The demo: a recorded execution (§4).
+
+    A demo is "a series of constraints arising from the recorded
+    execution, which the replay is required to satisfy". On disk it is a
+    directory of line-oriented files named exactly as in the paper:
+
+    - [META]   — strategy, the two PRNG seeds, tick count, application
+                 name, digest of observable output;
+    - [QUEUE]  — queue-strategy schedule: first tick per thread, then
+                 the ordered tick list consumed on leaving critical
+                 sections, run-length encoded (§4.2). Absent for the
+                 random strategy, whose schedule lives in the seeds;
+    - [SIGNAL] — one line ["tid tick signo"] per delivered asynchronous
+                 signal (§4.3);
+    - [SYSCALL]— return value, errno, elapsed block time and RLE'd
+                 buffer contents per recorded syscall (§4.4);
+    - [ASYNC]  — asynchronous scheduler events (reschedules, signal
+                 wakeups) with their ticks (§4.5). *)
+
+type signal_entry = { s_tid : int; s_tick : int; s_signo : int }
+
+type async_kind = Reschedule | Signal_wakeup of int  (** woken tid *)
+
+type async_entry = { a_tick : int; a_kind : async_kind }
+
+type syscall_entry = {
+  sc_tick : int;
+  sc_tid : int;
+  sc_label : string;  (** syscall kind name, for desync diagnostics *)
+  sc_ret : int;
+  sc_errno : int;
+  sc_elapsed : int;
+  sc_data : bytes;
+}
+
+type queue_data = {
+  first_ticks : (int * int) list;  (** tid -> first tick it is scheduled *)
+  next_ticks : int list;
+      (** for each critical-section exit, in exit order: the tick at
+          which that thread runs next, or [-1] if it never runs again *)
+}
+
+type meta = {
+  app : string;
+  strategy : string;
+  seed1 : int64;
+  seed2 : int64;
+  ticks : int;
+  output_digest : string;
+}
+
+type t = {
+  meta : meta;
+  queue : queue_data option;
+  signals : signal_entry list;
+  syscalls : syscall_entry list;
+  asyncs : async_entry list;
+}
+
+val save : t -> dir:string -> unit
+val load : dir:string -> t
+(** @raise Invalid_argument on a malformed or missing demo. *)
+
+val size_bytes : t -> int
+(** Total size of the rendered demo files — the paper's demo-size
+    metric (§5.2). *)
+
+val syscall_bytes : t -> int
+(** Size of the SYSCALL file alone (§5.4 reports it separately). *)
+
+val pp_summary : Format.formatter -> t -> unit

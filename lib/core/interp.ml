@@ -1,0 +1,1484 @@
+open T11r_util
+open Effect.Deep
+module Api = T11r_vm.Api
+module Syscall = T11r_vm.Syscall
+module Atomics = T11r_mem.Atomics
+module Tstate = T11r_mem.Tstate
+module Detector = T11r_race.Detector
+module Lockorder = T11r_race.Lockorder
+module World = T11r_env.World
+
+type outcome =
+  | Completed
+  | Deadlock of int list
+  | Crashed of int * string
+  | Hard_desync of string
+  | Unsupported_app of string
+  | Tick_limit
+
+type result = {
+  outcome : outcome;
+  makespan_us : int;
+  ticks : int;
+  races : T11r_race.Report.t list;
+  race_count : int;
+  lock_cycles : Lockorder.cycle list;
+  trace_divergence : string option;
+  output : string;
+  soft_desync : bool;
+  demo : Demo.t option;
+  trace : (int * int * string) list;
+  thread_names : (int * string) list;
+  rng_draws : int;
+}
+
+exception Hard of string
+exception Unsupported_run of string
+
+type pending = P : 'a Api.req * ('a, unit) continuation -> pending
+
+type cw_stage = Cw_waiting | Cw_relock
+
+type cwait = {
+  cw_cond : int;
+  cw_mutex : int;
+  cw_expiry : int option;
+  mutable cw_stage : cw_stage;
+  mutable cw_result : Api.timeout_result;
+}
+
+type block_reason =
+  | On_mutex of int
+  | On_join of int
+  | On_cond of int
+  | On_rwlock of int
+
+type status = Ready | Disabled of block_reason | Done | Dead of string
+
+type thread = {
+  tid : int;
+  tname : string;
+  tst : Tstate.t;
+  mutable status : status;
+  mutable pending : pending option;
+  mutable shelved : pending list;
+  mutable arrival : int;
+  mutable ltime : int;
+  mutable invis_acc : int;  (* invisible µs since last visible op (rr) *)
+  mutable cwait : cwait option;
+  mutable sigq : int list;
+  mutable last_tick : int;
+  mutable disabled_at : int;
+  mutable priority : int;  (* PCT strategy *)
+}
+
+type mstate = { mutable owner : int option; mutable m_clock : Vclock.t }
+type cstate = { mutable c_clock : Vclock.t }
+
+type rwstate = {
+  mutable rw_readers : int list;  (* tids currently holding read locks *)
+  mutable rw_writer : int option;
+  mutable rw_clock : Vclock.t;
+}
+
+type ctx = {
+  conf : Conf.t;
+  world : World.t;
+  mem : Atomics.t;
+  det : Detector.t;
+  lockorder : Lockorder.t;
+  rng : Prng.t;
+  threads : (int, thread) Hashtbl.t;
+  mutable order : int list;  (* creation order, newest first *)
+  mutable next_tid : int;
+  mutable next_obj : int;
+  mutexes : (int, mstate) Hashtbl.t;
+  conds : (int, cstate) Hashtbl.t;
+  rwlocks : (int, rwstate) Hashtbl.t;
+  handlers : (int, unit -> unit) Hashtbl.t;
+  fd_classes : (int, Policy.fd_class) Hashtbl.t;
+  mutable gclock : int;
+  mutable makespan : int;
+  mutable tick : int;
+  mutable cur : thread option;
+  mutable trace : (int * int * string) list;  (* reversed *)
+  (* recording *)
+  mutable rec_sched : (int * int) list;  (* (tick, tid), reversed *)
+  mutable rec_signals : Demo.signal_entry list;  (* reversed *)
+  mutable rec_syscalls : Demo.syscall_entry list;  (* reversed *)
+  mutable rec_asyncs : Demo.async_entry list;  (* reversed *)
+  (* replay *)
+  replay : Demo.t option;
+  rep_queue_next : (int, int) Hashtbl.t;
+  mutable rep_queue_list : int list;
+  mutable rep_signals : Demo.signal_entry list;
+  mutable rep_syscalls : Demo.syscall_entry list;
+  mutable rep_asyncs : Demo.async_entry list;
+  mutable finished : outcome option;
+  (* schedule-bounding strategies *)
+  mutable strat_budget : int;  (* remaining delays / preemptions *)
+  mutable last_sched : int;  (* tid of the previously scheduled thread *)
+}
+
+let threads_in_order ctx = List.rev_map (Hashtbl.find ctx.threads) ctx.order
+
+let alive ctx =
+  List.filter
+    (fun t -> match t.status with Done | Dead _ -> false | _ -> true)
+    (threads_in_order ctx)
+
+let ready ctx = List.filter (fun t -> t.status = Ready) (threads_in_order ctx)
+let is_replay ctx = ctx.replay <> None
+let is_record ctx = match ctx.conf.mode with Conf.Record _ -> true | _ -> false
+let draw ctx n = if n <= 0 then 0 else Prng.int ctx.rng n
+let hard ctx msg = raise (Hard (Printf.sprintf "tick %d: %s" ctx.tick msg))
+
+(* ------------------------------------------------------------------ *)
+(* Fibers                                                               *)
+
+let crash ctx t msg =
+  t.status <- Dead msg;
+  t.pending <- None;
+  if ctx.finished = None then ctx.finished <- Some (Crashed (t.tid, msg))
+
+let wake_joiners ctx t ~at =
+  Hashtbl.iter
+    (fun _ w ->
+      match w.status with
+      | Disabled (On_join tid) when tid = t.tid ->
+          w.status <- Ready;
+          w.arrival <- max w.arrival at
+      | _ -> ())
+    ctx.threads
+
+let fiber_handler ctx t ~on_return =
+  {
+    retc = (fun () -> on_return ());
+    exnc =
+      (fun e ->
+        match e with
+        | Hard _ | Unsupported_run _ -> raise e
+        | e -> crash ctx t (Printexc.to_string e));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Api.Op r ->
+            Some (fun (k : (a, _) continuation) -> t.pending <- Some (P (r, k)))
+        | _ -> None);
+  }
+
+let arrival_jitter ctx =
+  if ctx.conf.queue_jitter_us > 0 && not (is_replay ctx) then
+    World.jitter ctx.world ctx.conf.queue_jitter_us
+  else 0
+
+(* Run the thread's invisible requests inline until it parks on a
+   visible request, finishes, or crashes. *)
+let rec pump ctx t =
+  match (t.status, t.pending) with
+  | (Done | Dead _), _ | _, None -> ()
+  | _, Some (P (r, k)) ->
+      if Api.visible r then t.arrival <- t.ltime + arrival_jitter ctx
+      else begin
+        t.pending <- None;
+        let prev = ctx.cur in
+        ctx.cur <- Some t;
+        handle_invisible ctx t r k;
+        ctx.cur <- prev;
+        pump ctx t
+      end
+
+and handle_invisible : type a.
+    ctx -> thread -> a Api.req -> (a, unit) continuation -> unit =
+ fun ctx t r k ->
+  let conf = ctx.conf in
+  let spend us =
+    t.ltime <- t.ltime + us;
+    t.invis_acc <- t.invis_acc + us
+  in
+  match r with
+  | Api.New_atomic (name, init) ->
+      continue k { Api.a_loc = Atomics.fresh_loc ctx.mem ~name ~init }
+  | Api.New_var (name, init) ->
+      continue k { Api.v_var = Detector.fresh_var ctx.det ~name; v_val = init }
+  | Api.New_mutex name ->
+      let id = ctx.next_obj in
+      ctx.next_obj <- id + 1;
+      Hashtbl.replace ctx.mutexes id { owner = None; m_clock = Vclock.empty };
+      continue k { Api.mu_id = id; mu_name = name }
+  | Api.New_cond name ->
+      let id = ctx.next_obj in
+      ctx.next_obj <- id + 1;
+      Hashtbl.replace ctx.conds id { c_clock = Vclock.empty };
+      continue k { Api.cv_id = id; cv_name = name }
+  | Api.New_rwlock name ->
+      let id = ctx.next_obj in
+      ctx.next_obj <- id + 1;
+      Hashtbl.replace ctx.rwlocks id
+        { rw_readers = []; rw_writer = None; rw_clock = Vclock.empty };
+      continue k { Api.rw_id = id; rw_name = name }
+  | Api.Var_load v ->
+      if conf.race_detection then begin
+        Detector.read ctx.det v.Api.v_var ~st:t.tst;
+        spend conf.var_cost
+      end;
+      continue k v.Api.v_val
+  | Api.Var_store (v, x) ->
+      if conf.race_detection then begin
+        Detector.write ctx.det v.Api.v_var ~st:t.tst;
+        spend conf.var_cost
+      end;
+      v.Api.v_val <- x;
+      continue k ()
+  | Api.Work us ->
+      spend (int_of_float (float_of_int us *. conf.invis_mult));
+      continue k ()
+  | Api.Work_mem (us, accesses) ->
+      spend
+        (int_of_float (float_of_int us *. conf.invis_mult)
+        + (accesses * conf.var_cost));
+      continue k ()
+  | Api.Sleep ms ->
+      (* Sleeping is not slowed by instrumentation. *)
+      t.ltime <- t.ltime + (ms * 1000);
+      t.invis_acc <- t.invis_acc + (ms * 1000);
+      continue k ()
+  | Api.Self -> continue k t.tid
+  | Api.Now -> continue k t.ltime
+  | Api.Alloc n -> continue k (World.alloc ctx.world n)
+  | _ -> assert false (* visible requests never reach handle_invisible *)
+
+let start_fiber ctx t f ~on_return = match_with f () (fiber_handler ctx t ~on_return)
+
+let new_thread ctx ~name ~parent_st ~at body =
+  let tid = ctx.next_tid in
+  ctx.next_tid <- tid + 1;
+  let tst =
+    match parent_st with
+    | Some p -> Tstate.fork ~parent:p ~tid
+    | None -> Tstate.create ~tid
+  in
+  let t =
+    {
+      tid;
+      tname = name;
+      tst;
+      status = Ready;
+      pending = None;
+      shelved = [];
+      arrival = at;
+      ltime = at;
+      invis_acc = 0;
+      cwait = None;
+      sigq = [];
+      last_tick = -1;
+      disabled_at = -1;
+      priority = 0;
+    }
+  in
+  t.priority <- draw ctx 1_000_000;
+  Hashtbl.replace ctx.threads tid t;
+  ctx.order <- tid :: ctx.order;
+  let on_return () =
+    t.status <- Done;
+    t.pending <- None;
+    wake_joiners ctx t ~at:t.ltime
+  in
+  start_fiber ctx t body ~on_return;
+  pump ctx t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                              *)
+
+let record_async ctx kind =
+  if is_record ctx then
+    ctx.rec_asyncs <- { Demo.a_tick = ctx.tick; a_kind = kind } :: ctx.rec_asyncs
+
+let deliver_signal ctx t signo =
+  t.sigq <- t.sigq @ [ signo ];
+  (* Waking a disabled victim is an asynchronous event of its own
+     (§4.5): recorded in ASYNC when it happens, and — crucially — on
+     replay it happens only when the recorded event says so, not at
+     delivery, so the enabled set evolves exactly as recorded. *)
+  if not (is_replay ctx) then
+    match t.status with
+    | Disabled _ ->
+        t.status <- Ready;
+        t.arrival <- max t.arrival ctx.gclock;
+        record_async ctx (Demo.Signal_wakeup t.tid)
+    | _ -> ()
+
+(* Record/free mode: deliver environment signals whose arrival time has
+   passed, each to a PRNG-chosen victim thread (§4.3). *)
+let poll_env_signals ctx =
+  if not (is_replay ctx) then begin
+    let continue_ = ref true in
+    while !continue_ do
+      match World.next_signal ctx.world ~upto:ctx.gclock with
+      | None -> continue_ := false
+      | Some (_at, signo) -> (
+          match alive ctx with
+          | [] -> continue_ := false
+          | candidates ->
+              (* Which thread the kernel interrupts is environmental
+                 nondeterminism: drawn from the world's PRNG, never the
+                 scheduler's, so the recorded stream of scheduler draws
+                 is position-identical on replay. *)
+              let victim =
+                List.nth candidates
+                  (World.jitter ctx.world (List.length candidates))
+              in
+              if is_record ctx then
+                ctx.rec_signals <-
+                  {
+                    Demo.s_tid = victim.tid;
+                    s_tick = victim.last_tick;
+                    s_signo = signo;
+                  }
+                  :: ctx.rec_signals;
+              deliver_signal ctx victim signo)
+    done
+  end
+
+(* Replay mode: deliver recorded signals pinned to the critical section
+   [tid] just completed at [tickno] ("the signal floats to the end of
+   Tick()", Fig. 6). *)
+let replay_signals_after_cs ctx ~tickno ~tid =
+  if is_replay ctx then begin
+    let mine, rest =
+      List.partition
+        (fun (s : Demo.signal_entry) -> s.s_tick = tickno && s.s_tid = tid)
+        ctx.rep_signals
+    in
+    ctx.rep_signals <- rest;
+    List.iter
+      (fun (s : Demo.signal_entry) ->
+        match Hashtbl.find_opt ctx.threads s.s_tid with
+        | Some t -> deliver_signal ctx t s.s_signo
+        | None -> hard ctx (Printf.sprintf "SIGNAL names unknown thread %d" s.s_tid))
+      mine
+  end
+
+(* Replay mode: signals recorded before their victim's first critical
+   section carry tick -1 and are delivered up front. *)
+let replay_initial_signals ctx =
+  if is_replay ctx then begin
+    let initial, rest =
+      List.partition (fun (s : Demo.signal_entry) -> s.s_tick = -1) ctx.rep_signals
+    in
+    ctx.rep_signals <- rest;
+    List.iter
+      (fun (s : Demo.signal_entry) ->
+        match Hashtbl.find_opt ctx.threads s.s_tid with
+        | Some t -> deliver_signal ctx t s.s_signo
+        | None -> hard ctx "SIGNAL names unknown thread")
+      initial
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                           *)
+
+(* Replay: apply async events recorded for the upcoming tick; returns
+   the number of Reschedule events (each cost the recorder one redraw). *)
+let replay_asyncs_for_tick ctx =
+  match ctx.replay with
+  | None -> 0
+  | Some _ ->
+      let mine, rest =
+        List.partition
+          (fun (a : Demo.async_entry) -> a.a_tick = ctx.tick)
+          ctx.rep_asyncs
+      in
+      ctx.rep_asyncs <- rest;
+      let rescheds = ref 0 in
+      List.iter
+        (fun (a : Demo.async_entry) ->
+          match a.a_kind with
+          | Demo.Reschedule -> incr rescheds
+          | Demo.Signal_wakeup tid -> (
+              match Hashtbl.find_opt ctx.threads tid with
+              | Some t -> (
+                  match t.status with
+                  | Disabled _ ->
+                      t.status <- Ready;
+                      t.arrival <- ctx.gclock
+                  | _ -> ())
+              | None ->
+                  hard ctx (Printf.sprintf "ASYNC sigwake for unknown thread %d" tid)))
+        mine;
+      !rescheds
+
+let pick_random ctx enabled =
+  let arr = Array.of_list enabled in
+  let resched_us = ctx.conf.resched_ms * 1000 in
+  if is_replay ctx then begin
+    let rescheds = replay_asyncs_for_tick ctx in
+    for _ = 1 to rescheds do
+      ignore (draw ctx (Array.length arr));
+      ctx.gclock <- ctx.gclock + resched_us
+    done;
+    arr.(draw ctx (Array.length arr))
+  end
+  else begin
+    let rec go budget =
+      let t = arr.(draw ctx (Array.length arr)) in
+      if budget > 0 && resched_us > 0 && t.arrival > ctx.gclock + resched_us
+      then begin
+        record_async ctx Demo.Reschedule;
+        ctx.gclock <- ctx.gclock + resched_us;
+        go (budget - 1)
+      end
+      else t
+    in
+    go 64
+  end
+
+let pick_pct ctx enabled =
+  (* PCT-flavoured strategy (the paper's future work): highest priority
+     runs; with small probability the chosen thread's priority drops.
+     Two draws per tick keep the PRNG stream schedule-independent. *)
+  ignore (replay_asyncs_for_tick ctx);
+  let best =
+    List.fold_left
+      (fun acc t ->
+        match acc with
+        | None -> Some t
+        | Some b -> if t.priority > b.priority then Some t else Some b)
+      None enabled
+  in
+  let t = Option.get best in
+  let u = draw ctx 1000 in
+  let v = draw ctx 1_000_000 in
+  if u < 25 then t.priority <- -v;
+  t
+
+let fifo_min ts =
+  List.fold_left
+    (fun acc t ->
+      match acc with
+      | None -> Some t
+      | Some b -> if (t.arrival, t.tid) < (b.arrival, b.tid) then Some t else Some b)
+    None ts
+
+let pick_queue ctx enabled =
+  match ctx.replay with
+  | Some _ -> (
+      ignore (replay_asyncs_for_tick ctx);
+      let expected =
+        Hashtbl.fold
+          (fun tid next acc -> if next = ctx.tick then Some tid else acc)
+          ctx.rep_queue_next None
+      in
+      match expected with
+      | None -> hard ctx "QUEUE has no thread scheduled for this tick"
+      | Some tid -> (
+          match Hashtbl.find_opt ctx.threads tid with
+          | None -> hard ctx (Printf.sprintf "QUEUE names unknown thread %d" tid)
+          | Some t ->
+              if t.status <> Ready then
+                hard ctx
+                  (Printf.sprintf
+                     "QUEUE schedules thread %d but it is not enabled" tid);
+              t))
+  | None -> (
+      let arrived = List.filter (fun t -> t.arrival <= ctx.gclock) enabled in
+      match fifo_min arrived with
+      | Some t -> t
+      | None ->
+          (* Idle until the first thread finishes its invisible region.
+             Advance by the un-jittered clock so recorded timings are
+             reproducible on replay. *)
+          let t = Option.get (fifo_min enabled) in
+          ctx.gclock <- max ctx.gclock t.ltime;
+          t)
+
+(* Delay bounding (Emmi et al.): follow the deterministic FCFS order,
+   but up to [d] times take the second-in-line instead of the head.
+   The resulting schedule depends on physical arrival order, so — like
+   the queue strategy — it is recorded in the QUEUE file and enforced
+   on replay. *)
+let pick_delay_bounded ctx enabled =
+  match ctx.replay with
+  | Some _ ->
+      let t = pick_queue ctx enabled in
+      (* Mirror the recorder's delay draw so the PRNG stream (which the
+         memory model also reads) stays aligned. *)
+      if List.length enabled >= 2 then ignore (draw ctx 1000);
+      t
+  | None -> (
+      let sorted =
+        List.sort
+          (fun a b -> compare (a.arrival, a.tid) (b.arrival, b.tid))
+          enabled
+      in
+      match sorted with
+      | [] -> assert false
+      | [ t ] ->
+          ctx.gclock <- max ctx.gclock t.ltime;
+          t
+      | head :: second :: _ ->
+          let u = draw ctx 1000 in
+          let t =
+            if ctx.strat_budget > 0 && u < 150 then begin
+              ctx.strat_budget <- ctx.strat_budget - 1;
+              second
+            end
+            else head
+          in
+          ctx.gclock <- max ctx.gclock t.ltime;
+          t)
+
+(* Preemption bounding (Musuvathi & Qadeer): run the current thread
+   without preemption; switching at a blocking point is free, but at
+   most [b] switches may happen while the current thread could still
+   run. Purely PRNG-driven, so the seeds alone replay it. *)
+let pick_preempt_bounded ctx enabled =
+  ignore (replay_asyncs_for_tick ctx);
+  let t =
+    match List.find_opt (fun t -> t.tid = ctx.last_sched) enabled with
+    | Some cur ->
+        let u = draw ctx 1000 in
+        if ctx.strat_budget > 0 && u < 200 then begin
+          match List.filter (fun x -> x.tid <> cur.tid) enabled with
+          | [] -> cur
+          | others ->
+              ctx.strat_budget <- ctx.strat_budget - 1;
+              List.nth others (draw ctx (List.length others))
+        end
+        else cur
+    | None -> List.nth enabled (draw ctx (List.length enabled))
+  in
+  ctx.gclock <- max ctx.gclock t.ltime;
+  t
+
+(* Guided picks for systematic exploration: deterministic choice by
+   index in tid order, logging the fan-out at every scheduling point. *)
+let pick_guided ctx ~prefix ~observed enabled =
+  let sorted = List.sort (fun a b -> compare a.tid b.tid) enabled in
+  let n = List.length sorted in
+  observed := n :: !observed;
+  let idx =
+    if ctx.tick < Array.length prefix then min prefix.(ctx.tick) (n - 1) else 0
+  in
+  let t = List.nth sorted idx in
+  ctx.gclock <- max ctx.gclock t.ltime;
+  t
+
+let pick_thread ctx =
+  let enabled = ready ctx in
+  match ctx.conf.sched with
+  | Conf.Os_model -> Option.get (fifo_min enabled)
+  | Conf.Controlled Conf.Random -> pick_random ctx enabled
+  | Conf.Controlled (Conf.Pct _) -> pick_pct ctx enabled
+  | Conf.Controlled Conf.Queue -> pick_queue ctx enabled
+  | Conf.Controlled (Conf.Delay_bounded _) -> pick_delay_bounded ctx enabled
+  | Conf.Controlled (Conf.Preempt_bounded _) -> pick_preempt_bounded ctx enabled
+  | Conf.Controlled (Conf.Guided { prefix; observed }) ->
+      pick_guided ctx ~prefix ~observed enabled
+
+(* ------------------------------------------------------------------ *)
+(* Syscalls                                                             *)
+
+let fd_class ctx fd : Policy.fd_class =
+  if fd = World.stdout_fd then `Stdout
+  else match Hashtbl.find_opt ctx.fd_classes fd with Some c -> c | None -> `Sock
+
+let note_new_fd ctx (r : Syscall.request) (res : Syscall.result) =
+  if res.ret >= 0 then
+    match r.kind with
+    | Syscall.Open_ ->
+        Hashtbl.replace ctx.fd_classes res.ret
+          (if r.path = World.gpu_path then `Gpu else `File)
+    | Syscall.Bind -> Hashtbl.replace ctx.fd_classes res.ret `Listen
+    | Syscall.Pipe ->
+        Hashtbl.replace ctx.fd_classes res.ret `Pipe;
+        (match int_of_string_opt (Bytes.to_string res.data) with
+        | Some wfd -> Hashtbl.replace ctx.fd_classes wfd `Pipe
+        | None -> ())
+    | Syscall.Accept | Syscall.Accept4 -> Hashtbl.replace ctx.fd_classes res.ret `Sock
+    | _ -> ()
+
+let exec_syscall ctx t ~now (r : Syscall.request) : Syscall.result =
+  let conf = ctx.conf in
+  let interposing = match conf.mode with Conf.Free -> false | _ -> true in
+  if interposing && not (Policy.supports conf.policy r.kind) then
+    raise
+      (Unsupported_run
+         (Printf.sprintf "syscall %s cannot be interposed (use the poll workaround)"
+            (Syscall.kind_to_string r.kind)));
+  let cls = fd_class ctx r.fd in
+  let recordable = Policy.should_record conf.policy ~fd_class:cls r in
+  match conf.mode with
+  | Conf.Replay _ when recordable -> (
+      match ctx.rep_syscalls with
+      | [] -> hard ctx "SYSCALL exhausted: program issued an extra recorded call"
+      | e :: rest ->
+          if e.Demo.sc_tid <> t.tid then
+            hard ctx
+              (Printf.sprintf "SYSCALL expects thread %d, got %d issuing %s"
+                 e.Demo.sc_tid t.tid (Syscall.kind_to_string r.kind));
+          if e.Demo.sc_label <> Syscall.kind_to_string r.kind then
+            hard ctx
+              (Printf.sprintf "SYSCALL expects %s, got %s" e.Demo.sc_label
+                 (Syscall.kind_to_string r.kind));
+          ctx.rep_syscalls <- rest;
+          {
+            Syscall.ret = e.Demo.sc_ret;
+            errno = e.Demo.sc_errno;
+            data = e.Demo.sc_data;
+            elapsed = e.Demo.sc_elapsed;
+          })
+  | _ ->
+      let res =
+        try World.syscall ctx.world ~now r
+        with World.Unsupported msg -> raise (Unsupported_run msg)
+      in
+      note_new_fd ctx r res;
+      if is_record ctx && recordable then
+        ctx.rec_syscalls <-
+          {
+            Demo.sc_tick = ctx.tick;
+            sc_tid = t.tid;
+            sc_label = Syscall.kind_to_string r.kind;
+            sc_ret = res.ret;
+            sc_errno = res.errno;
+            sc_elapsed = res.elapsed;
+            sc_data = res.data;
+          }
+          :: ctx.rec_syscalls;
+      res
+
+(* ------------------------------------------------------------------ *)
+(* Mutex / condvar helpers                                              *)
+
+let mstate ctx (m : Api.mutex) = Hashtbl.find ctx.mutexes m.Api.mu_id
+let cstate ctx (c : Api.cond) = Hashtbl.find ctx.conds c.Api.cv_id
+
+let mutex_waiters ctx mid =
+  List.filter
+    (fun t -> match t.status with Disabled (On_mutex m) -> m = mid | _ -> false)
+    (threads_in_order ctx)
+
+(* Wake one thread blocked on mutex [mid] (MutexUnlock of §3.2). The
+   choice follows the strategy: FIFO for queue, PRNG otherwise. *)
+let wake_one_mutex_waiter ctx mid ~at =
+  match mutex_waiters ctx mid with
+  | [] -> ()
+  | ws ->
+      let t =
+        match ctx.conf.sched with
+        | Conf.Controlled (Conf.Queue | Conf.Delay_bounded _) | Conf.Os_model
+          ->
+            Option.get
+              (List.fold_left
+                 (fun acc t ->
+                   match acc with
+                   | None -> Some t
+                   | Some b ->
+                       if (t.disabled_at, t.tid) < (b.disabled_at, b.tid) then
+                         Some t
+                       else Some b)
+                 None ws)
+        | _ -> List.nth ws (draw ctx (List.length ws))
+      in
+      t.status <- Ready;
+      t.arrival <- max t.arrival at
+
+let acquire_mutex ctx t (m : Api.mutex) =
+  let ms = mstate ctx m in
+  ms.owner <- Some t.tid;
+  if ctx.conf.race_detection then begin
+    Tstate.acquire t.tst ms.m_clock;
+    Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:m.Api.mu_id
+      ~name:m.Api.mu_name
+  end
+
+let release_mutex ctx t (m : Api.mutex) ~at =
+  let ms = mstate ctx m in
+  ms.owner <- None;
+  if ctx.conf.race_detection then begin
+    ms.m_clock <- Vclock.join ms.m_clock t.tst.Tstate.clock;
+    Tstate.tick t.tst;
+    Lockorder.released ctx.lockorder ~tid:t.tid ~lock:m.Api.mu_id
+  end;
+  wake_one_mutex_waiter ctx m.Api.mu_id ~at
+
+(* Threads waiting on condvar [cid]: disabled untimed waiters plus
+   enabled timed waiters still in their waiting stage. *)
+let cond_waiters ctx cid =
+  List.filter
+    (fun t ->
+      match t.cwait with
+      | Some cw -> cw.cw_cond = cid && cw.cw_stage = Cw_waiting
+      | None -> false)
+    (threads_in_order ctx)
+
+let wake_cond_waiter ctx t ~at ~(signaller_clock : Vclock.t) =
+  (match t.cwait with
+  | Some cw ->
+      cw.cw_stage <- Cw_relock;
+      cw.cw_result <- Api.Signalled
+  | None -> ());
+  if ctx.conf.race_detection then Tstate.acquire t.tst signaller_clock;
+  match t.status with
+  | Disabled (On_cond _) ->
+      t.status <- Ready;
+      t.arrival <- max t.arrival at
+  | _ -> ()
+
+(* Reader-writer locks: blocked acquisitions retry; unlock re-enables
+   every waiter (they race for the lock again, as in Fig. 4's loop). *)
+
+let rwstate ctx (l : Api.rwlock) = Hashtbl.find ctx.rwlocks l.Api.rw_id
+
+let rw_can_read rw = rw.rw_writer = None
+let rw_can_write rw = rw.rw_writer = None && rw.rw_readers = []
+
+let rw_acquire_read ctx t (l : Api.rwlock) rw =
+  rw.rw_readers <- t.tid :: rw.rw_readers;
+  if ctx.conf.race_detection then begin
+    Tstate.acquire t.tst rw.rw_clock;
+    Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:l.Api.rw_id
+      ~name:l.Api.rw_name
+  end
+
+let rw_acquire_write ctx t (l : Api.rwlock) rw =
+  rw.rw_writer <- Some t.tid;
+  if ctx.conf.race_detection then begin
+    Tstate.acquire t.tst rw.rw_clock;
+    Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:l.Api.rw_id
+      ~name:l.Api.rw_name
+  end
+
+let rw_wake_all ctx lid ~at =
+  Hashtbl.iter
+    (fun _ w ->
+      match w.status with
+      | Disabled (On_rwlock l) when l = lid ->
+          w.status <- Ready;
+          w.arrival <- max w.arrival at
+      | _ -> ())
+    ctx.threads
+
+let rw_unlock ctx t (l : Api.rwlock) ~at =
+  let rw = rwstate ctx l in
+  (match rw.rw_writer with
+  | Some tid when tid = t.tid -> rw.rw_writer <- None
+  | _ -> rw.rw_readers <- List.filter (fun tid -> tid <> t.tid) rw.rw_readers);
+  if ctx.conf.race_detection then begin
+    rw.rw_clock <- Vclock.join rw.rw_clock t.tst.Tstate.clock;
+    Tstate.tick t.tst;
+    Lockorder.released ctx.lockorder ~tid:t.tid ~lock:l.Api.rw_id
+  end;
+  rw_wake_all ctx l.Api.rw_id ~at
+
+(* ------------------------------------------------------------------ *)
+(* Critical sections                                                    *)
+
+let choose_fn ctx n = draw ctx n
+
+let note_cs ctx t label fin =
+  ctx.trace <- (ctx.tick, t.tid, label) :: ctx.trace;
+  if is_record ctx then ctx.rec_sched <- (ctx.tick, t.tid) :: ctx.rec_sched;
+  t.last_tick <- ctx.tick;
+  ctx.makespan <- max ctx.makespan fin
+
+(* Advance clocks for one critical section; returns (start, fin). *)
+let cs_timing ?(syscall = false) ctx t ~recorded =
+  let conf = ctx.conf in
+  let base = if syscall then conf.vis_cost_syscall else conf.vis_cost in
+  let cost = base + if recorded then conf.record_cost else 0 in
+  (* Timing uses the thread's un-jittered local clock; [arrival] (which
+     includes physical-ordering jitter) only orders Wait() queues. *)
+  let start =
+    if conf.serialize_all then ctx.gclock + t.invis_acc
+    else if conf.serialize_visible then max ctx.gclock t.ltime
+    else t.ltime
+  in
+  let fin = start + cost in
+  if conf.serialize_visible || conf.serialize_all then ctx.gclock <- fin
+  else ctx.gclock <- max ctx.gclock fin;
+  t.ltime <- fin;
+  t.invis_acc <- 0;
+  (start, fin)
+
+(* After a thread leaves a critical section in queue replay, it learns
+   the tick of its next scheduling from the recorded list (§4.2). *)
+let consume_queue_entry ctx t =
+  if is_replay ctx then
+    match ctx.conf.sched with
+    | Conf.Controlled (Conf.Queue | Conf.Delay_bounded _) -> (
+        match ctx.rep_queue_list with
+        | [] -> Hashtbl.remove ctx.rep_queue_next t.tid
+        | next :: rest ->
+            ctx.rep_queue_list <- rest;
+            if next < 0 then Hashtbl.remove ctx.rep_queue_next t.tid
+            else Hashtbl.replace ctx.rep_queue_next t.tid next)
+    | _ -> ()
+
+(* Execute a signal-handler entry as its own critical section: shelve
+   the pending request and run the handler fiber. *)
+let exec_signal_entry ctx t =
+  let signo = List.hd t.sigq in
+  t.sigq <- List.tl t.sigq;
+  let _, fin = cs_timing ctx t ~recorded:false in
+  note_cs ctx t (Printf.sprintf "sig_entry:%d" signo) fin;
+  (match t.pending with
+  | Some p ->
+      t.shelved <- p :: t.shelved;
+      t.pending <- None
+  | None -> ());
+  (match Hashtbl.find_opt ctx.handlers signo with
+  | Some f ->
+      let on_return () =
+        match t.shelved with
+        | p :: rest ->
+            t.pending <- Some p;
+            t.shelved <- rest;
+            t.arrival <- max t.arrival t.ltime
+        | [] ->
+            t.status <- Done;
+            wake_joiners ctx t ~at:t.ltime
+      in
+      start_fiber ctx t f ~on_return
+  | None -> (
+      (* No handler installed: ignore the signal (SIG_IGN model). *)
+      match t.shelved with
+      | p :: rest ->
+          t.pending <- Some p;
+          t.shelved <- rest
+      | [] -> ()));
+  pump ctx t
+
+(* Execute one critical section for thread [t]. *)
+let exec_cs ctx t =
+  if t.sigq <> [] then exec_signal_entry ctx t
+  else begin
+    let prev_cur = ctx.cur in
+    ctx.cur <- Some t;
+    (* Complete a critical section: log it, resume the thread with the
+       response, and run its next invisible region. *)
+    let finish : type a. (a, unit) continuation -> string -> int -> a -> unit
+        =
+     fun k label fin v ->
+      note_cs ctx t label fin;
+      t.pending <- None;
+      continue k v;
+      pump ctx t
+    in
+    let lock_attempt (k : (Api.timeout_result, unit) continuation) cw fin =
+      (* Relock stage of a conditional wait (Fig. 5): one trylock per
+         critical section. *)
+      let ms = Hashtbl.find ctx.mutexes cw.cw_mutex in
+      if ms.owner = None then begin
+        ms.owner <- Some t.tid;
+        if ctx.conf.race_detection then begin
+          Tstate.acquire t.tst ms.m_clock;
+          Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:cw.cw_mutex
+            ~name:"cond-mutex"
+        end;
+        let result = cw.cw_result in
+        t.cwait <- None;
+        finish k "cond_relock" (max fin t.ltime) result
+      end
+      else begin
+        note_cs ctx t "cond_relock_fail" fin;
+        t.status <- Disabled (On_mutex cw.cw_mutex);
+        t.disabled_at <- ctx.tick
+      end
+    in
+    Fun.protect
+      ~finally:(fun () -> ctx.cur <- prev_cur)
+      (fun () ->
+        match t.pending with
+        | None ->
+            hard ctx (Printf.sprintf "thread %d scheduled with no request" t.tid)
+        | Some (P ((Api.A_load (a, mo)) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let v =
+              Atomics.load ctx.mem a.Api.a_loc t.tst mo ~choose:(choose_fn ctx)
+            in
+            finish k (Api.req_label r) fin v
+        | Some (P ((Api.A_store (a, mo, v)) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            Atomics.store ctx.mem a.Api.a_loc t.tst mo v;
+            finish k (Api.req_label r) fin ()
+        | Some (P ((Api.A_rmw (a, mo, f)) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let old = Atomics.rmw ctx.mem a.Api.a_loc t.tst mo f in
+            finish k (Api.req_label r) fin old
+        | Some (P ((Api.A_cas (a, succ, fail_, expected, desired)) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let res =
+              Atomics.cas ctx.mem a.Api.a_loc t.tst ~success:succ
+                ~failure:fail_ ~expected ~desired ~choose:(choose_fn ctx)
+            in
+            finish k (Api.req_label r) fin res
+        | Some (P ((Api.Fence mo) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            Atomics.fence ctx.mem t.tst mo;
+            finish k (Api.req_label r) fin ()
+        | Some (P ((Api.Mutex_trylock m) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let ms = mstate ctx m in
+            if ms.owner = None then begin
+              acquire_mutex ctx t m;
+              finish k (Api.req_label r) fin true
+            end
+            else finish k (Api.req_label r) fin false
+        | Some (P ((Api.Mutex_lock m) as r, k)) ->
+            (* Fig. 4: a trylock loop; each failed attempt is its own
+               critical section and disables the thread. *)
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let ms = mstate ctx m in
+            if ms.owner = None then begin
+              acquire_mutex ctx t m;
+              finish k (Api.req_label r) fin ()
+            end
+            else begin
+              note_cs ctx t "mutex_lock_fail" fin;
+              t.status <- Disabled (On_mutex m.Api.mu_id);
+              t.disabled_at <- ctx.tick
+            end
+        | Some (P ((Api.Mutex_unlock m) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            release_mutex ctx t m ~at:fin;
+            finish k (Api.req_label r) fin ()
+        | Some (P ((Api.Rw_rdlock l) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let rw = rwstate ctx l in
+            if rw_can_read rw then begin
+              rw_acquire_read ctx t l rw;
+              finish k (Api.req_label r) fin ()
+            end
+            else begin
+              note_cs ctx t "rw_rdlock_fail" fin;
+              t.status <- Disabled (On_rwlock l.Api.rw_id);
+              t.disabled_at <- ctx.tick
+            end
+        | Some (P ((Api.Rw_wrlock l) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let rw = rwstate ctx l in
+            if rw_can_write rw then begin
+              rw_acquire_write ctx t l rw;
+              finish k (Api.req_label r) fin ()
+            end
+            else begin
+              note_cs ctx t "rw_wrlock_fail" fin;
+              t.status <- Disabled (On_rwlock l.Api.rw_id);
+              t.disabled_at <- ctx.tick
+            end
+        | Some (P ((Api.Rw_tryrdlock l) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let rw = rwstate ctx l in
+            if rw_can_read rw then begin
+              rw_acquire_read ctx t l rw;
+              finish k (Api.req_label r) fin true
+            end
+            else finish k (Api.req_label r) fin false
+        | Some (P ((Api.Rw_trywrlock l) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let rw = rwstate ctx l in
+            if rw_can_write rw then begin
+              rw_acquire_write ctx t l rw;
+              finish k (Api.req_label r) fin true
+            end
+            else finish k (Api.req_label r) fin false
+        | Some (P ((Api.Rw_unlock l) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            rw_unlock ctx t l ~at:fin;
+            finish k (Api.req_label r) fin ()
+        | Some (P ((Api.Cond_wait (c, m, timeout_ms)) as r, k)) -> (
+            match t.cwait with
+            | None ->
+                (* Fig. 5, first critical section: mark waiting, unlock
+                   the mutex, then (in later CSs) reacquire. *)
+                let _, fin = cs_timing ctx t ~recorded:false in
+                note_cs ctx t (Api.req_label r) fin;
+                let cw =
+                  {
+                    cw_cond = c.Api.cv_id;
+                    cw_mutex = m.Api.mu_id;
+                    cw_expiry =
+                      Option.map (fun ms_ -> t.ltime + (ms_ * 1000)) timeout_ms;
+                    cw_stage = Cw_waiting;
+                    cw_result = Api.Timed_out;
+                  }
+                in
+                t.cwait <- Some cw;
+                release_mutex ctx t m ~at:fin;
+                (match timeout_ms with
+                | None ->
+                    t.status <- Disabled (On_cond c.Api.cv_id);
+                    t.disabled_at <- ctx.tick
+                | Some _ ->
+                    (* Timed waits stay enabled (§3.2): the timer is
+                       nondeterministic from the logical scheduler's
+                       point of view. *)
+                    t.arrival <-
+                      (match cw.cw_expiry with Some e -> e | None -> t.ltime))
+            | Some cw ->
+                let _, fin = cs_timing ctx t ~recorded:false in
+                (if cw.cw_stage = Cw_waiting then begin
+                   (* Scheduled while still waiting: the timer fired. *)
+                   cw.cw_stage <- Cw_relock;
+                   cw.cw_result <- Api.Timed_out;
+                   match cw.cw_expiry with
+                   | Some e -> t.ltime <- max t.ltime e
+                   | None -> ()
+                 end);
+                lock_attempt k cw fin)
+        | Some (P ((Api.Cond_signal c) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let cs = cstate ctx c in
+            if ctx.conf.race_detection then begin
+              cs.c_clock <- Vclock.join cs.c_clock t.tst.Tstate.clock;
+              Tstate.tick t.tst
+            end;
+            (match cond_waiters ctx c.Api.cv_id with
+            | [] -> ()
+            | ws ->
+                let w =
+                  match ctx.conf.sched with
+                  | Conf.Controlled (Conf.Queue | Conf.Delay_bounded _)
+                  | Conf.Os_model ->
+                      Option.get
+                        (List.fold_left
+                           (fun acc x ->
+                             match acc with
+                             | None -> Some x
+                             | Some b ->
+                                 if
+                                   (x.disabled_at, x.tid)
+                                   < (b.disabled_at, b.tid)
+                                 then Some x
+                                 else Some b)
+                           None ws)
+                  | _ -> List.nth ws (draw ctx (List.length ws))
+                in
+                wake_cond_waiter ctx w ~at:fin ~signaller_clock:cs.c_clock);
+            finish k (Api.req_label r) fin ()
+        | Some (P ((Api.Cond_broadcast c) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            let cs = cstate ctx c in
+            if ctx.conf.race_detection then begin
+              cs.c_clock <- Vclock.join cs.c_clock t.tst.Tstate.clock;
+              Tstate.tick t.tst
+            end;
+            List.iter
+              (fun w ->
+                wake_cond_waiter ctx w ~at:fin ~signaller_clock:cs.c_clock)
+              (cond_waiters ctx c.Api.cv_id);
+            finish k (Api.req_label r) fin ()
+        | Some (P ((Api.Spawn (name, body)) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            note_cs ctx t (Api.req_label r) fin;
+            let child =
+              new_thread ctx ~name ~parent_st:(Some t.tst) ~at:fin body
+            in
+            t.pending <- None;
+            continue k child.tid;
+            pump ctx t
+        | Some (P ((Api.Join target) as r, k)) -> (
+            let _, fin = cs_timing ctx t ~recorded:false in
+            match Hashtbl.find_opt ctx.threads target with
+            | None -> finish k (Api.req_label r) fin ()
+            | Some child -> (
+                match child.status with
+                | Done | Dead _ ->
+                    if ctx.conf.race_detection then
+                      Tstate.acquire t.tst child.tst.Tstate.clock;
+                    t.ltime <- max t.ltime child.ltime;
+                    finish k (Api.req_label r) (max fin child.ltime) ()
+                | _ ->
+                    note_cs ctx t "join_wait" fin;
+                    t.status <- Disabled (On_join target);
+                    t.disabled_at <- ctx.tick))
+        | Some (P ((Api.Syscall req) as r, k)) ->
+            let recorded =
+              Policy.should_record ctx.conf.policy
+                ~fd_class:(fd_class ctx req.Syscall.fd)
+                req
+              && ctx.conf.mode <> Conf.Free
+            in
+            let start, fin = cs_timing ~syscall:true ctx t ~recorded in
+            let res = exec_syscall ctx t ~now:start req in
+            (* Blocking time accrues outside the critical section (§4.4:
+               only the SYSCALL-file interaction is inside it). *)
+            t.ltime <- fin + res.Syscall.elapsed;
+            finish k (Api.req_label r) fin res
+        | Some (P ((Api.Set_signal_handler (signo, f)) as r, k)) ->
+            let _, fin = cs_timing ctx t ~recorded:false in
+            Hashtbl.replace ctx.handlers signo f;
+            finish k (Api.req_label r) fin ()
+        | Some (P ((Api.Raise_sync signo) as r, k)) -> (
+            (* Synchronous signal: the handler runs right here, at this
+               program point, in both record and replay — nothing is
+               captured (§4.3: it "should reoccur at the same point
+               without the help of our tool"). The raise is the visible
+               op; the handler's own visible ops become further critical
+               sections, and when its fiber returns the raising thread
+               resumes just after the raise. *)
+            let _, fin = cs_timing ctx t ~recorded:false in
+            note_cs ctx t (Api.req_label r) fin;
+            t.pending <- None;
+            match Hashtbl.find_opt ctx.handlers signo with
+            | None ->
+                crash ctx t
+                  (Printf.sprintf "unhandled synchronous signal %d" signo)
+            | Some f ->
+                let on_return () =
+                  t.arrival <- max t.arrival t.ltime;
+                  continue k ()
+                in
+                start_fiber ctx t f ~on_return;
+                pump ctx t)
+        | Some
+            (P
+               ( ( Api.New_atomic _ | Api.New_var _ | Api.New_mutex _
+                 | Api.New_cond _ | Api.New_rwlock _ | Api.Var_load _
+                 | Api.Var_store _ | Api.Work _ | Api.Work_mem _ | Api.Sleep _
+                 | Api.Self | Api.Now | Api.Alloc _ ),
+                 _ )) ->
+            assert false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Demo assembly                                                        *)
+
+let build_queue_data ctx =
+  let sched = List.rev ctx.rec_sched in
+  let per_thread : (int, int Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (tick, tid) ->
+      let q =
+        match Hashtbl.find_opt per_thread tid with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace per_thread tid q;
+            q
+      in
+      Queue.add tick q)
+    sched;
+  let first_ticks =
+    Hashtbl.fold (fun tid q acc -> (tid, Queue.peek q) :: acc) per_thread []
+    |> List.sort compare
+  in
+  (* For each CS exit in order, the exiting thread's next tick. *)
+  let next_ticks =
+    List.map
+      (fun (_tick, tid) ->
+        let q = Hashtbl.find per_thread tid in
+        ignore (Queue.pop q);
+        match Queue.peek_opt q with Some next -> next | None -> -1)
+      sched
+  in
+  { Demo.first_ticks; next_ticks }
+
+let build_demo ctx app_name =
+  let s1, s2 = Prng.seeds ctx.rng in
+  let strategy =
+    match ctx.conf.sched with
+    | Conf.Controlled s -> Conf.strategy_name s
+    | Conf.Os_model -> "os"
+  in
+  {
+    Demo.meta =
+      {
+        app = app_name;
+        strategy;
+        seed1 = s1;
+        seed2 = s2;
+        ticks = ctx.tick;
+        output_digest = Digest.to_hex (Digest.string (World.output ctx.world));
+      };
+    queue =
+      (match ctx.conf.sched with
+      | Conf.Controlled (Conf.Queue | Conf.Delay_bounded _) ->
+          Some (build_queue_data ctx)
+      | _ -> None);
+    signals = List.rev ctx.rec_signals;
+    syscalls = List.rev ctx.rec_syscalls;
+    asyncs = List.rev ctx.rec_asyncs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                            *)
+
+let make_ctx conf world program_seeds_override =
+  let rng =
+    match program_seeds_override with
+    | Some (s1, s2) -> Prng.create ~seed1:s1 ~seed2:s2
+    | None -> (
+        match conf.Conf.seeds with
+        | Some (s1, s2) -> Prng.create ~seed1:s1 ~seed2:s2
+        | None -> Prng.of_time ())
+  in
+  let replay =
+    match conf.Conf.mode with
+    | Conf.Replay dir -> Some (Demo.load ~dir)
+    | _ -> None
+  in
+  let ctx =
+    {
+      conf;
+      world;
+      mem = Atomics.create ~max_history:conf.Conf.max_history ();
+      det =
+        (let d = Detector.create () in
+         Detector.set_suppressions d conf.Conf.suppressions;
+         d);
+      lockorder = Lockorder.create ();
+      rng;
+      threads = Hashtbl.create 8;
+      order = [];
+      next_tid = 0;
+      next_obj = 0;
+      mutexes = Hashtbl.create 8;
+      conds = Hashtbl.create 8;
+      rwlocks = Hashtbl.create 4;
+      handlers = Hashtbl.create 4;
+      fd_classes = Hashtbl.create 8;
+      gclock = 0;
+      makespan = 0;
+      tick = 0;
+      cur = None;
+      trace = [];
+      rec_sched = [];
+      rec_signals = [];
+      rec_syscalls = [];
+      rec_asyncs = [];
+      replay;
+      rep_queue_next = Hashtbl.create 8;
+      rep_queue_list = [];
+      rep_signals = [];
+      rep_syscalls = [];
+      rep_asyncs = [];
+      finished = None;
+      strat_budget =
+        (match conf.Conf.sched with
+        | Conf.Controlled (Conf.Delay_bounded d) -> d
+        | Conf.Controlled (Conf.Preempt_bounded b) -> b
+        | _ -> 0);
+      last_sched = -1;
+    }
+  in
+  (* Emitting a race report costs the reporting thread real time
+     (§5.2's "Race reports" vs "No reports" columns). *)
+  if conf.Conf.emit_reports && conf.Conf.report_cost > 0 then
+    Detector.on_report ctx.det (fun _ ->
+        match ctx.cur with
+        | Some t ->
+            t.ltime <- t.ltime + conf.Conf.report_cost;
+            t.invis_acc <- t.invis_acc + conf.Conf.report_cost
+        | None -> ());
+  (match replay with
+  | Some d ->
+      (match d.Demo.queue with
+      | Some q ->
+          List.iter
+            (fun (tid, tick) -> Hashtbl.replace ctx.rep_queue_next tid tick)
+            q.Demo.first_ticks;
+          ctx.rep_queue_list <- q.Demo.next_ticks
+      | None -> ());
+      ctx.rep_signals <- d.Demo.signals;
+      ctx.rep_syscalls <- d.Demo.syscalls;
+      ctx.rep_asyncs <- d.Demo.asyncs
+  | None -> ());
+  ctx
+
+let pp_outcome fmt = function
+  | Completed -> Format.fprintf fmt "completed"
+  | Deadlock tids ->
+      Format.fprintf fmt "deadlock (threads %s)"
+        (String.concat "," (List.map string_of_int tids))
+  | Crashed (tid, msg) -> Format.fprintf fmt "crashed in thread %d: %s" tid msg
+  | Hard_desync msg -> Format.fprintf fmt "hard desync: %s" msg
+  | Unsupported_app msg -> Format.fprintf fmt "unsupported: %s" msg
+  | Tick_limit -> Format.fprintf fmt "tick limit reached"
+
+(* A malformed demo is a usability error, not a crash: surface it as a
+   hard desynchronisation with an empty result. *)
+let malformed_demo_result msg =
+  {
+    outcome = Hard_desync (Printf.sprintf "malformed demo: %s" msg);
+    makespan_us = 0;
+    ticks = 0;
+    races = [];
+    race_count = 0;
+    lock_cycles = [];
+    output = "";
+    soft_desync = false;
+    demo = None;
+    trace = [];
+    thread_names = [];
+    trace_divergence = None;
+    rng_draws = 0;
+  }
+
+let run ?world conf (program : Api.program) =
+  let world = match world with Some w -> Some w | None -> None in
+  let world =
+    match world with Some w -> w | None -> World.create ()
+  in
+  World.set_forbid_opaque_ioctl world
+    (conf.Conf.forbid_opaque_ioctl
+    || (match conf.Conf.mode with
+       | Conf.Free -> false
+       | _ -> not conf.Conf.policy.Policy.ignore_ioctl)
+       && List.mem Syscall.Ioctl conf.Conf.policy.Policy.record_kinds);
+  match
+    (match conf.Conf.mode with
+    | Conf.Replay dir ->
+        let d = Demo.load ~dir in
+        Ok (Some (d.Demo.meta.seed1, d.Demo.meta.seed2))
+    | _ -> Ok None)
+  with
+  | exception Invalid_argument msg -> malformed_demo_result msg
+  | Error _ -> assert false
+  | Ok seeds_override ->
+  let ctx = make_ctx conf world seeds_override in
+  let finish outcome =
+    let demo =
+      match (conf.Conf.mode, outcome) with
+      | Conf.Record dir, _ ->
+          let d = build_demo ctx program.Api.pname in
+          Demo.save d ~dir;
+          if conf.Conf.debug_trace then
+            T11r_util.Codec.write_lines
+              (Filename.concat dir "TRACE")
+              (List.rev_map
+                 (fun (tick, tid, label) ->
+                   Printf.sprintf "%d %d %s" tick tid label)
+                 ctx.trace);
+          Some d
+      | _ -> None
+    in
+    let trace_divergence =
+      match conf.Conf.mode with
+      | Conf.Replay dir when conf.Conf.debug_trace -> (
+          match T11r_util.Codec.read_lines (Filename.concat dir "TRACE") with
+          | [] -> None
+          | recorded ->
+              let mine =
+                List.rev_map
+                  (fun (tick, tid, label) ->
+                    Printf.sprintf "%d %d %s" tick tid label)
+                  ctx.trace
+              in
+              let rec first_diff i a b =
+                match (a, b) with
+                | [], [] -> None
+                | x :: _, [] ->
+                    Some (Printf.sprintf "tick %d: recorded %S, replay ended" i x)
+                | [], y :: _ ->
+                    Some (Printf.sprintf "tick %d: recording ended, replay %S" i y)
+                | x :: xs, y :: ys ->
+                    if x = y then first_diff (i + 1) xs ys
+                    else
+                      Some
+                        (Printf.sprintf "tick %d: recorded %S, replayed %S" i x y)
+              in
+              first_diff 0 recorded mine)
+      | _ -> None
+    in
+    let soft_desync =
+      match ctx.replay with
+      | Some d ->
+          Digest.to_hex (Digest.string (World.output world))
+          <> d.Demo.meta.output_digest
+      | None -> false
+    in
+    let thread_time =
+      Hashtbl.fold (fun _ t acc -> max acc t.ltime) ctx.threads 0
+    in
+    {
+      outcome;
+      makespan_us =
+        conf.Conf.startup_us + max thread_time (max ctx.makespan ctx.gclock);
+      ticks = ctx.tick;
+      races = Detector.reports ctx.det;
+      race_count = Detector.report_count ctx.det;
+      lock_cycles = Lockorder.cycles ctx.lockorder;
+      output = World.output world;
+      soft_desync;
+      demo;
+      trace = List.rev ctx.trace;
+      thread_names =
+        List.map (fun t -> (t.tid, t.tname)) (threads_in_order ctx);
+      trace_divergence;
+      rng_draws = Prng.draws ctx.rng;
+    }
+  in
+  try
+    let _main =
+      new_thread ctx ~name:"main" ~parent_st:None ~at:0 program.Api.main
+    in
+    replay_initial_signals ctx;
+    let rec loop () =
+      match ctx.finished with
+      | Some o -> o
+      | None ->
+          if ctx.tick >= conf.Conf.max_ticks then Tick_limit
+          else begin
+            (* Replay: async events for this tick may re-enable threads
+               even when nothing is currently runnable. *)
+            (match ctx.conf.sched with
+            | Conf.Controlled Conf.Queue when is_replay ctx -> ()
+            | _ -> ());
+            match ready ctx with
+            | [] -> (
+                if is_replay ctx then begin
+                  (* Only recorded wakeups can unblock us now. *)
+                  let n = replay_asyncs_for_tick ctx in
+                  ignore n;
+                  match ready ctx with
+                  | [] ->
+                      let blocked =
+                        List.filter_map
+                          (fun t ->
+                            match t.status with
+                            | Disabled _ -> Some t.tid
+                            | _ -> None)
+                          (threads_in_order ctx)
+                      in
+                      if blocked = [] then Completed else Deadlock blocked
+                  | _ -> loop ()
+                end
+                else
+                  match World.peek_signal ctx.world with
+                  | Some (at, _) when alive ctx <> [] ->
+                      ctx.gclock <- max ctx.gclock at;
+                      poll_env_signals ctx;
+                      loop ()
+                  | _ ->
+                      let blocked =
+                        List.filter_map
+                          (fun t ->
+                            match t.status with
+                            | Disabled _ -> Some t.tid
+                            | _ -> None)
+                          (threads_in_order ctx)
+                      in
+                      if blocked = [] then Completed else Deadlock blocked)
+            | _ ->
+                let t = pick_thread ctx in
+                ctx.last_sched <- t.tid;
+                let tickno = ctx.tick in
+                exec_cs ctx t;
+                consume_queue_entry ctx t;
+                ctx.tick <- tickno + 1;
+                replay_signals_after_cs ctx ~tickno ~tid:t.tid;
+                poll_env_signals ctx;
+                loop ()
+          end
+    in
+    finish (loop ())
+  with
+  | Hard msg -> finish (Hard_desync msg)
+  | Unsupported_run msg -> finish (Unsupported_app msg)
+  | World.Unsupported msg -> finish (Unsupported_app msg)
+
+let completed r = r.outcome = Completed

@@ -1,0 +1,60 @@
+(** The tsan11rec runtime: controlled scheduling, record and replay,
+    race detection — one interpreter for every tool configuration.
+
+    Programs (lib/vm) perform effects; this module is the
+    "instrumentation layer" that catches them. Each visible operation
+    becomes a critical section: the thread waits to be scheduled
+    ([Wait()]), the operation executes, and the scheduler picks the next
+    thread ([Tick()]). Invisible regions run on the thread's own
+    simulated clock and, except under the rr model, in parallel.
+
+    Record mode captures the demo (QUEUE/SIGNAL/SYSCALL/ASYNC + META);
+    replay mode enforces it, aborting with a {e hard desynchronisation}
+    when a constraint cannot be satisfied and flagging a {e soft
+    desynchronisation} when all constraints hold but observable output
+    diverges (§4). *)
+
+type outcome =
+  | Completed
+  | Deadlock of int list  (** tids still blocked *)
+  | Crashed of int * string  (** a thread raised: the program's bug *)
+  | Hard_desync of string
+  | Unsupported_app of string
+      (** the tool cannot drive this program at all (rr vs the opaque
+          display driver, a recording policy vs [epoll_wait]) *)
+  | Tick_limit
+
+type result = {
+  outcome : outcome;
+  makespan_us : int;  (** simulated wall-clock of the whole run *)
+  ticks : int;  (** critical sections executed *)
+  races : T11r_race.Report.t list;
+  race_count : int;
+  lock_cycles : T11r_race.Lockorder.cycle list;
+      (** lock-order inversions observed — potential deadlocks reported
+          even on runs where the deadlock did not manifest *)
+  trace_divergence : string option;
+      (** with [Conf.debug_trace] on replay: the first point where the
+          replayed trace departs from the recorded TRACE file, for
+          diagnosing desynchronisation *)
+  output : string;  (** observable output (fd 1) *)
+  soft_desync : bool;  (** replay only: output diverged from recording *)
+  demo : Demo.t option;  (** record mode: the captured demo *)
+  trace : (int * int * string) list;
+      (** (tick, tid, op label) per critical section, in order —
+          the ground truth for replay-fidelity tests *)
+  thread_names : (int * string) list;
+      (** tid -> program-supplied thread name, creation order *)
+  rng_draws : int;  (** scheduler-PRNG draws (replay must match) *)
+}
+
+val run : ?world:T11r_env.World.t -> Conf.t -> T11r_vm.Api.program -> result
+(** Execute [program] under the given configuration. [world] defaults
+    to a fresh wall-seeded world; experiments pass seeded worlds. In
+    [Record dir] mode the demo is also saved to [dir]; in [Replay dir]
+    mode it is loaded from [dir] and enforced. *)
+
+val completed : result -> bool
+(** [outcome = Completed]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,82 @@
+module Interp = Tsan11rec.Interp
+module Report = T11r_race.Report
+
+type race_sighting = {
+  race : Report.t;
+  first_seed : int;
+  sightings : int;
+}
+
+type report = {
+  runs : int;
+  distinct_schedules : int;
+  racy_runs : int;
+  races : race_sighting list;
+  crashes : (int * string) list;
+  outcomes : (string * int) list;
+}
+
+let outcome_key (o : Interp.outcome) =
+  match o with
+  | Interp.Completed -> "completed"
+  | Interp.Deadlock _ -> "deadlock"
+  | Interp.Crashed _ -> "crashed"
+  | Interp.Hard_desync _ -> "hard-desync"
+  | Interp.Unsupported_app _ -> "unsupported"
+  | Interp.Tick_limit -> "tick-limit"
+
+let explore (spec : Runner.spec) ~n =
+  let schedules = Hashtbl.create 64 in
+  let sightings : (Report.t, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let outcomes = Hashtbl.create 4 in
+  let racy = ref 0 in
+  let crashes = ref [] in
+  for i = 1 to n do
+    let r = Interp.run ~world:(spec.world i) (spec.conf i) (spec.program i) in
+    Hashtbl.replace schedules
+      (List.map (fun (_, tid, label) -> (tid, label)) r.Interp.trace)
+      ();
+    if r.race_count > 0 then incr racy;
+    List.iter
+      (fun race ->
+        match Hashtbl.find_opt sightings race with
+        | Some (first, count) -> Hashtbl.replace sightings race (first, count + 1)
+        | None -> Hashtbl.replace sightings race (i, 1))
+      r.races;
+    (match r.Interp.outcome with
+    | Interp.Crashed (_, msg) -> crashes := (i, msg) :: !crashes
+    | _ -> ());
+    let k = outcome_key r.Interp.outcome in
+    Hashtbl.replace outcomes k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k))
+  done;
+  {
+    runs = n;
+    distinct_schedules = Hashtbl.length schedules;
+    racy_runs = !racy;
+    races =
+      Hashtbl.fold
+        (fun race (first_seed, sightings) acc ->
+          { race; first_seed; sightings } :: acc)
+        sightings []
+      |> List.sort (fun a b -> compare b.sightings a.sightings);
+    crashes = List.rev !crashes;
+    outcomes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes [];
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "%d runs: %d distinct schedules, %d racy (%.1f%%)@." r.runs
+    r.distinct_schedules r.racy_runs
+    (100.0 *. float_of_int r.racy_runs /. float_of_int (max 1 r.runs));
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "  outcome %-12s %d@." k v)
+    (List.sort compare r.outcomes);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %a — %d sighting(s), first at seed %d@." Report.pp
+        s.race s.sightings s.first_seed)
+    r.races;
+  match r.crashes with
+  | [] -> ()
+  | (i, msg) :: _ ->
+      Format.fprintf fmt "  first crash at seed %d: %s@." i msg

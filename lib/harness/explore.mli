@@ -1,0 +1,32 @@
+(** Schedule-space exploration: the controlled-concurrency-testing use
+    of tsan11rec (§5.1), packaged as a coverage report.
+
+    Running a workload under a controlled strategy with many seeds is
+    the tool's bug-hunting mode. This module aggregates such a campaign:
+    how much of the schedule space the strategy actually explored
+    (distinct critical-section traces), which races it surfaced and
+    under which seed (so the finding can be re-recorded and replayed),
+    and which runs crashed or deadlocked. *)
+
+type race_sighting = {
+  race : T11r_race.Report.t;
+  first_seed : int;  (** lowest run index that exposed it *)
+  sightings : int;  (** how many runs exposed it *)
+}
+
+type report = {
+  runs : int;
+  distinct_schedules : int;
+      (** unique critical-section traces — a direct measure of how
+          diverse the strategy's exploration was *)
+  racy_runs : int;
+  races : race_sighting list;  (** distinct reports, most frequent first *)
+  crashes : (int * string) list;  (** (run index, message) *)
+  outcomes : (string * int) list;  (** outcome histogram *)
+}
+
+val explore : Runner.spec -> n:int -> report
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary, including reproduction hints (the seed of
+    each first sighting). *)

@@ -1,0 +1,68 @@
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module World = T11r_env.World
+
+type failure = Race | Crash | Deadlock | Any
+
+type found = {
+  bound : int;
+  seed : int64;
+  runs : int;
+  outcome : Interp.outcome;
+  races : T11r_race.Report.t list;
+}
+
+type result = Found of found | Not_found of int
+
+let matches failure (r : Interp.result) =
+  match failure with
+  | Race -> r.race_count > 0
+  | Crash -> ( match r.outcome with Interp.Crashed _ -> true | _ -> false)
+  | Deadlock -> ( match r.outcome with Interp.Deadlock _ -> true | _ -> false)
+  | Any -> (
+      r.race_count > 0
+      || match r.outcome with
+         | Interp.Crashed _ | Interp.Deadlock _ -> true
+         | _ -> false)
+
+let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
+    ?(world_seed = 7L) ~build () =
+  let runs = ref 0 in
+  let result = ref None in
+  let bound = ref 0 in
+  while !result = None && !bound <= max_bound do
+    let try_ = ref 1 in
+    while !result = None && !try_ <= tries_per_bound do
+      incr runs;
+      let seed = Int64.of_int ((!try_ * 2654435761) + (!bound * 97)) in
+      let conf =
+        Conf.with_seeds
+          (Conf.tsan11rec ~strategy:(Conf.Preempt_bounded !bound) ())
+          seed 1013L
+      in
+      let r = Interp.run ~world:(World.create ~seed:world_seed ()) conf (build ()) in
+      if matches failure r then
+        result :=
+          Some
+            {
+              bound = !bound;
+              seed;
+              runs = !runs;
+              outcome = r.Interp.outcome;
+              races = r.Interp.races;
+            };
+      incr try_
+    done;
+    incr bound
+  done;
+  match !result with Some f -> Found f | None -> Not_found !runs
+
+let pp fmt = function
+  | Not_found runs -> Format.fprintf fmt "no failure within bounds (%d runs)" runs
+  | Found f ->
+      Format.fprintf fmt
+        "failure needs <= %d preemption(s): seed %Ld after %d runs (%a%s)"
+        f.bound f.seed f.runs Interp.pp_outcome f.outcome
+        (match f.races with
+        | [] -> ""
+        | r :: _ -> Format.asprintf "; %a" T11r_race.Report.pp r)

@@ -1,0 +1,35 @@
+(** Iterative context bounding (Musuvathi & Qadeer, PLDI 2007 — cited
+    by the paper as the natural companion to controlled scheduling).
+
+    Empirically, concurrency bugs need very few preemptions to manifest
+    (Lu et al., ASPLOS 2008, also cited). This module exploits that:
+    hunt for a failure with preemption bound 0, then 1, then 2, ... —
+    the first hit gives both a reproduction seed and a complexity
+    certificate ("this bug needs at most [b] preemptions"), which is
+    the most debugging-friendly schedule to replay. *)
+
+type failure = Race | Crash | Deadlock | Any
+
+type found = {
+  bound : int;  (** preemption bound at which the failure appeared *)
+  seed : int64;  (** scheduler seed that exposes it (re-run to record) *)
+  runs : int;  (** total executions spent across all bounds *)
+  outcome : Tsan11rec.Interp.outcome;
+  races : T11r_race.Report.t list;
+}
+
+type result = Found of found | Not_found of int  (** runs spent *)
+
+val find_bug :
+  ?failure:failure ->
+  ?max_bound:int ->
+  ?tries_per_bound:int ->
+  ?world_seed:int64 ->
+  build:(unit -> T11r_vm.Api.program) ->
+  unit ->
+  result
+(** Randomised search under [Conf.Preempt_bounded b] for
+    [b = 0 .. max_bound] (default 4), [tries_per_bound] seeds each
+    (default 100). *)
+
+val pp : Format.formatter -> result -> unit

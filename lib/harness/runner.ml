@@ -1,0 +1,83 @@
+open T11r_util
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module World = T11r_env.World
+
+type spec = {
+  label : string;
+  conf : int -> Conf.t;
+  world : int -> World.t;
+  program : int -> T11r_vm.Api.program;
+}
+
+let spec ~label ?base_conf ?(setup_world = fun _ -> ()) build =
+  let base = match base_conf with Some c -> c | None -> Conf.default in
+  {
+    label;
+    conf =
+      (fun i ->
+        (* Distinct, deterministic seeds per run: the stand-in for the
+           two rdtsc() calls of a real recording (§4). *)
+        Conf.with_seeds base
+          (Int64.of_int ((i * 2654435761) + 17))
+          (Int64.of_int ((i * 40503) + 9176)));
+    world =
+      (fun i ->
+        let w = World.create ~seed:(Int64.of_int ((i * 7919) + 3)) () in
+        setup_world w;
+        w);
+    program = (fun _ -> build ());
+  }
+
+type agg = {
+  label : string;
+  n : int;
+  time_ms : Stats.summary;
+  race_rate : float;
+  mean_reports : float;
+  completed : int;
+  outcomes : (string * int) list;
+  mean_ticks : float;
+  results : Interp.result list;
+}
+
+let outcome_key (o : Interp.outcome) =
+  match o with
+  | Interp.Completed -> "completed"
+  | Interp.Deadlock _ -> "deadlock"
+  | Interp.Crashed _ -> "crashed"
+  | Interp.Hard_desync _ -> "hard-desync"
+  | Interp.Unsupported_app _ -> "unsupported"
+  | Interp.Tick_limit -> "tick-limit"
+
+let run_many s ~n =
+  let results =
+    List.init n (fun i -> Interp.run ~world:(s.world i) (s.conf i) (s.program i))
+  in
+  let times = List.map (fun r -> float_of_int r.Interp.makespan_us /. 1000.0) results in
+  let hist = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      let k = outcome_key r.Interp.outcome in
+      Hashtbl.replace hist k (1 + Option.value ~default:0 (Hashtbl.find_opt hist k)))
+    results;
+  {
+    label = s.label;
+    n;
+    time_ms = Stats.summarize times;
+    race_rate = Stats.rate (List.map (fun r -> r.Interp.race_count > 0) results);
+    mean_reports =
+      Stats.mean (List.map (fun r -> float_of_int r.Interp.race_count) results);
+    completed = List.length (List.filter Interp.completed results);
+    outcomes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [];
+    mean_ticks = Stats.mean (List.map (fun r -> float_of_int r.Interp.ticks) results);
+    results;
+  }
+
+let throughput agg ~work_items =
+  if agg.time_ms.Stats.mean <= 0.0 then 0.0
+  else float_of_int work_items /. (agg.time_ms.Stats.mean /. 1000.0)
+
+let overhead ~baseline agg =
+  if baseline.time_ms.Stats.mean <= 0.0 then 0.0
+  else agg.time_ms.Stats.mean /. baseline.time_ms.Stats.mean

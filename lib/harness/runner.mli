@@ -1,0 +1,46 @@
+(** Experiment driver: repeated runs, seed management, aggregation.
+
+    Every experiment in the paper is "run workload W under tool T, N
+    times; report mean time (sd), race rate, ...". This module owns the
+    seed discipline: run [i] of an experiment gets scheduler seeds
+    derived from [i] (standing in for the wall-clock seeding of a real
+    recording run) and an environment seed derived from [i] so that the
+    external world differs across runs but the whole experiment is
+    reproducible. *)
+
+type spec = {
+  label : string;  (** row/column label, e.g. "tsan11rec rnd" *)
+  conf : int -> Tsan11rec.Conf.t;  (** configuration for run [i] *)
+  world : int -> T11r_env.World.t;  (** fresh world for run [i] *)
+  program : int -> T11r_vm.Api.program;  (** fresh program for run [i] *)
+}
+
+val spec :
+  label:string ->
+  ?base_conf:Tsan11rec.Conf.t ->
+  ?setup_world:(T11r_env.World.t -> unit) ->
+  (unit -> T11r_vm.Api.program) ->
+  spec
+(** Convenience constructor: derives per-run seeds from the run index,
+    applies [setup_world] to each fresh world. *)
+
+type agg = {
+  label : string;
+  n : int;
+  time_ms : T11r_util.Stats.summary;  (** makespans, in ms *)
+  race_rate : float;  (** % of runs with at least one race *)
+  mean_reports : float;  (** mean distinct race reports per run *)
+  completed : int;  (** runs with outcome = Completed *)
+  outcomes : (string * int) list;  (** outcome histogram *)
+  mean_ticks : float;
+  results : Tsan11rec.Interp.result list;
+}
+
+val run_many : spec -> n:int -> agg
+(** Execute [n] runs and aggregate. *)
+
+val throughput : agg -> work_items:int -> float
+(** work_items / mean time, in items per second — Table 2's metric. *)
+
+val overhead : baseline:agg -> agg -> float
+(** Mean-time ratio vs a baseline aggregate. *)

@@ -1,0 +1,107 @@
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module World = T11r_env.World
+module Report = T11r_race.Report
+
+type result = {
+  runs : int;
+  complete : bool;
+  racy_schedules : int;
+  races : Report.t list;
+  deadlock_schedules : int;
+  crash_schedules : int;
+  outcomes : (string * int) list;
+  max_depth_seen : int;
+}
+
+let outcome_key (o : Interp.outcome) =
+  match o with
+  | Interp.Completed -> "completed"
+  | Interp.Deadlock _ -> "deadlock"
+  | Interp.Crashed _ -> "crashed"
+  | Interp.Hard_desync _ -> "hard-desync"
+  | Interp.Unsupported_app _ -> "unsupported"
+  | Interp.Tick_limit -> "tick-limit"
+
+let explore ?(max_runs = 2000) ?(world_seed = 7L) ?(seeds = (11L, 13L))
+    ~build () =
+  let s1, s2 = seeds in
+  let run_prefix prefix =
+    let observed = ref [] in
+    let conf =
+      Conf.with_seeds
+        (Conf.tsan11rec ~strategy:(Conf.Guided { prefix; observed }) ())
+        s1 s2
+    in
+    let r = Interp.run ~world:(World.create ~seed:world_seed ()) conf (build ()) in
+    (r, Array.of_list (List.rev !observed))
+  in
+  let stack = ref [ [||] ] in
+  let runs = ref 0 in
+  let racy = ref 0 in
+  let deadlocks = ref 0 in
+  let crashes = ref 0 in
+  let max_depth = ref 0 in
+  let races = ref [] in
+  let seen_races = Hashtbl.create 16 in
+  let outcomes = Hashtbl.create 4 in
+  while !stack <> [] && !runs < max_runs do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        incr runs;
+        let r, counts = run_prefix prefix in
+        max_depth := max !max_depth (Array.length counts);
+        if r.Interp.race_count > 0 then incr racy;
+        List.iter
+          (fun race ->
+            if not (Hashtbl.mem seen_races race) then begin
+              Hashtbl.replace seen_races race ();
+              races := race :: !races
+            end)
+          r.Interp.races;
+        (match r.Interp.outcome with
+        | Interp.Deadlock _ -> incr deadlocks
+        | Interp.Crashed _ -> incr crashes
+        | _ -> ());
+        let k = outcome_key r.Interp.outcome in
+        Hashtbl.replace outcomes k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k));
+        (* Frontier expansion: for every scheduling point at or beyond
+           this prefix, every untried alternative becomes a new prefix.
+           Pushing deeper points first keeps the search depth-first. *)
+        let fresh = ref [] in
+        for i = Array.length prefix to Array.length counts - 1 do
+          for alt = 1 to counts.(i) - 1 do
+            let p = Array.make (i + 1) 0 in
+            Array.blit prefix 0 p 0 (Array.length prefix);
+            p.(i) <- alt;
+            fresh := p :: !fresh
+          done
+        done;
+        (* !fresh currently has deepest-first order (we built it by
+           pushing); keep it and prepend for DFS. *)
+        stack := !fresh @ !stack
+  done;
+  {
+    runs = !runs;
+    complete = !stack = [];
+    racy_schedules = !racy;
+    races = List.rev !races;
+    deadlock_schedules = !deadlocks;
+    crash_schedules = !crashes;
+    outcomes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes [];
+    max_depth_seen = !max_depth;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%d schedule(s) explored%s; %d racy, %d deadlocking, %d crashing; depth <= %d@."
+    r.runs
+    (if r.complete then " (schedule space exhausted)" else " (budget hit)")
+    r.racy_schedules r.deadlock_schedules r.crash_schedules r.max_depth_seen;
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "  outcome %-12s %d@." k v)
+    (List.sort compare r.outcomes);
+  List.iter (fun race -> Format.fprintf fmt "  %a@." Report.pp race) r.races

@@ -1,0 +1,41 @@
+(** Bounded systematic schedule exploration — stateless model checking
+    in the CHESS tradition (§2, §6 of the paper).
+
+    Where the random strategy samples the schedule space, this explorer
+    enumerates it: depth-first over the tree of scheduling choices, one
+    run per distinct schedule, until the tree is exhausted or a budget
+    runs out. For closed programs within the bounds the result is a
+    *verification*: an empty race list means no schedule (with the
+    given weak-memory read seed) exhibits a race, and a deadlock in the
+    histogram means the deadlock was actually reachable — the kind of
+    guarantee random testing cannot give.
+
+    Caveats, also true of CHESS: the program must be closed (fixed
+    input, no environment nondeterminism — exploration runs in [Free]
+    mode with a fixed world seed), and weak-memory read choices are
+    driven by the scheduler PRNG rather than enumerated, so the
+    exploration is systematic over schedules, randomized over reads. *)
+
+type result = {
+  runs : int;  (** distinct schedules executed *)
+  complete : bool;  (** the choice tree was exhausted within budget *)
+  racy_schedules : int;
+  races : T11r_race.Report.t list;  (** distinct, in discovery order *)
+  deadlock_schedules : int;
+  crash_schedules : int;
+  outcomes : (string * int) list;
+  max_depth_seen : int;  (** longest run, in scheduling points *)
+}
+
+val explore :
+  ?max_runs:int ->
+  ?world_seed:int64 ->
+  ?seeds:int64 * int64 ->
+  build:(unit -> T11r_vm.Api.program) ->
+  unit ->
+  result
+(** DFS over scheduling choices. [max_runs] bounds the number of
+    executions (default 2000); [seeds] fixes the PRNG used for
+    weak-memory read choices. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,121 @@
+module Policy = Tsan11rec.Policy
+module World = T11r_env.World
+open T11r_apps
+
+type t = {
+  w_name : string;
+  w_desc : string;
+  w_policy : Policy.t;
+  w_setup : World.t -> unit;
+  w_build : unit -> T11r_vm.Api.program;
+}
+
+let nop _ = ()
+
+let litmus_entries =
+  List.map
+    (fun (e : T11r_litmus.Registry.entry) ->
+      {
+        w_name = e.name;
+        w_desc = e.description;
+        w_policy = Policy.default;
+        w_setup = nop;
+        w_build = e.build;
+      })
+    T11r_litmus.Registry.all
+
+(* Workloads that need a connected socket smuggle the fd through a ref
+   set during setup; setup always runs before build for a given run. *)
+let fig2_fd = ref (-1)
+let zan_fd = ref (-1)
+
+let all =
+  litmus_entries
+  @ [
+      {
+        w_name = "fig1";
+        w_desc = T11r_litmus.Registry.fig1.description;
+        w_policy = Policy.default;
+        w_setup = nop;
+        w_build = T11r_litmus.Registry.fig1.build;
+      };
+      {
+        w_name = "fig2-client";
+        w_desc = "Figure 2: poll/recv/send client with shutdown signal";
+        w_policy = Policy.default;
+        w_setup =
+          (fun w ->
+            fig2_fd :=
+              T11r_litmus.Fig2_client.setup_world
+                T11r_litmus.Fig2_client.default_config w);
+        w_build =
+          (fun () -> T11r_litmus.Fig2_client.program ~server_fd:!fig2_fd ());
+      };
+      {
+        w_name = "httpd";
+        w_desc = "Apache httpd model under ab stress (§5.2)";
+        w_policy = Policy.default;
+        w_setup = Httpd.setup_world Httpd.default_config;
+        w_build = (fun () -> Httpd.program ());
+      };
+      {
+        w_name = "pbzip";
+        w_desc = "parallel block compressor (§5.3)";
+        w_policy = Policy.default;
+        w_setup = nop;
+        w_build = (fun () -> Pbzip.program ());
+      };
+    ]
+  @ List.map
+      (fun (k : Parsec.kernel) ->
+        {
+          w_name = k.k_name;
+          w_desc = "PARSEC kernel model (§5.3)";
+          w_policy = Policy.default;
+          w_setup = nop;
+          w_build = (fun () -> k.build ~threads:4 ());
+        })
+      Parsec.kernels
+  @ [
+      {
+        w_name = "quakespasm";
+        w_desc = "SDL game, uncapped frame rate (§5.4, Table 5)";
+        w_policy = Policy.games;
+        w_setup = nop;
+        w_build =
+          (fun () -> Game.program ~p:(Game.quakespasm ~fps_cap:None ()) ());
+      };
+      {
+        w_name = "zandronum";
+        w_desc = "SDL game with many helper threads, 60 fps cap (§5.4)";
+        w_policy = Policy.games;
+        w_setup = nop;
+        w_build = (fun () -> Game.program ~p:(Game.zandronum ()) ());
+      };
+      {
+        w_name = "zandronum-bug";
+        w_desc = "multiplayer client with the map-change bug (§5.4)";
+        w_policy = Policy.games;
+        w_setup =
+          (fun w ->
+            zan_fd := Zandronum_bug.setup_world Zandronum_bug.default_config w);
+        w_build = (fun () -> Zandronum_bug.program ~server_fd:!zan_fd ());
+      };
+      {
+        w_name = "sqlite-like";
+        w_desc = "memory-layout-dependent walk (§5.5 limitation)";
+        w_policy = Policy.default;
+        w_setup = nop;
+        w_build = (fun () -> Sqlite_like.program ());
+      };
+      {
+        w_name = "htop-like";
+        w_desc = "/proc monitor needing an extended policy (§4.4)";
+        w_policy = Policy.with_proc;
+        w_setup = Htop_like.setup_world;
+        w_build = (fun () -> Htop_like.program ());
+      };
+    ]
+
+let find name = List.find_opt (fun w -> w.w_name = name) all
+let names () = List.map (fun w -> w.w_name) all

@@ -1,0 +1,20 @@
+(** Registry of every runnable workload, for the CLI and benches.
+
+    A workload bundles the program builder with the environment setup
+    it needs (remote peers, files, signals) and the sparse recording
+    policy appropriate for it (§4.4: policies are per-application). *)
+
+type t = {
+  w_name : string;
+  w_desc : string;
+  w_policy : Tsan11rec.Policy.t;
+  w_setup : T11r_env.World.t -> unit;
+  w_build : unit -> T11r_vm.Api.program;
+}
+
+val all : t list
+(** Litmus benchmarks, figure programs, and the §5.2-§5.5
+    applications, each with its per-application policy. *)
+
+val find : string -> t option
+val names : unit -> string list

@@ -1,0 +1,77 @@
+(* CDSchecker "barrier": a sense-reversing spinning barrier.
+
+   The seeded bug (as in the CDSchecker suite): the spin loop reads the
+   barrier's sense flag with [Relaxed] instead of [Acquire], so a thread
+   leaving the barrier is not synchronised with the threads that entered
+   it — its post-barrier read of the shared payload races with their
+   pre-barrier writes.
+
+   The spin is bounded (a real system would fall back to futex): if the
+   flipped sense is never observed the thread gives up and skips the
+   payload access. That gate is what makes the race schedule-dependent:
+   under arrival-order scheduling the waiter's bounded spin completes
+   before the releaser's store ever lands, so the race almost never
+   manifests (tsan11: 0.0%); uniform random scheduling interleaves the
+   store into the spin window and finds it (~37% in Table 1). *)
+
+open T11r_vm
+
+let spin_bound = 1
+let releaser_work_us = 300
+
+let program () =
+  Api.program ~name:"barrier" (fun () ->
+      let payload = Api.Var.create ~name:"payload" 0 in
+      let sense = Api.Atomic.create ~name:"sense" 0 in
+      let releaser =
+        Api.Thread.spawn ~name:"releaser" (fun () ->
+            (* Pre-barrier work, then publish and flip the sense. *)
+            Api.work releaser_work_us;
+            Api.Var.set payload 42;
+            Api.Atomic.store ~mo:Relaxed sense 1 (* BUG: should be Release *))
+      in
+      let waiter =
+        Api.Thread.spawn ~name:"waiter" (fun () ->
+            let passed = ref false in
+            let i = ref 0 in
+            while (not !passed) && !i < spin_bound do
+              incr i;
+              if Api.Atomic.load ~mo:Relaxed sense = 1 (* BUG: not Acquire *)
+              then passed := true
+            done;
+            if !passed then
+              (* Post-barrier: racy read of the payload. *)
+              Api.Sys_api.print (Printf.sprintf "p=%d" (Api.Var.get payload))
+            else Api.Sys_api.print "timeout")
+      in
+      Api.Thread.join releaser;
+      Api.Thread.join waiter)
+
+(* The repaired barrier: release publish, acquire spin. With these
+   orders the payload access is ordered after the publication and no
+   tool should report a race — the detector's no-false-positive case. *)
+let fixed_program () =
+  Api.program ~name:"barrier-fixed" (fun () ->
+      let payload = Api.Var.create ~name:"payload" 0 in
+      let sense = Api.Atomic.create ~name:"sense" 0 in
+      let releaser =
+        Api.Thread.spawn ~name:"releaser" (fun () ->
+            Api.work releaser_work_us;
+            Api.Var.set payload 42;
+            Api.Atomic.store ~mo:Release sense 1)
+      in
+      let waiter =
+        Api.Thread.spawn ~name:"waiter" (fun () ->
+            let passed = ref false in
+            let i = ref 0 in
+            while (not !passed) && !i < spin_bound + 30 do
+              incr i;
+              if Api.Atomic.load ~mo:Acquire sense = 1 then passed := true
+              else Api.work 50
+            done;
+            if !passed then
+              Api.Sys_api.print (Printf.sprintf "p=%d" (Api.Var.get payload))
+            else Api.Sys_api.print "timeout")
+      in
+      Api.Thread.join releaser;
+      Api.Thread.join waiter)

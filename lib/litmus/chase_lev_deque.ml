@@ -1,0 +1,55 @@
+(* CDSchecker "chase-lev-deque": the Chase–Lev work-stealing deque.
+
+   The owner pushes work items at the bottom; a thief steals from the
+   top. The seeded bug: the owner's bottom store after a push is
+   [Relaxed], so a thief that observes the fully-pushed state without
+   an acquire edge reads the freshly written task payload racily.
+
+   Table 1's quirk — the one benchmark where uncontrolled tsan11 finds
+   *more* races than random scheduling — comes from the shape of the
+   bad interleaving: the owner must complete a long run of pushes
+   (29 visible ops in the paper's trace) before the thief performs its
+   few steal operations. Arrival-order scheduling produces exactly
+   "owner streams, thief arrives late"; uniform random scheduling
+   almost never keeps the owner scheduled 29 times in a row. We mirror
+   that: the thief steals once, after a delay comparable to the owner's
+   whole push sequence, and only touches the payload if it observed the
+   final bottom value. *)
+
+open T11r_vm
+
+let pushes = 29
+let thief_delay_us = 200
+
+let program () =
+  Api.program ~name:"chase-lev-deque" (fun () ->
+      let tasks = Api.Var.create ~name:"task_slot" 0 in
+      let bottom = Api.Atomic.create ~name:"bottom" 0 in
+      let top = Api.Atomic.create ~name:"top" 0 in
+      let owner =
+        Api.Thread.spawn ~name:"owner" (fun () ->
+            for i = 1 to pushes do
+              (* push: write the task, then bump bottom. *)
+              if i = pushes then Api.Var.set tasks i;
+              Api.Atomic.store ~mo:Relaxed bottom i (* BUG: not Release *)
+            done)
+      in
+      let thief =
+        Api.Thread.spawn ~name:"thief" (fun () ->
+            Api.work thief_delay_us;
+            let t = Api.Atomic.load ~mo:Acquire top in
+            let b = Api.Atomic.load ~mo:Relaxed bottom (* BUG: not Acquire *) in
+            if b = pushes && t < b then begin
+              (* steal: CAS top forward, then use the task — racily. *)
+              let ok, _ =
+                Api.Atomic.compare_exchange ~success:Seq_cst ~failure:Relaxed
+                  top ~expected:t ~desired:(t + 1)
+              in
+              if ok then
+                Api.Sys_api.print
+                  (Printf.sprintf "stole=%d" (Api.Var.get tasks))
+            end
+            else Api.Sys_api.print "empty")
+      in
+      Api.Thread.join owner;
+      Api.Thread.join thief)

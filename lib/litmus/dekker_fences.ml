@@ -1,0 +1,69 @@
+(* CDSchecker "dekker-fences": Dekker's mutual-exclusion protocol with
+   C++11 fences.
+
+   Correct Dekker needs a seq-cst fence between publishing one's intent
+   flag and reading the peer's. The seeded bug: thread 2's fence is
+   missing, so both threads can read the peer's flag as 0 and enter the
+   critical section together, racing on the protected variable. Because
+   entry depends on a coin-flip pair of relaxed reads, the race
+   manifests on roughly half of the runs under every strategy —
+   exactly the Table 1 profile (49.9-52.8%). *)
+
+open T11r_vm
+
+let program () =
+  Api.program ~name:"dekker-fences" (fun () ->
+      let shared = Api.Var.create ~name:"critical" 0 in
+      let flag1 = Api.Atomic.create ~name:"flag1" 0 in
+      let flag2 = Api.Atomic.create ~name:"flag2" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"T1" (fun () ->
+            Api.Atomic.store ~mo:Relaxed flag1 1;
+            Api.Atomic.fence Seq_cst;
+            if Api.Atomic.load ~mo:Relaxed flag2 = 0 then begin
+              (* critical section *)
+              Api.Var.incr shared
+            end;
+            Api.Atomic.store ~mo:Release flag1 0)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"T2" (fun () ->
+            Api.Atomic.store ~mo:Relaxed flag2 1;
+            (* BUG: missing seq-cst fence here *)
+            if Api.Atomic.load ~mo:Relaxed flag1 = 0 then begin
+              Api.Var.incr shared
+            end;
+            Api.Atomic.store ~mo:Release flag2 0)
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2;
+      Api.Sys_api.print (Printf.sprintf "s=%d" (Api.Var.get shared)))
+
+(* The repaired protocol: both threads fence — and, instructively, the
+   exit-protocol flag resets are gone. The first "fix" kept the
+   trailing [flag := 0] release stores, and the detector rightly still
+   flagged it: a relaxed load of the *reset* re-admits the peer without
+   synchronising with the first critical section. For the one-shot
+   protocol the resets serve no purpose, so the repaired version drops
+   them; mutual exclusion then holds on every schedule and the
+   critical-section accesses never race. *)
+let fixed_program () =
+  Api.program ~name:"dekker-fences-fixed" (fun () ->
+      let shared = Api.Var.create ~name:"critical" 0 in
+      let flag1 = Api.Atomic.create ~name:"flag1" 0 in
+      let flag2 = Api.Atomic.create ~name:"flag2" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"T1" (fun () ->
+            Api.Atomic.store ~mo:Relaxed flag1 1;
+            Api.Atomic.fence Seq_cst;
+            if Api.Atomic.load ~mo:Relaxed flag2 = 0 then Api.Var.incr shared)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"T2" (fun () ->
+            Api.Atomic.store ~mo:Relaxed flag2 1;
+            Api.Atomic.fence Seq_cst;
+            if Api.Atomic.load ~mo:Relaxed flag1 = 0 then Api.Var.incr shared)
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2;
+      Api.Sys_api.print (Printf.sprintf "s=%d" (Api.Var.get shared)))

@@ -1,0 +1,41 @@
+(* Figure 1 of the paper: a racy C++11 program using atomic operations.
+
+     T1: nax = 1; x.store(1, release); y.store(1, release)
+     T2: if (y.load(relaxed) == 1 && x.load(relaxed) == 0)
+           x.store(2, relaxed)
+     T3: if (x.load(acquire) > 0) print(nax)
+
+   The race on [nax] requires T2 to observe the y-store but an older
+   x-store — impossible under SC, allowed under C++11. When T3 then
+   reads T2's relaxed store, nothing synchronises it with T1's write of
+   nax, and the read races. Detected by tsan11(+rec), missed by plain
+   happens-before tools that assume SC atomics. *)
+
+open T11r_vm
+
+let program () =
+  Api.program ~name:"fig1" (fun () ->
+      let nax = Api.Var.create ~name:"nax" 0 in
+      let x = Api.Atomic.create ~name:"x" 0 in
+      let y = Api.Atomic.create ~name:"y" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"T1" (fun () ->
+            Api.Var.set nax 1;
+            Api.Atomic.store ~mo:Release x 1;
+            Api.Atomic.store ~mo:Release y 1)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"T2" (fun () ->
+            if
+              Api.Atomic.load ~mo:Relaxed y = 1
+              && Api.Atomic.load ~mo:Relaxed x = 0
+            then Api.Atomic.store ~mo:Relaxed x 2)
+      in
+      let t3 =
+        Api.Thread.spawn ~name:"T3" (fun () ->
+            if Api.Atomic.load ~mo:Acquire x > 0 then
+              Api.Sys_api.print (string_of_int (Api.Var.get nax)))
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2;
+      Api.Thread.join t3)

@@ -1,0 +1,88 @@
+(* Figure 2 of the paper: the generic client that receives request
+   buffers from a server, processes them, and sends them back, with a
+   Listener thread, a Responder thread, a mutex-protected queue and a
+   signal handler that triggers shutdown.
+
+   This is the paper's running example for what must be recorded (the
+   interleaving, poll/recv/send results, the signal arrival) and what
+   need not be (memory layout). It doubles as an integration test and
+   as the quickstart example's workload. *)
+
+open T11r_vm
+
+type config = {
+  requests : int;  (** how many requests the server sends *)
+  request_gap_us : int;  (** mean gap between server requests *)
+  quit_after_us : int;  (** when SIGTERM arrives (absolute, µs) *)
+}
+
+let default_config =
+  { requests = 5; request_gap_us = 400; quit_after_us = 20_000 }
+
+(* The remote server: sends [requests] buffers, then goes quiet; echoes
+   nothing back on its own. *)
+let server_peer cfg =
+  {
+    T11r_env.World.on_receive = (fun _ _ -> []);
+    spontaneous =
+      (fun rng i ->
+        if i >= cfg.requests then None
+        else
+          Some
+            ( cfg.request_gap_us + T11r_util.Prng.int rng cfg.request_gap_us,
+              Bytes.of_string (Printf.sprintf "req-%d" i) ));
+  }
+
+(* Prepare the environment: connect to the server and schedule the
+   shutdown signal. Returns the connected socket fd. *)
+let setup_world cfg world =
+  T11r_env.World.schedule_signal world ~at:cfg.quit_after_us ~signo:15;
+  T11r_env.World.connect world (server_peer cfg)
+
+let program ?(cfg = default_config) ~server_fd () =
+  ignore cfg;
+  Api.program ~name:"fig2-client" (fun () ->
+      let quit = Api.Atomic.create ~name:"quit" 0 in
+      let mtx = Api.Mutex.create ~name:"mtx" () in
+      let requests = Queue.create () in
+      let pending = Api.Var.create ~name:"pending" 0 in
+      Api.set_signal_handler 15 (fun () -> Api.Atomic.store quit 1);
+      let listener () =
+        while Api.Atomic.load quit = 0 do
+          let res = Api.Sys_api.poll ~fds:[ server_fd ] ~timeout_ms:1 in
+          if res.Syscall.ret <> 0 then begin
+            if res.Syscall.ret < 0 then failwith "poll error";
+            let r = Api.Sys_api.recv ~fd:server_fd ~len:100 in
+            if r.Syscall.ret > 0 then begin
+              Api.Mutex.lock mtx;
+              Queue.push r.Syscall.data requests;
+              Api.Var.incr pending;
+              Api.Mutex.unlock mtx
+            end
+          end
+        done
+      in
+      let responder () =
+        while Api.Atomic.load quit = 0 do
+          Api.Mutex.lock mtx;
+          if Api.Var.get pending = 0 then begin
+            Api.Mutex.unlock mtx;
+            Api.sleep_ms 1
+          end
+          else begin
+            let buf = Queue.pop requests in
+            Api.Var.set pending (Api.Var.get pending - 1);
+            Api.Mutex.unlock mtx;
+            (* Process(buf): uppercase the payload. *)
+            Api.work 50;
+            let processed = Bytes.map Char.uppercase_ascii buf in
+            ignore (Api.Sys_api.send ~fd:server_fd processed);
+            Api.Sys_api.print (Bytes.to_string processed ^ ";")
+          end
+        done
+      in
+      let l = Api.Thread.spawn ~name:"Listener" listener in
+      let r = Api.Thread.spawn ~name:"Responder" responder in
+      Api.Thread.join l;
+      Api.Thread.join r;
+      Api.Sys_api.print "shutdown")

@@ -1,0 +1,70 @@
+(* CDSchecker "linuxrwlocks": the Linux-kernel style reader-writer
+   spinlock, ported to C++11 atomics.
+
+   Lock word protocol: 0 = free, -1 = write-locked, n > 0 = n readers.
+   The seeded bug (as in the CDSchecker port): the writer's unlock store
+   and the reader's trylock CAS both use [Relaxed], so a reader that
+   acquires the lock after a writer released it is not synchronised
+   with the writer's critical section — its read of the protected data
+   races with the writer's update.
+
+   The reader only touches the data if its bounded trylock loop actually
+   observes the post-writer state (lock word back to 0 *after* the
+   writer's generation bump), which under arrival-order schedules almost
+   never happens before the reader gives up — hence tsan11 0.1% /
+   queue 0.0% / random ~62% in Table 1. *)
+
+open T11r_vm
+
+let writer_work_us = 300
+let reader_attempts = 3
+
+let program () =
+  Api.program ~name:"linuxrwlocks" (fun () ->
+      let data = Api.Var.create ~name:"rwdata" 0 in
+      let lock = Api.Atomic.create ~name:"rwlock" 0 in
+      let generation = Api.Atomic.create ~name:"generation" 0 in
+      let writer =
+        Api.Thread.spawn ~name:"writer" (fun () ->
+            Api.work writer_work_us;
+            (* write_lock: CAS 0 -> -1 *)
+            let rec acquire () =
+              let ok, _ =
+                Api.Atomic.compare_exchange ~success:Relaxed ~failure:Relaxed
+                  lock ~expected:0 ~desired:(-1)
+              in
+              if not ok then begin
+                Api.work 10;
+                acquire ()
+              end
+            in
+            acquire ();
+            Api.Var.set data 1;
+            Api.Atomic.store ~mo:Relaxed generation 1 (* BUG: not Release *);
+            Api.Atomic.store ~mo:Relaxed lock 0 (* BUG: not Release *))
+      in
+      let reader =
+        Api.Thread.spawn ~name:"reader" (fun () ->
+            let got = ref false in
+            let i = ref 0 in
+            while (not !got) && !i < reader_attempts do
+              incr i;
+              (* read_trylock: increment if not write-locked, but only
+                 proceed to the data once the writer's generation is
+                 visible. *)
+              if Api.Atomic.load ~mo:Relaxed generation = 1 then begin
+                let ok, _ =
+                  Api.Atomic.compare_exchange ~success:Relaxed ~failure:Relaxed
+                    lock ~expected:0 ~desired:1
+                in
+                if ok then got := true
+              end
+            done;
+            if !got then begin
+              Api.Sys_api.print (Printf.sprintf "read=%d" (Api.Var.get data));
+              ignore (Api.Atomic.fetch_add ~mo:Relaxed lock (-1))
+            end
+            else Api.Sys_api.print "gave-up")
+      in
+      Api.Thread.join writer;
+      Api.Thread.join reader)

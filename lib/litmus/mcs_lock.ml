@@ -1,0 +1,85 @@
+(* CDSchecker "mcs-lock": the Mellor-Crummey–Scott queue lock.
+
+   Each contender appends itself to a queue of waiting nodes via an
+   atomic exchange on the tail, spins on its own node's flag, and on
+   unlock passes the lock to its successor. The seeded bug: the unlock
+   hand-off store is [Relaxed], so the critical sections of consecutive
+   lock holders are not ordered and their accesses to the protected
+   data race.
+
+   As with the other conditional benchmarks, the second contender
+   enters its critical section only if its bounded spin observes the
+   hand-off. The first holder finishes quickly, so under uniform random
+   scheduling the hand-off is very likely to be interleaved into the
+   spin window (Table 1: 77% for rnd) while arrival-order strategies
+   miss it almost always (0.0/0.1%). *)
+
+open T11r_vm
+
+let holder_work_us = 150
+let spin_bound = 4
+
+let program () =
+  Api.program ~name:"mcs-lock" (fun () ->
+      let data = Api.Var.create ~name:"mcsdata" 0 in
+      (* tail: 0 = free, tid+1 = owned; node flags: one per contender *)
+      let tail = Api.Atomic.create ~name:"tail" 0 in
+      let node1_flag = Api.Atomic.create ~name:"node1" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"holder" (fun () ->
+            Api.work holder_work_us;
+            (* Uncontended acquire: exchange tail 0 -> 1. *)
+            let prev = Api.Atomic.exchange ~mo:Relaxed tail 1 in
+            assert (prev = 0);
+            Api.Var.set data 1;
+            (* Unlock: pass to successor by raising its node flag. *)
+            Api.Atomic.store ~mo:Relaxed node1_flag 1 (* BUG: not Release *);
+            Api.Atomic.store ~mo:Relaxed tail 0)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"waiter" (fun () ->
+            (* Spin on our node's flag, bounded. *)
+            let got = ref false in
+            let i = ref 0 in
+            while (not !got) && !i < spin_bound do
+              incr i;
+              if Api.Atomic.load ~mo:Relaxed node1_flag = 1 (* BUG *) then
+                got := true
+            done;
+            if !got then
+              Api.Sys_api.print (Printf.sprintf "cs=%d" (Api.Var.get data))
+            else Api.Sys_api.print "starved")
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2)
+
+(* The repaired hand-off: release store, acquire spin. *)
+let fixed_program () =
+  Api.program ~name:"mcs-lock-fixed" (fun () ->
+      let data = Api.Var.create ~name:"mcsdata" 0 in
+      let tail = Api.Atomic.create ~name:"tail" 0 in
+      let node1_flag = Api.Atomic.create ~name:"node1" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"holder" (fun () ->
+            Api.work holder_work_us;
+            let prev = Api.Atomic.exchange ~mo:Acq_rel tail 1 in
+            assert (prev = 0);
+            Api.Var.set data 1;
+            Api.Atomic.store ~mo:Release node1_flag 1;
+            Api.Atomic.store ~mo:Release tail 0)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"waiter" (fun () ->
+            let got = ref false in
+            let i = ref 0 in
+            while (not !got) && !i < spin_bound + 30 do
+              incr i;
+              if Api.Atomic.load ~mo:Acquire node1_flag = 1 then got := true
+              else Api.work 30
+            done;
+            if !got then
+              Api.Sys_api.print (Printf.sprintf "cs=%d" (Api.Var.get data))
+            else Api.Sys_api.print "starved")
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2)

@@ -1,0 +1,77 @@
+(* CDSchecker "mpmc-queue": a bounded multi-producer/multi-consumer
+   ring buffer (Dmitry Vyukov's design, as ported by CDSchecker).
+
+   Producers claim a slot by fetch-add on the write cursor, write the
+   element non-atomically, then publish the slot's sequence number.
+   Consumers poll the slot sequence and read the element. The seeded
+   bug: the publish store is [Relaxed], so a consumer that observes the
+   sequence bump is not synchronised with the producer's element write
+   — the element read races.
+
+   The consumer polls a bounded number of times, making the race
+   conditional on the publish landing inside the poll window: ~60%
+   under random, ~0% under arrival-order strategies (Table 1). *)
+
+open T11r_vm
+
+let producer_work_us = 250
+let poll_bound = 3
+
+let program () =
+  Api.program ~name:"mpmc-queue" (fun () ->
+      let slot = Api.Var.create ~name:"slot0" 0 in
+      let seq = Api.Atomic.create ~name:"seq0" 0 in
+      let wcursor = Api.Atomic.create ~name:"wcursor" 0 in
+      let producer =
+        Api.Thread.spawn ~name:"producer" (fun () ->
+            Api.work producer_work_us;
+            let idx = Api.Atomic.fetch_add ~mo:Relaxed wcursor 1 in
+            assert (idx = 0);
+            Api.Var.set slot 99;
+            Api.Atomic.store ~mo:Relaxed seq 1 (* BUG: should be Release *))
+      in
+      let consumer =
+        Api.Thread.spawn ~name:"consumer" (fun () ->
+            let got = ref false in
+            let i = ref 0 in
+            while (not !got) && !i < poll_bound do
+              incr i;
+              if Api.Atomic.load ~mo:Relaxed seq = 1 (* BUG: not Acquire *)
+              then got := true
+            done;
+            if !got then
+              Api.Sys_api.print (Printf.sprintf "pop=%d" (Api.Var.get slot))
+            else Api.Sys_api.print "empty")
+      in
+      Api.Thread.join producer;
+      Api.Thread.join consumer)
+
+(* The repaired publish: release sequence bump, acquire poll. *)
+let fixed_program () =
+  Api.program ~name:"mpmc-queue-fixed" (fun () ->
+      let slot = Api.Var.create ~name:"slot0" 0 in
+      let seq = Api.Atomic.create ~name:"seq0" 0 in
+      let wcursor = Api.Atomic.create ~name:"wcursor" 0 in
+      let producer =
+        Api.Thread.spawn ~name:"producer" (fun () ->
+            Api.work producer_work_us;
+            let idx = Api.Atomic.fetch_add ~mo:Relaxed wcursor 1 in
+            assert (idx = 0);
+            Api.Var.set slot 99;
+            Api.Atomic.store ~mo:Release seq 1)
+      in
+      let consumer =
+        Api.Thread.spawn ~name:"consumer" (fun () ->
+            let got = ref false in
+            let i = ref 0 in
+            while (not !got) && !i < poll_bound + 30 do
+              incr i;
+              if Api.Atomic.load ~mo:Acquire seq = 1 then got := true
+              else Api.work 40
+            done;
+            if !got then
+              Api.Sys_api.print (Printf.sprintf "pop=%d" (Api.Var.get slot))
+            else Api.Sys_api.print "empty")
+      in
+      Api.Thread.join producer;
+      Api.Thread.join consumer)

@@ -1,0 +1,91 @@
+(* CDSchecker "ms-queue": the Michael–Scott non-blocking queue.
+
+   Two threads each enqueue and dequeue through the usual CAS loops on
+   head/tail. Nodes live in a preallocated pool indexed by atomics (as
+   in the CDSchecker port, which cannot use real dynamic allocation).
+
+   The seeded bug is unconditional: both threads bump a shared,
+   non-atomic operation counter on every enqueue — the kind of
+   statistics counter real code bolts onto a lock-free structure. It
+   races on every execution, which is why Table 1 shows a 100% rate for
+   every tool. The benchmark also iterates far more than the others,
+   making it the slowest row of the table. *)
+
+open T11r_vm
+
+let iterations = 60
+
+(* Node pool: values and next pointers as parallel atomic arrays.
+   Index 0 is the initial dummy node; 0 in a next-slot means null. *)
+let pool_size = 256
+
+let program () =
+  Api.program ~name:"ms-queue" (fun () ->
+      let values = Array.init pool_size (fun i ->
+          Api.Atomic.create ~name:(Printf.sprintf "val%d" i) 0)
+      in
+      let nexts = Array.init pool_size (fun i ->
+          Api.Atomic.create ~name:(Printf.sprintf "next%d" i) 0)
+      in
+      let head = Api.Atomic.create ~name:"head" 0 in
+      let tail = Api.Atomic.create ~name:"tail" 0 in
+      let free = Api.Atomic.create ~name:"free" 1 in  (* bump node allocator *)
+      let op_count = Api.Var.create ~name:"op_count" 0 in
+      let enqueue v =
+        let node = Api.Atomic.fetch_add ~mo:Relaxed free 1 in
+        if node >= pool_size then failwith "ms-queue: pool exhausted";
+        Api.Atomic.store ~mo:Relaxed values.(node) v;
+        Api.Atomic.store ~mo:Relaxed nexts.(node) 0;
+        (* BUG (unconditional): non-atomic shared statistics counter. *)
+        Api.Var.incr op_count;
+        let rec link () =
+          let t = Api.Atomic.load ~mo:Acquire tail in
+          let next = Api.Atomic.load ~mo:Acquire nexts.(t) in
+          if next = 0 then begin
+            let ok, _ =
+              Api.Atomic.compare_exchange ~success:Release ~failure:Relaxed
+                nexts.(t) ~expected:0 ~desired:node
+            in
+            if ok then
+              ignore
+                (Api.Atomic.compare_exchange ~success:Release ~failure:Relaxed
+                   tail ~expected:t ~desired:node)
+            else link ()
+          end
+          else begin
+            (* Help swing the lagging tail. *)
+            ignore
+              (Api.Atomic.compare_exchange ~success:Release ~failure:Relaxed
+                 tail ~expected:t ~desired:next);
+            link ()
+          end
+        in
+        link ()
+      in
+      let dequeue () =
+        let rec go () =
+          let h = Api.Atomic.load ~mo:Acquire head in
+          let next = Api.Atomic.load ~mo:Acquire nexts.(h) in
+          if next = 0 then None
+          else begin
+            let v = Api.Atomic.load ~mo:Relaxed values.(next) in
+            let ok, _ =
+              Api.Atomic.compare_exchange ~success:Release ~failure:Relaxed
+                head ~expected:h ~desired:next
+            in
+            if ok then Some v else go ()
+          end
+        in
+        go ()
+      in
+      let worker base () =
+        for i = 1 to iterations do
+          enqueue (base + i);
+          ignore (dequeue ())
+        done
+      in
+      let t1 = Api.Thread.spawn ~name:"w1" (worker 0) in
+      let t2 = Api.Thread.spawn ~name:"w2" (worker 1000) in
+      Api.Thread.join t1;
+      Api.Thread.join t2;
+      Api.Sys_api.print (Printf.sprintf "ops=%d" (Api.Var.get op_count)))

@@ -1,0 +1,105 @@
+type entry = {
+  name : string;
+  build : unit -> T11r_vm.Api.program;
+  description : string;
+}
+
+let all =
+  [
+    {
+      name = "barrier";
+      build = Barrier.program;
+      description = "sense-reversing barrier, relaxed spin (racy payload)";
+    };
+    {
+      name = "chase-lev-deque";
+      build = Chase_lev_deque.program;
+      description = "Chase-Lev work-stealing deque, relaxed bottom publish";
+    };
+    {
+      name = "dekker-fences";
+      build = Dekker_fences.program;
+      description = "Dekker mutual exclusion, one fence missing";
+    };
+    {
+      name = "linuxrwlocks";
+      build = Linuxrwlocks.program;
+      description = "Linux-style rw spinlock, relaxed unlock";
+    };
+    {
+      name = "mcs-lock";
+      build = Mcs_lock.program;
+      description = "MCS queue lock, relaxed hand-off";
+    };
+    {
+      name = "mpmc-queue";
+      build = Mpmc_queue.program;
+      description = "Vyukov bounded MPMC queue, relaxed publish";
+    };
+    {
+      name = "ms-queue";
+      build = Ms_queue.program;
+      description = "Michael-Scott queue with racy statistics counter";
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let fixed =
+  [
+    {
+      name = "barrier-fixed";
+      build = Barrier.fixed_program;
+      description = "barrier with release publish / acquire spin";
+    };
+    {
+      name = "dekker-fences-fixed";
+      build = Dekker_fences.fixed_program;
+      description = "Dekker with both fences present";
+    };
+    {
+      name = "mcs-lock-fixed";
+      build = Mcs_lock.fixed_program;
+      description = "MCS lock with release/acquire hand-off";
+    };
+    {
+      name = "mpmc-queue-fixed";
+      build = Mpmc_queue.fixed_program;
+      description = "MPMC queue with release publish";
+    };
+  ]
+
+let fig1 =
+  {
+    name = "fig1";
+    build = Fig1.program;
+    description = "Figure 1: weak-memory race, impossible under SC";
+  }
+
+let extended =
+  [
+    {
+      name = "seqlock";
+      build = Seqlock.program;
+      description = "sequence lock with relaxed validation (torn reads)";
+    };
+    {
+      name = "spsc-queue";
+      build = Spsc_queue.program;
+      description = "Lamport SPSC ring with relaxed tail publish";
+    };
+  ]
+
+let extended_fixed =
+  [
+    {
+      name = "seqlock-fixed";
+      build = Seqlock.fixed_program;
+      description = "sequence lock with acquire validation and retries";
+    };
+    {
+      name = "spsc-queue-fixed";
+      build = Spsc_queue.fixed_program;
+      description = "Lamport SPSC ring with release/acquire tail";
+    };
+  ]

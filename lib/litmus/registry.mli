@@ -1,0 +1,35 @@
+(** The CDSchecker benchmark registry (§5.1).
+
+    The seven concurrency litmus programs used to evaluate tsan11rec's
+    controlled scheduling, plus the paper's two figure programs. Each
+    entry builds a fresh program per run (programs close over fresh
+    atomics, so they must not be shared between runs). *)
+
+type entry = {
+  name : string;
+  build : unit -> T11r_vm.Api.program;
+  description : string;
+}
+
+val all : entry list
+(** The seven Table 1 benchmarks, in the table's order. *)
+
+val find : string -> entry option
+
+val fig1 : entry
+(** The weak-memory race of Figure 1 (not part of Table 1). *)
+
+val extended : entry list
+(** Extra weak-memory benchmarks beyond the paper's Table 1 (seqlock,
+    Lamport's SPSC ring), with the same conditional-manifestation
+    structure: random scheduling exposes them, arrival order rarely
+    does. *)
+
+val extended_fixed : entry list
+(** Repaired versions of {!extended}. *)
+
+val fixed : entry list
+(** Repaired versions of the benchmarks whose bug is a wrong memory
+    order (barrier, dekker-fences, mcs-lock, mpmc-queue): the
+    detector's no-false-positive regression set — no tool should
+    report a race on these under any schedule. *)

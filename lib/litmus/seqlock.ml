@@ -1,0 +1,101 @@
+(* Seqlock (extension benchmark, not part of the paper's Table 1).
+
+   The classic sequence lock: a writer bumps the sequence counter to an
+   odd value, updates the payload, and bumps it back to even; a reader
+   snapshots the counter, reads the payload, and retries if the counter
+   changed or was odd.
+
+   The seeded bug is the well-known one: the reader's *validation* load
+   uses [Relaxed] instead of [Acquire] ordering, so the payload reads
+   are not ordered before the second counter check — the reader can
+   validate against a stale counter and use torn data it read while the
+   writer was mid-update. The race manifests only when the reader's
+   window overlaps the writer's, which under arrival-order schedules is
+   rare (the writer starts after a delay) and under random scheduling is
+   common — the same profile as the Table 1 "rnd-only" benchmarks. *)
+
+open T11r_vm
+
+let writer_delay_us = 220
+let reader_attempts = 3
+
+let program () =
+  Api.program ~name:"seqlock" (fun () ->
+      let seq = Api.Atomic.create ~name:"seq" 0 in
+      let data1 = Api.Var.create ~name:"data1" 0 in
+      let data2 = Api.Var.create ~name:"data2" 0 in
+      let writer =
+        Api.Thread.spawn ~name:"writer" (fun () ->
+            Api.work writer_delay_us;
+            Api.Atomic.store ~mo:Relaxed seq 1 (* BUG: not Release-paired *);
+            Api.Var.set data1 7;
+            Api.Var.set data2 7;
+            Api.Atomic.store ~mo:Release seq 2)
+      in
+      let reader =
+        Api.Thread.spawn ~name:"reader" (fun () ->
+            let done_ = ref false in
+            let i = ref 0 in
+            while (not !done_) && !i < reader_attempts do
+              incr i;
+              let s1 = Api.Atomic.load ~mo:Acquire seq in
+              if s1 = 1 then begin
+                (* Reader overlaps the writer: with the buggy relaxed
+                   validation it proceeds to use the data anyway. *)
+                let v1 = Api.Var.get data1 in
+                let v2 = Api.Var.get data2 in
+                let s2 = Api.Atomic.load ~mo:Relaxed seq (* BUG *) in
+                ignore s2;
+                Api.Sys_api.print (Printf.sprintf "torn=%d,%d" v1 v2);
+                done_ := true
+              end
+              else if s1 = 2 then begin
+                let v1 = Api.Var.get data1 in
+                let v2 = Api.Var.get data2 in
+                Api.Sys_api.print (Printf.sprintf "ok=%d,%d" v1 v2);
+                done_ := true
+              end
+            done;
+            if not !done_ then Api.Sys_api.print "quiet")
+      in
+      Api.Thread.join writer;
+      Api.Thread.join reader)
+
+(* The repaired reader validates with acquire ordering and retries on a
+   torn window instead of consuming it; reads that complete under an
+   even, unchanged sequence are ordered after the writer's release. *)
+let fixed_program () =
+  Api.program ~name:"seqlock-fixed" (fun () ->
+      let seq = Api.Atomic.create ~name:"seq" 0 in
+      let data1 = Api.Var.create ~name:"data1" 0 in
+      let data2 = Api.Var.create ~name:"data2" 0 in
+      let writer =
+        Api.Thread.spawn ~name:"writer" (fun () ->
+            Api.work writer_delay_us;
+            Api.Atomic.store ~mo:Release seq 1;
+            Api.Var.set data1 7;
+            Api.Var.set data2 7;
+            Api.Atomic.store ~mo:Release seq 2)
+      in
+      let reader =
+        Api.Thread.spawn ~name:"reader" (fun () ->
+            let done_ = ref false in
+            let i = ref 0 in
+            while (not !done_) && !i < reader_attempts + 30 do
+              incr i;
+              let s1 = Api.Atomic.load ~mo:Acquire seq in
+              if s1 = 2 then begin
+                let v1 = Api.Var.get data1 in
+                let v2 = Api.Var.get data2 in
+                let s2 = Api.Atomic.load ~mo:Acquire seq in
+                if s1 = s2 then begin
+                  Api.Sys_api.print (Printf.sprintf "ok=%d,%d" v1 v2);
+                  done_ := true
+                end
+              end
+              else Api.work 40
+            done;
+            if not !done_ then Api.Sys_api.print "quiet")
+      in
+      Api.Thread.join writer;
+      Api.Thread.join reader)

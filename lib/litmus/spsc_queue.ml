@@ -1,0 +1,94 @@
+(* Lamport's single-producer/single-consumer ring buffer (extension
+   benchmark, not part of the paper's Table 1).
+
+   The producer writes the slot then advances [tail]; the consumer
+   compares [head] with [tail], reads the slot, then advances [head].
+   Correct C++11 code publishes [tail] with release and reads it with
+   acquire. The seeded bug drops both to [Relaxed], so a consumer that
+   observes the advanced tail is not synchronised with the slot write.
+
+   The consumer polls a bounded number of times; the race needs it to
+   observe the relaxed tail bump, which arrival-order scheduling makes
+   rare and random scheduling common. *)
+
+open T11r_vm
+
+let capacity = 4
+let items = 3
+let producer_work_us = 180
+let consumer_polls = 6
+
+let program () =
+  Api.program ~name:"spsc-queue" (fun () ->
+      let slots =
+        Array.init capacity (fun i ->
+            Api.Var.create ~name:(Printf.sprintf "spsc_slot%d" i) 0)
+      in
+      let head = Api.Atomic.create ~name:"spsc_head" 0 in
+      let tail = Api.Atomic.create ~name:"spsc_tail" 0 in
+      let producer =
+        Api.Thread.spawn ~name:"producer" (fun () ->
+            for i = 1 to items do
+              Api.work producer_work_us;
+              let t = Api.Atomic.load ~mo:Relaxed tail in
+              Api.Var.set slots.(t mod capacity) (100 + i);
+              Api.Atomic.store ~mo:Relaxed tail (t + 1) (* BUG: not Release *)
+            done)
+      in
+      let consumer =
+        Api.Thread.spawn ~name:"consumer" (fun () ->
+            let consumed = ref 0 in
+            let polls = ref 0 in
+            while !consumed < items && !polls < consumer_polls do
+              incr polls;
+              let h = Api.Atomic.load ~mo:Relaxed head in
+              let t = Api.Atomic.load ~mo:Relaxed tail (* BUG: not Acquire *) in
+              if t > h then begin
+                (* racy slot read: nothing orders it after the write *)
+                let v = Api.Var.get slots.(h mod capacity) in
+                Api.Sys_api.print (Printf.sprintf "%d;" v);
+                Api.Atomic.store ~mo:Release head (h + 1);
+                incr consumed
+              end
+            done)
+      in
+      Api.Thread.join producer;
+      Api.Thread.join consumer)
+
+(* The repaired queue: release tail publish, acquire tail read. *)
+let fixed_program () =
+  Api.program ~name:"spsc-queue-fixed" (fun () ->
+      let slots =
+        Array.init capacity (fun i ->
+            Api.Var.create ~name:(Printf.sprintf "spsc_slot%d" i) 0)
+      in
+      let head = Api.Atomic.create ~name:"spsc_head" 0 in
+      let tail = Api.Atomic.create ~name:"spsc_tail" 0 in
+      let producer =
+        Api.Thread.spawn ~name:"producer" (fun () ->
+            for i = 1 to items do
+              Api.work producer_work_us;
+              let t = Api.Atomic.load ~mo:Relaxed tail in
+              Api.Var.set slots.(t mod capacity) (100 + i);
+              Api.Atomic.store ~mo:Release tail (t + 1)
+            done)
+      in
+      let consumer =
+        Api.Thread.spawn ~name:"consumer" (fun () ->
+            let consumed = ref 0 in
+            let polls = ref 0 in
+            while !consumed < items && !polls < consumer_polls + 60 do
+              incr polls;
+              let h = Api.Atomic.load ~mo:Relaxed head in
+              let t = Api.Atomic.load ~mo:Acquire tail in
+              if t > h then begin
+                let v = Api.Var.get slots.(h mod capacity) in
+                Api.Sys_api.print (Printf.sprintf "%d;" v);
+                Api.Atomic.store ~mo:Release head (h + 1);
+                incr consumed
+              end
+              else Api.work 60
+            done)
+      in
+      Api.Thread.join producer;
+      Api.Thread.join consumer)

@@ -1,0 +1,183 @@
+open T11r_util
+
+type store = {
+  value : int;
+  s_tid : int;
+  epoch : int;  (* writer's clock component at the time of the store *)
+  rel_clock : Vclock.t;  (* empty if the store publishes nothing *)
+  mutable index : int;  (* absolute modification-order index *)
+}
+
+type loc = {
+  id : int;
+  name : string;
+  mutable stores : store array;  (* window of recent stores, oldest first *)
+  mutable base : int;  (* absolute index of stores.(0) *)
+  mutable floors : (int, int) Hashtbl.t;  (* tid -> min admissible abs index *)
+  mutable last_sc : int;  (* abs index of last seq-cst store, -1 if none *)
+}
+
+type t = {
+  max_history : int;
+  mutable next_loc : int;
+  mutable sc_clock : Vclock.t;  (* global clock threaded through SC fences *)
+}
+
+let create ?(max_history = 8) () =
+  if max_history < 1 then invalid_arg "Atomics.create: max_history < 1";
+  { max_history; next_loc = 0; sc_clock = Vclock.empty }
+
+let fresh_loc t ~name ~init =
+  let id = t.next_loc in
+  t.next_loc <- id + 1;
+  {
+    id;
+    name;
+    stores = [| { value = init; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = 0 } |];
+    base = 0;
+    floors = Hashtbl.create 4;
+    last_sc = -1;
+  }
+
+let loc_name l = l.name
+let loc_id l = l.id
+
+let newest l = l.stores.(Array.length l.stores - 1)
+let newest_index l = l.base + Array.length l.stores - 1
+
+let floor_of l tid =
+  match Hashtbl.find_opt l.floors tid with Some i -> i | None -> 0
+
+let raise_floor l tid idx =
+  if idx > floor_of l tid then Hashtbl.replace l.floors tid idx
+
+let append t l s =
+  let n = Array.length l.stores in
+  s.index <- l.base + n;
+  if n >= t.max_history then begin
+    (* Evict the oldest store; floors below the new base are clamped
+       implicitly because admissibility already bounds by the window. *)
+    let drop = n - t.max_history + 1 in
+    l.stores <- Array.append (Array.sub l.stores drop (n - drop)) [| s |];
+    l.base <- l.base + drop
+  end
+  else l.stores <- Array.append l.stores [| s |]
+
+(* Lower bound (absolute index) of the admissible window for a load. *)
+let admissible_floor l (st : Tstate.t) mo =
+  let coherence = floor_of l st.tid in
+  (* Happens-before visibility: the largest store index already ordered
+     before the reader.  Scan newest-to-oldest; stores are timestamped
+     with the writer's epoch, so the FastTrack test applies. *)
+  let hb = ref l.base in
+  (let n = Array.length l.stores in
+   let found = ref false in
+   let i = ref (n - 1) in
+   while (not !found) && !i >= 0 do
+     let s = l.stores.(!i) in
+     if s.s_tid >= 0 && s.epoch <= Vclock.get st.clock s.s_tid then begin
+       hb := l.base + !i;
+       found := true
+     end
+     else if s.s_tid < 0 then begin
+       (* initial store: visible to everyone, floor stays at base *)
+       found := true
+     end
+     else decr i
+   done);
+  let sc = if Memord.is_seq_cst mo then l.last_sc else -1 in
+  max l.base (max coherence (max !hb sc))
+
+let candidate_stores l st mo =
+  let lo = admissible_floor l st mo in
+  let hi = newest_index l in
+  List.init (hi - lo + 1) (fun i -> l.stores.(lo - l.base + i))
+
+let candidates _t l st mo = List.map (fun s -> s.value) (candidate_stores l st mo)
+
+let read_sync (st : Tstate.t) mo s =
+  if not (Vclock.equal s.rel_clock Vclock.empty) then begin
+    if Memord.is_acquire mo then Tstate.acquire st s.rel_clock
+    else st.acq_pending <- Vclock.join st.acq_pending s.rel_clock
+  end
+
+let load _t l (st : Tstate.t) mo ~choose =
+  let cands = candidate_stores l st mo in
+  let n = List.length cands in
+  let k = choose n in
+  if k < 0 || k >= n then invalid_arg "Atomics.load: choose out of range";
+  let s = List.nth cands k in
+  raise_floor l st.tid s.index;
+  read_sync st mo s;
+  Tstate.tick st;
+  s.value
+
+let release_clock_for (st : Tstate.t) mo =
+  if Memord.is_release mo then st.clock
+  else if not (Vclock.equal st.rel_fence Vclock.empty) then st.rel_fence
+  else Vclock.empty
+
+let store t l (st : Tstate.t) mo v =
+  let s =
+    {
+      value = v;
+      s_tid = st.tid;
+      epoch = Tstate.epoch st;
+      rel_clock = release_clock_for st mo;
+      index = 0;
+    }
+  in
+  append t l s;
+  raise_floor l st.tid s.index;
+  if Memord.is_seq_cst mo then l.last_sc <- s.index;
+  Tstate.tick st
+
+let rmw t l (st : Tstate.t) mo f =
+  let old_s = newest l in
+  let old = old_s.value in
+  read_sync st mo old_s;
+  (* Release-sequence continuation: even a relaxed RMW carries forward
+     the release clock of the store it supersedes. *)
+  let own = release_clock_for st mo in
+  let rel = Vclock.join own old_s.rel_clock in
+  let s =
+    { value = f old; s_tid = st.tid; epoch = Tstate.epoch st; rel_clock = rel; index = 0 }
+  in
+  append t l s;
+  raise_floor l st.tid s.index;
+  if Memord.is_seq_cst mo then l.last_sc <- s.index;
+  Tstate.tick st;
+  old
+
+let cas t l st ~success ~failure ~expected ~desired ~choose =
+  let tail = newest l in
+  if tail.value = expected then begin
+    let old = rmw t l st success (fun _ -> desired) in
+    (true, old)
+  end
+  else begin
+    let v = load t l st failure ~choose in
+    (false, v)
+  end
+
+let fence t (st : Tstate.t) (mo : Memord.t) =
+  (match mo with
+  | Relaxed -> ()
+  | Consume | Acquire ->
+      Tstate.acquire st st.acq_pending;
+      st.acq_pending <- Vclock.empty
+  | Release -> st.rel_fence <- st.clock
+  | Acq_rel ->
+      Tstate.acquire st st.acq_pending;
+      st.acq_pending <- Vclock.empty;
+      st.rel_fence <- st.clock
+  | Seq_cst ->
+      Tstate.acquire st st.acq_pending;
+      st.acq_pending <- Vclock.empty;
+      Tstate.acquire st t.sc_clock;
+      st.rel_fence <- st.clock;
+      t.sc_clock <- Vclock.join t.sc_clock st.clock);
+  Tstate.tick st
+
+let newest_value _t l = (newest l).value
+let history_length _t l = Array.length l.stores

@@ -1,0 +1,32 @@
+open T11r_util
+
+type t = {
+  tid : int;
+  mutable clock : Vclock.t;
+  mutable acq_pending : Vclock.t;
+  mutable rel_fence : Vclock.t;
+}
+
+let create ~tid =
+  {
+    tid;
+    clock = Vclock.tick Vclock.empty tid;
+    acq_pending = Vclock.empty;
+    rel_fence = Vclock.empty;
+  }
+
+let epoch t = Vclock.get t.clock t.tid
+let tick t = t.clock <- Vclock.tick t.clock t.tid
+let acquire t c = t.clock <- Vclock.join t.clock c
+
+let fork ~parent ~tid =
+  let child =
+    {
+      tid;
+      clock = Vclock.tick (Vclock.join parent.clock Vclock.empty) tid;
+      acq_pending = Vclock.empty;
+      rel_fence = Vclock.empty;
+    }
+  in
+  tick parent;
+  child

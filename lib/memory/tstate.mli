@@ -1,0 +1,39 @@
+(** Per-thread synchronisation state.
+
+    Each simulated thread carries a happens-before vector clock plus the
+    two fence accumulators tsan11 uses to give memory-fence semantics to
+    relaxed accesses:
+
+    - [acq_pending] collects the release clocks of stores observed by
+      relaxed loads; an acquire fence folds it into the thread clock
+      (C++11 §29.8: fence-synchronisation through atomic reads).
+    - [rel_fence] snapshots the thread clock at the last release fence;
+      subsequent relaxed stores publish that snapshot. *)
+
+type t = {
+  tid : int;
+  mutable clock : T11r_util.Vclock.t;
+  mutable acq_pending : T11r_util.Vclock.t;
+  mutable rel_fence : T11r_util.Vclock.t;
+}
+
+val create : tid:int -> t
+(** Fresh thread state with clock [{tid -> 1}] (a thread is always
+    up-to-date with its own epoch). *)
+
+val epoch : t -> int
+(** The thread's own component of its clock — the FastTrack epoch used
+    to timestamp its accesses. *)
+
+val tick : t -> unit
+(** Advance the thread's own component; called after every operation
+    that must be distinguishable in happens-before terms. *)
+
+val acquire : t -> T11r_util.Vclock.t -> unit
+(** Join a release clock into the thread clock (acquire load, mutex
+    lock, join, ...). *)
+
+val fork : parent:t -> tid:int -> t
+(** Child thread state at creation: inherits the parent's clock (thread
+    creation synchronises-with the start of the child), then both sides
+    tick. *)

@@ -1,0 +1,93 @@
+open T11r_util
+module Tstate = T11r_mem.Tstate
+
+type var = {
+  id : int;
+  name : string;
+  mutable last_write : (int * int) option;  (* tid, epoch *)
+  mutable reads : Vclock.t;  (* per-thread epoch of reads since last write *)
+}
+
+type t = {
+  mutable next_var : int;
+  mutable reports_rev : Report.t list;
+  seen : (string * Report.kind * int * int, unit) Hashtbl.t;
+  mutable callbacks : (Report.t -> unit) list;
+  mutable suppressions : string list;
+  mutable suppressed_count : int;
+}
+
+let create () =
+  {
+    next_var = 0;
+    reports_rev = [];
+    seen = Hashtbl.create 16;
+    callbacks = [];
+    suppressions = [];
+    suppressed_count = 0;
+  }
+
+let set_suppressions t pats = t.suppressions <- pats
+let suppressed_count t = t.suppressed_count
+
+(* tsan-suppression-style matching: exact name, or a '*'-terminated
+   prefix pattern ("scoreboard*"). *)
+let suppressed t var =
+  List.exists
+    (fun pat ->
+      let n = String.length pat in
+      if n > 0 && pat.[n - 1] = '*' then
+        let prefix = String.sub pat 0 (n - 1) in
+        String.length var >= n - 1 && String.sub var 0 (n - 1) = prefix
+      else pat = var)
+    t.suppressions
+
+let fresh_var t ~name =
+  let id = t.next_var in
+  t.next_var <- id + 1;
+  { id; name; last_write = None; reads = Vclock.empty }
+
+let var_name v = v.name
+
+let emit t (r : Report.t) =
+  if suppressed t r.var then t.suppressed_count <- t.suppressed_count + 1
+  else
+    let key = (r.var, r.kind, r.first_tid, r.second_tid) in
+    if not (Hashtbl.mem t.seen key) then begin
+      Hashtbl.replace t.seen key ();
+      t.reports_rev <- r :: t.reports_rev;
+      List.iter (fun f -> f r) t.callbacks
+    end
+
+let write_unordered (st : Tstate.t) = function
+  | None -> None
+  | Some (wtid, wepoch) ->
+      if wtid <> st.tid && wepoch > Vclock.get st.clock wtid then Some wtid
+      else None
+
+let read t v ~st =
+  (match write_unordered st v.last_write with
+  | Some wtid ->
+      emit t { var = v.name; kind = Write_read; first_tid = wtid; second_tid = st.tid }
+  | None -> ());
+  v.reads <- Vclock.set v.reads st.tid (Tstate.epoch st)
+
+let write t v ~st =
+  (match write_unordered st v.last_write with
+  | Some wtid ->
+      emit t { var = v.name; kind = Write_write; first_tid = wtid; second_tid = st.tid }
+  | None -> ());
+  (* Any read since the last write that is not ordered before this write
+     races with it. *)
+  List.iteri
+    (fun rtid repoch ->
+      if repoch > 0 && rtid <> st.tid && repoch > Vclock.get st.clock rtid then
+        emit t { var = v.name; kind = Read_write; first_tid = rtid; second_tid = st.tid })
+    (Vclock.to_list v.reads);
+  v.last_write <- Some (st.tid, Tstate.epoch st);
+  v.reads <- Vclock.empty
+
+let reports t = List.rev t.reports_rev
+let report_count t = List.length t.reports_rev
+let racy t = t.reports_rev <> []
+let on_report t f = t.callbacks <- f :: t.callbacks

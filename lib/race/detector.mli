@@ -1,0 +1,54 @@
+(** Happens-before race detection for non-atomic accesses.
+
+    The tsan11 substrate: every instrumented non-atomic location carries
+    shadow state — the last write (as a FastTrack epoch) and the clock
+    of reads since that write. An access races with a shadow entry that
+    is not ordered before the accessing thread's current vector clock.
+
+    Non-atomic accesses are *invisible* operations for the scheduler
+    (§2: they are not scheduling points) but they are still checked
+    here, exactly as tsan's instrumentation checks them without
+    affecting scheduling. *)
+
+type t
+
+type var
+(** A shadowed non-atomic location. *)
+
+val create : unit -> t
+
+val fresh_var : t -> name:string -> var
+val var_name : var -> string
+
+val read : t -> var -> st:T11r_mem.Tstate.t -> unit
+(** Check-and-update for a non-atomic read. *)
+
+val write : t -> var -> st:T11r_mem.Tstate.t -> unit
+(** Check-and-update for a non-atomic write. *)
+
+val reports : t -> Report.t list
+(** All distinct races found, in detection order. A given
+    (location, kind, thread-pair) is reported once, matching tsan's
+    report deduplication. *)
+
+val report_count : t -> int
+(** Number of distinct reports (the paper's per-run race count). *)
+
+val racy : t -> bool
+(** Whether at least one race was detected (Table 1's race "Rate" is
+    the fraction of runs for which this is true). *)
+
+val on_report : t -> (Report.t -> unit) -> unit
+(** Register a callback invoked on each fresh report; the harness uses
+    it to model the cost of emitting race reports (§5.2 "Race reports"
+    vs "No reports" columns). *)
+
+val set_suppressions : t -> string list -> unit
+(** tsan-style suppression patterns: an exact location name, or a
+    ['*']-terminated prefix ("scoreboard*"). Matching races are
+    counted but not reported — how a team mutes known-benign races
+    while hunting new ones (the paper's Table 2 discusses httpd
+    results "in which many races are fixed"). *)
+
+val suppressed_count : t -> int
+(** How many race detections the suppression list swallowed. *)

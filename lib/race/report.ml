@@ -1,0 +1,20 @@
+type kind = Write_write | Write_read | Read_write
+
+type t = {
+  var : string;
+  kind : kind;
+  first_tid : int;
+  second_tid : int;
+}
+
+let kind_to_string = function
+  | Write_write -> "write-write"
+  | Write_read -> "write-read"
+  | Read_write -> "read-write"
+
+let pp fmt r =
+  Format.fprintf fmt "data race (%s) on %s: T%d vs T%d"
+    (kind_to_string r.kind) r.var r.first_tid r.second_tid
+
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b

@@ -1,0 +1,15 @@
+(** Data-race reports. *)
+
+type kind = Write_write | Write_read | Read_write
+
+type t = {
+  var : string;  (** name of the racing location *)
+  kind : kind;
+  first_tid : int;  (** thread of the earlier (shadow) access *)
+  second_tid : int;  (** thread whose access detected the race *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,54 @@
+let border = String.make 18 '='
+
+let name_of thread_names tid =
+  match List.assoc_opt tid thread_names with
+  | Some n -> Printf.sprintf "T%d (%s)" tid n
+  | None -> Printf.sprintf "T%d" tid
+
+let race ?(thread_names = []) ?tick (r : Report.t) =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" border;
+  line "WARNING: data race (%s)" (Report.kind_to_string r.kind);
+  (match tick with
+  | Some t -> line "  detected at critical section #%d" t
+  | None -> ());
+  let first_access, second_access =
+    match r.kind with
+    | Report.Write_write -> ("previous write", "write")
+    | Report.Write_read -> ("previous write", "read")
+    | Report.Read_write -> ("previous read", "write")
+  in
+  line "  %s of '%s' by thread %s" second_access r.var
+    (name_of thread_names r.second_tid);
+  line "  %s of '%s' by thread %s" first_access r.var
+    (name_of thread_names r.first_tid);
+  line "  location: %s" r.var;
+  line "%s" border;
+  Buffer.contents buf
+
+let lock_cycle ?(thread_names = []) (c : Lockorder.cycle) =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" border;
+  line "WARNING: lock-order inversion (potential deadlock)";
+  List.iter
+    (fun (e : Lockorder.edge) ->
+      line "  thread %s acquires '%s' while holding '%s'"
+        (name_of thread_names e.witness_tid)
+        e.to_lock e.from_lock)
+    c;
+  line "%s" border;
+  Buffer.contents buf
+
+let summary ~races ~cycles =
+  let n = List.length races + List.length cycles in
+  if n = 0 then ""
+  else
+    Printf.sprintf "SUMMARY: %d warning%s (%d data race%s, %d lock inversion%s)"
+      n
+      (if n = 1 then "" else "s")
+      (List.length races)
+      (if List.length races = 1 then "" else "s")
+      (List.length cycles)
+      (if List.length cycles = 1 then "" else "s")

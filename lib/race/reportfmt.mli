@@ -1,0 +1,21 @@
+(** ThreadSanitizer-style textual reports.
+
+    tsan's value is partly its report format: a bordered WARNING block
+    naming the racing location, the two accesses with their threads,
+    and the thread roster. This module renders our {!Report.t} and
+    {!Lockorder.cycle} values in that house style so the CLI's output
+    reads like the tool the paper instruments. *)
+
+val race :
+  ?thread_names:(int * string) list ->
+  ?tick:int ->
+  Report.t ->
+  string
+(** A multi-line tsan-style data-race warning block. [tick] is the
+    critical section at which the race was detected, when known. *)
+
+val lock_cycle : ?thread_names:(int * string) list -> Lockorder.cycle -> string
+(** A tsan-style lock-order-inversion warning block. *)
+
+val summary : races:Report.t list -> cycles:Lockorder.cycle list -> string
+(** The one-line footer ("N warnings"), empty string when clean. *)

@@ -1,0 +1,15 @@
+module Conf = Tsan11rec.Conf
+module World = T11r_env.World
+
+let record ?(tsan11 = false) ~dir () =
+  let base = if tsan11 then Conf.tsan11_rr else Conf.rr_model in
+  { base with Conf.mode = Conf.Record dir }
+
+let replay ?(tsan11 = false) ~dir () =
+  let base = if tsan11 then Conf.tsan11_rr else Conf.rr_model in
+  { base with Conf.mode = Conf.Replay dir }
+
+let record_world ~seed = World.create ~seed ~deterministic_alloc:true ()
+let replay_world ~seed = World.create ~seed ~deterministic_alloc:true ()
+
+let demo_size_model ~queries = 3_600_000 + (queries * 300)

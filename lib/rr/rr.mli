@@ -1,0 +1,40 @@
+(** The rr baseline model (§2, §5).
+
+    rr (O'Callahan et al., ATC 2017) is the comparison point throughout
+    the paper's evaluation. We model the architectural properties the
+    paper relies on, not rr's implementation:
+
+    - {b sequentialization}: "execution is sequentialized so that only
+      one thread runs at a time" — invisible work is serialized onto
+      the global clock;
+    - {b full recording}: every syscall result is captured, including
+      regular-file I/O, so nothing is left to passthrough;
+    - {b layout enforcement}: memory layout is reproduced exactly, so
+      the §5.5 programs that branch on pointer values replay fine —
+      callers must create worlds via {!record_world}/{!replay_world};
+    - {b no opaque-driver support}: the game/display ioctl traffic
+      cannot be recorded, so SDL-style games are out of scope (§5.4);
+    - {b FCFS scheduling}: "a priority-based first come first served
+      strategy ... with each thread given a time slice".
+
+    Record and replay themselves run through the same interpreter as
+    tsan11rec, under the configuration {!Tsan11rec.Conf.rr_model} (or
+    {!Tsan11rec.Conf.tsan11_rr} for tsan11-instrumented binaries under
+    rr). *)
+
+val record : ?tsan11:bool -> dir:string -> unit -> Tsan11rec.Conf.t
+(** Configuration for recording under the rr model. [tsan11] adds the
+    tsan11 instrumentation costs (the paper's "tsan11 + rr" rows). *)
+
+val replay : ?tsan11:bool -> dir:string -> unit -> Tsan11rec.Conf.t
+
+val record_world : seed:int64 -> T11r_env.World.t
+(** rr enforces memory layout: record and replay worlds use the
+    deterministic allocator so addresses coincide. *)
+
+val replay_world : seed:int64 -> T11r_env.World.t
+
+val demo_size_model : queries:int -> int
+(** rr's trace-size model calibrated from §5.2: about 0.3 KB per
+    request plus a constant 3.6 MB (mmapped pages, binaries). Used by
+    the demo-size benchmark to plot rr next to tsan11rec. *)

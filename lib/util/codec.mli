@@ -1,0 +1,31 @@
+(** Line-oriented serialisation helpers for demo files.
+
+    Demo files ([QUEUE], [SIGNAL], [SYSCALL], [ASYNC], [META]) are
+    plain-text, one record per line, fields separated by single spaces —
+    mirroring the paper's description (e.g. the [SIGNAL] line
+    ["2 5 15"]: thread 2 receives signal 15 at tick 5). Binary payloads
+    (syscall buffers) are hex-escaped so the files stay line-structured. *)
+
+val escape : string -> string
+(** Escape a binary string into a token containing no spaces, newlines
+    or '%' except as escape lead-ins ([%XX] hex escapes). The empty
+    string encodes as ["%-"]. *)
+
+val unescape : string -> string
+(** Inverse of {!escape}.
+    @raise Invalid_argument on malformed input. *)
+
+val fields : string -> string list
+(** Split a line into space-separated fields (no empty fields). *)
+
+val int_field : string -> int
+(** Parse a decimal integer field. @raise Invalid_argument otherwise. *)
+
+val int64_field : string -> int64
+
+val read_lines : string -> string list
+(** All lines of a file, without trailing newlines; [] if absent. *)
+
+val write_lines : string -> string list -> unit
+(** Write lines to a file, each terminated by a newline; creates parent
+    directories as needed. *)

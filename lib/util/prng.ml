@@ -1,0 +1,79 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  seed1 : int64;
+  seed2 : int64;
+  mutable draws : int;
+}
+
+(* SplitMix64: expands the two user seeds into the four xoshiro words.
+   Standard constants from Steele, Lea & Flood. *)
+let splitmix_next (state : int64 ref) : int64 =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let rotl (x : int64) (k : int) : int64 =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let create ~seed1 ~seed2 =
+  let st = ref (Int64.logxor seed1 (Int64.mul seed2 0x2545F4914F6CDD1DL)) in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  (* xoshiro must not start from the all-zero state. *)
+  let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
+  { s0; s1; s2; s3; seed1; seed2; draws = 0 }
+
+let of_time () =
+  let t = Unix.gettimeofday () in
+  let seed1 = Int64.of_float (t *. 1e6) in
+  let seed2 = Int64.logxor (Int64.bits_of_float t) (Int64.of_int (Unix.getpid ())) in
+  create ~seed1 ~seed2
+
+let seeds t = (t.seed1, t.seed2)
+let draws t = t.draws
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  t.draws <- t.draws + 1;
+  result
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free: take the high bits modulo bound; bias is negligible
+     for the small bounds used by the scheduler (thread counts, store
+     history lengths). *)
+  let x = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem x (Int64.of_int bound))
+
+let float t bound =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let copy t = { t with draws = t.draws }

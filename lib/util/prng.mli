@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator.
+
+    The scheduler's nondeterministic choices (random strategy picks,
+    weak-memory read selection, signal victim selection) are all drawn
+    from one PRNG of this type. Per the paper (§4), the PRNG is "seeded
+    by two calls to [rdtsc()]"; we mirror the two-seed initialisation
+    so a demo's [META] file stores exactly two 64-bit seeds.
+
+    The implementation is xoshiro256** with a SplitMix64 seed expander:
+    high quality, tiny state, and — crucially for record/replay —
+    bit-for-bit reproducible across runs and platforms. *)
+
+type t
+
+val create : seed1:int64 -> seed2:int64 -> t
+(** [create ~seed1 ~seed2] builds a generator from two 64-bit seeds. *)
+
+val of_time : unit -> t
+(** Generator seeded from the wall clock — the "record" mode seeding,
+    standing in for the paper's two [rdtsc()] calls. *)
+
+val seeds : t -> int64 * int64
+(** The two seeds this generator was created from (for demo [META]). *)
+
+val draws : t -> int
+(** Number of draws made so far. Replay correctness requires the draw
+    count per critical section to match the recording (§4.5); tests and
+    the replayer use this counter to check that invariant. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. @raise Invalid_argument on [||]. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val copy : t -> t
+(** Independent copy with the same state and draw count. *)

@@ -1,0 +1,122 @@
+let encode xs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest -> (
+        match acc with
+        | (v, n) :: tl when v = x -> go ((v, n + 1) :: tl) rest
+        | _ -> go ((x, 1) :: acc) rest)
+  in
+  go [] xs
+
+let decode pairs =
+  List.concat_map
+    (fun (v, n) ->
+      if n <= 0 then invalid_arg "Rle.decode: non-positive run length";
+      List.init n (fun _ -> v))
+    pairs
+
+(* Byte-level RLE. Format: a sequence of chunks.
+   - '\x00' len byte        : a run of [len] copies of [byte] (len >= 1)
+   - '\x01' len b0 .. b(l-1): a literal stretch of [len] bytes (len >= 1)
+   Lengths are single bytes in [1, 255]; longer runs/stretches split. *)
+
+let run_marker = '\x00'
+let lit_marker = '\x01'
+
+let encode_bytes b =
+  let n = Bytes.length b in
+  let buf = Buffer.create (n / 2 + 8) in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.get b !i in
+    let run = ref 1 in
+    while !i + !run < n && !run < 255 && Bytes.get b (!i + !run) = c do
+      incr run
+    done;
+    if !run >= 4 then begin
+      Buffer.add_char buf run_marker;
+      Buffer.add_char buf (Char.chr !run);
+      Buffer.add_char buf c;
+      i := !i + !run
+    end
+    else begin
+      (* Collect a literal stretch: advance until a run of >= 4 starts
+         or we hit the 255-byte chunk limit. *)
+      let start = !i in
+      let stop = ref (!i + 1) in
+      let continue = ref true in
+      while !continue && !stop < n && !stop - start < 255 do
+        let c' = Bytes.get b !stop in
+        let r = ref 1 in
+        while !stop + !r < n && !r < 4 && Bytes.get b (!stop + !r) = c' do
+          incr r
+        done;
+        if !r >= 4 then continue := false else incr stop
+      done;
+      let len = !stop - start in
+      Buffer.add_char buf lit_marker;
+      Buffer.add_char buf (Char.chr len);
+      Buffer.add_subbytes buf b start len;
+      i := !stop
+    end
+  done;
+  Buffer.contents buf
+
+let decode_bytes s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 >= n then invalid_arg "Rle.decode_bytes: truncated chunk header";
+    let marker = s.[!i] in
+    let len = Char.code s.[!i + 1] in
+    if len = 0 then invalid_arg "Rle.decode_bytes: zero-length chunk";
+    if marker = run_marker then begin
+      if !i + 2 >= n then invalid_arg "Rle.decode_bytes: truncated run";
+      let c = s.[!i + 2] in
+      for _ = 1 to len do
+        Buffer.add_char buf c
+      done;
+      i := !i + 3
+    end
+    else if marker = lit_marker then begin
+      if !i + 2 + len > n then invalid_arg "Rle.decode_bytes: truncated literal";
+      Buffer.add_substring buf s (!i + 2) len;
+      i := !i + 2 + len
+    end
+    else invalid_arg "Rle.decode_bytes: bad chunk marker"
+  done;
+  Buffer.to_bytes buf
+
+let encoded_size b =
+  (* Mirrors encode_bytes chunking without materialising the output. *)
+  let n = Bytes.length b in
+  let size = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.get b !i in
+    let run = ref 1 in
+    while !i + !run < n && !run < 255 && Bytes.get b (!i + !run) = c do
+      incr run
+    done;
+    if !run >= 4 then begin
+      size := !size + 3;
+      i := !i + !run
+    end
+    else begin
+      let start = !i in
+      let stop = ref (!i + 1) in
+      let continue = ref true in
+      while !continue && !stop < n && !stop - start < 255 do
+        let c' = Bytes.get b !stop in
+        let r = ref 1 in
+        while !stop + !r < n && !r < 4 && Bytes.get b (!stop + !r) = c' do
+          incr r
+        done;
+        if !r >= 4 then continue := false else incr stop
+      done;
+      size := !size + 2 + (!stop - start);
+      i := !stop
+    end
+  done;
+  !size

@@ -1,0 +1,63 @@
+type summary = {
+  n : int;
+  mean : float;
+  sd : float;
+  cv : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sd xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let m = mean xs in
+      let s = sd xs in
+      {
+        n = List.length xs;
+        mean = m;
+        sd = s;
+        cv = (if m = 0.0 then 0.0 else s /. m);
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+      }
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+      if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: bad p";
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      if lo = hi then a.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let rate bs =
+  match bs with
+  | [] -> 0.0
+  | _ ->
+      let t = List.length (List.filter Fun.id bs) in
+      100.0 *. float_of_int t /. float_of_int (List.length bs)
+
+let pp_mean_sd fmt s =
+  if s.mean >= 100.0 then Format.fprintf fmt "%.0f (%.2f)" s.mean s.sd
+  else Format.fprintf fmt "%.1f (%.2f)" s.mean s.sd

@@ -1,0 +1,47 @@
+type t = int array
+(* Invariant: no trailing zeros are required; all ops treat missing
+   components as zero, so two arrays differing only in trailing zeros
+   are equal clocks. [normalise] trims them so [equal] can be
+   structural. *)
+
+let empty = [||]
+
+let normalise a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let get c tid = if tid < Array.length c then c.(tid) else 0
+
+let set c tid v =
+  let n = max (Array.length c) (tid + 1) in
+  let a = Array.make n 0 in
+  Array.blit c 0 a 0 (Array.length c);
+  a.(tid) <- v;
+  normalise a
+
+let tick c tid = set c tid (get c tid + 1)
+
+let join a b =
+  let n = max (Array.length a) (Array.length b) in
+  normalise (Array.init n (fun i -> max (get a i) (get b i)))
+
+let leq a b =
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) > get b i then ok := false
+  done;
+  !ok
+
+let equal a b = normalise a = normalise b
+let lt a b = leq a b && not (equal a b)
+let concurrent a b = (not (leq a b)) && not (leq b a)
+let size c = Array.length (normalise c)
+let to_list c = Array.to_list (normalise c)
+let of_list l = normalise (Array.of_list l)
+
+let pp fmt c =
+  Format.fprintf fmt "[%s]"
+    (String.concat ";" (List.map string_of_int (to_list c)))

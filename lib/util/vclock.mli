@@ -1,0 +1,47 @@
+(** Vector clocks for happens-before tracking.
+
+    The race detector (tsan11 substrate) keeps one clock per thread and
+    per synchronisation object; the memory model attaches clocks to
+    release stores. Clocks are immutable values: [join] and [tick]
+    return fresh clocks, which keeps the detector logic easy to reason
+    about (and to property-test). Thread ids index components; a clock
+    is conceptually infinite with zeros beyond its physical length. *)
+
+type t
+
+val empty : t
+(** The zero clock (bottom of the join semilattice). *)
+
+val get : t -> int -> int
+(** [get c tid] is component [tid] (0 for unset components). *)
+
+val set : t -> int -> int -> t
+(** [set c tid v] replaces component [tid]. *)
+
+val tick : t -> int -> t
+(** [tick c tid] increments component [tid]. *)
+
+val join : t -> t -> t
+(** Componentwise maximum. *)
+
+val leq : t -> t -> bool
+(** Pointwise order: [leq a b] iff every component of [a] is [<=] the
+    corresponding component of [b]. *)
+
+val lt : t -> t -> bool
+(** [leq a b && a <> b]. *)
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]. *)
+
+val equal : t -> t -> bool
+
+val size : t -> int
+(** Physical length (highest possibly-nonzero component + 1). *)
+
+val to_list : t -> int list
+(** Components in thread-id order, trailing zeros trimmed. *)
+
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit

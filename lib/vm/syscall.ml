@@ -1,0 +1,95 @@
+type kind =
+  | Read
+  | Write
+  | Recv
+  | Send
+  | Recvmsg
+  | Sendmsg
+  | Poll
+  | Select
+  | Epoll_wait
+  | Accept
+  | Accept4
+  | Bind
+  | Clock_gettime
+  | Ioctl
+  | Open_
+  | Close
+  | Pipe
+
+type request = {
+  kind : kind;
+  fd : int;
+  fds : int list;
+  payload : bytes;
+  len : int;
+  arg : int;
+  path : string;
+}
+
+type result = { ret : int; errno : int; data : bytes; elapsed : int }
+
+let request ?(fd = -1) ?(fds = []) ?(payload = Bytes.empty) ?(len = 0)
+    ?(arg = 0) ?(path = "") kind =
+  { kind; fd; fds; payload; len; arg; path }
+
+let ok ?(data = Bytes.empty) ?(elapsed = 0) ret = { ret; errno = 0; data; elapsed }
+let error ?(elapsed = 0) ~errno () = { ret = -1; errno; data = Bytes.empty; elapsed }
+
+let kind_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Recv -> "recv"
+  | Send -> "send"
+  | Recvmsg -> "recvmsg"
+  | Sendmsg -> "sendmsg"
+  | Poll -> "poll"
+  | Select -> "select"
+  | Epoll_wait -> "epoll_wait"
+  | Accept -> "accept"
+  | Accept4 -> "accept4"
+  | Bind -> "bind"
+  | Clock_gettime -> "clock_gettime"
+  | Ioctl -> "ioctl"
+  | Open_ -> "open"
+  | Close -> "close"
+  | Pipe -> "pipe"
+
+let kind_of_string = function
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "recv" -> Some Recv
+  | "send" -> Some Send
+  | "recvmsg" -> Some Recvmsg
+  | "sendmsg" -> Some Sendmsg
+  | "poll" -> Some Poll
+  | "select" -> Some Select
+  | "epoll_wait" -> Some Epoll_wait
+  | "accept" -> Some Accept
+  | "accept4" -> Some Accept4
+  | "bind" -> Some Bind
+  | "clock_gettime" -> Some Clock_gettime
+  | "ioctl" -> Some Ioctl
+  | "open" -> Some Open_
+  | "close" -> Some Close
+  | "pipe" -> Some Pipe
+  | _ -> None
+
+let pp_request fmt r =
+  Format.fprintf fmt "%s(fd=%d, len=%d, arg=%d)" (kind_to_string r.kind) r.fd
+    r.len r.arg
+
+let pp_result fmt r =
+  Format.fprintf fmt "ret=%d errno=%d |data|=%d elapsed=%d" r.ret r.errno
+    (Bytes.length r.data) r.elapsed
+
+let equal_result (a : result) b =
+  a.ret = b.ret && a.errno = b.errno && Bytes.equal a.data b.data
+  && a.elapsed = b.elapsed
+
+let eagain = 11
+let ebadf = 9
+let econnreset = 104
+let einval = 22
+let enosys = 38
+let enoent = 2

@@ -1,0 +1,258 @@
+(* Tests for the simulated external world (lib/env). *)
+
+module World = T11r_env.World
+module Syscall = T11r_vm.Syscall
+
+let check = Alcotest.check
+
+let mk ?(seed = 7L) ?deterministic_alloc () =
+  World.create ~seed ?deterministic_alloc ()
+
+(* A peer that sends "hello" 100µs after connecting, then goes quiet. *)
+let hello_peer =
+  {
+    World.on_receive = (fun _ _ -> []);
+    spontaneous =
+      (fun _ i -> if i = 0 then Some (100, Bytes.of_string "hello") else None);
+  }
+
+(* A peer that echoes back whatever it receives, 50µs later. *)
+let echo_peer =
+  {
+    World.on_receive = (fun _ data -> [ (50, data) ]);
+    spontaneous = (fun _ _ -> None);
+  }
+
+let test_connect_recv () =
+  let w = mk () in
+  let fd = World.connect w hello_peer in
+  (* recv before arrival blocks until the message lands *)
+  let r = World.syscall w ~now:0 (Syscall.request ~fd ~len:100 Syscall.Recv) in
+  check Alcotest.string "data" "hello" (Bytes.to_string r.data);
+  check Alcotest.int "elapsed until arrival" 100 r.elapsed;
+  (* peer is quiet now: EOF *)
+  let r2 = World.syscall w ~now:200 (Syscall.request ~fd ~len:100 Syscall.Recv) in
+  check Alcotest.int "eof" 0 r2.ret
+
+let test_send_echo () =
+  let w = mk () in
+  let fd = World.connect w echo_peer in
+  let payload = Bytes.of_string "ping" in
+  let r = World.syscall w ~now:1000 (Syscall.request ~fd ~payload Syscall.Send) in
+  check Alcotest.int "send ret" 4 r.ret;
+  let r2 =
+    World.syscall w ~now:1000 (Syscall.request ~fd ~len:100 Syscall.Recv)
+  in
+  check Alcotest.string "echo" "ping" (Bytes.to_string r2.data);
+  check Alcotest.int "echo delay" 50 r2.elapsed
+
+let test_poll_semantics () =
+  let w = mk () in
+  let fd = World.connect w hello_peer in
+  (* nothing ready at t=0; message due at t=100; timeout 1ms *)
+  let r =
+    World.syscall w ~now:0 (Syscall.request ~fds:[ fd ] ~arg:1 Syscall.Poll)
+  in
+  check Alcotest.int "poll wakes on arrival" 1 r.ret;
+  check Alcotest.int "poll blocked until arrival" 100 r.elapsed;
+  (* consume it, then poll again: times out after 2ms *)
+  ignore (World.syscall w ~now:100 (Syscall.request ~fd ~len:10 Syscall.Recv));
+  let r2 =
+    World.syscall w ~now:200 (Syscall.request ~fds:[ fd ] ~arg:2 Syscall.Poll)
+  in
+  check Alcotest.int "poll timeout ret" 0 r2.ret;
+  check Alcotest.int "poll timeout elapsed" 2000 r2.elapsed
+
+let test_listen_accept () =
+  let w = mk () in
+  let r = World.syscall w ~now:0 (Syscall.request ~arg:8080 Syscall.Bind) in
+  let lfd = r.ret in
+  check Alcotest.bool "bind ok" true (lfd >= 3);
+  (* no client yet *)
+  let r2 = World.syscall w ~now:0 (Syscall.request ~fd:lfd Syscall.Accept) in
+  check Alcotest.int "accept EAGAIN" (-1) r2.ret;
+  World.expect_connection w ~port:8080 ~at:500 hello_peer;
+  let r3 = World.syscall w ~now:0 (Syscall.request ~fd:lfd Syscall.Accept) in
+  check Alcotest.bool "accept returns fd" true (r3.ret >= 3);
+  check Alcotest.int "accept waited" 500 r3.elapsed;
+  (* the accepted socket carries the peer's behaviour *)
+  let r4 =
+    World.syscall w ~now:500 (Syscall.request ~fd:r3.ret ~len:10 Syscall.Recv)
+  in
+  check Alcotest.string "client data" "hello" (Bytes.to_string r4.data)
+
+let test_poll_listen_fd () =
+  let w = mk () in
+  let lfd = (World.syscall w ~now:0 (Syscall.request ~arg:80 Syscall.Bind)).ret in
+  World.expect_connection w ~port:80 ~at:300 hello_peer;
+  let r =
+    World.syscall w ~now:0 (Syscall.request ~fds:[ lfd ] ~arg:10 Syscall.Poll)
+  in
+  check Alcotest.int "poll wakes on connection" 1 r.ret;
+  check Alcotest.int "poll waited" 300 r.elapsed
+
+let test_files () =
+  let w = mk () in
+  World.add_file w ~path:"/etc/config" "key=value\n";
+  let fd = (World.syscall w ~now:0 (Syscall.request ~path:"/etc/config" Syscall.Open_)).ret in
+  let r = World.syscall w ~now:0 (Syscall.request ~fd ~len:4 Syscall.Read) in
+  check Alcotest.string "chunk 1" "key=" (Bytes.to_string r.data);
+  let r2 = World.syscall w ~now:0 (Syscall.request ~fd ~len:100 Syscall.Read) in
+  check Alcotest.string "chunk 2" "value\n" (Bytes.to_string r2.data);
+  let r3 = World.syscall w ~now:0 (Syscall.request ~fd ~len:100 Syscall.Read) in
+  check Alcotest.int "eof" 0 r3.ret;
+  let missing = World.syscall w ~now:0 (Syscall.request ~path:"/nope" Syscall.Open_) in
+  check Alcotest.int "ENOENT" Syscall.enoent missing.errno
+
+let test_proc_file_nondeterminism () =
+  let w = mk () in
+  World.add_proc_file w ~path:"/proc/stat" (fun rng ->
+      Printf.sprintf "cpu %d\n" (T11r_util.Prng.int rng 1000000));
+  let read_once () =
+    let fd =
+      (World.syscall w ~now:0 (Syscall.request ~path:"/proc/stat" Syscall.Open_)).ret
+    in
+    let r = World.syscall w ~now:0 (Syscall.request ~fd ~len:100 Syscall.Read) in
+    Bytes.to_string r.data
+  in
+  let a = read_once () in
+  let b = read_once () in
+  check Alcotest.bool "proc content varies" true (a <> b)
+
+let test_stdout_capture () =
+  let w = mk () in
+  ignore
+    (World.syscall w ~now:0
+       (Syscall.request ~fd:World.stdout_fd
+          ~payload:(Bytes.of_string "out1 ") Syscall.Write));
+  ignore
+    (World.syscall w ~now:0
+       (Syscall.request ~fd:World.stdout_fd
+          ~payload:(Bytes.of_string "out2") Syscall.Write));
+  check Alcotest.string "output stream" "out1 out2" (World.output w)
+
+let test_gpu_ioctl () =
+  let w = mk () in
+  let fd = (World.syscall w ~now:0 (Syscall.request ~path:World.gpu_path Syscall.Open_)).ret in
+  let r = World.syscall w ~now:0 (Syscall.request ~fd ~arg:1 Syscall.Ioctl) in
+  check Alcotest.int "flip ok" 0 r.ret;
+  check Alcotest.int "frame counted" 1 (World.gpu_frames w);
+  World.set_forbid_opaque_ioctl w true;
+  Alcotest.check_raises "forbidden"
+    (World.Unsupported "ioctl on proprietary display driver") (fun () ->
+      ignore (World.syscall w ~now:0 (Syscall.request ~fd ~arg:1 Syscall.Ioctl)))
+
+let test_clock () =
+  let w = mk () in
+  let r = World.syscall w ~now:1234 (Syscall.request Syscall.Clock_gettime) in
+  check Alcotest.int "clock is now" 1234 r.ret
+
+let test_signals () =
+  let w = mk () in
+  World.schedule_signal w ~at:500 ~signo:15;
+  World.schedule_signal w ~at:100 ~signo:2;
+  check
+    Alcotest.(option (pair int int))
+    "peek earliest" (Some (100, 2)) (World.peek_signal w);
+  check
+    Alcotest.(option (pair int int))
+    "none due yet" None
+    (World.next_signal w ~upto:50);
+  check
+    Alcotest.(option (pair int int))
+    "pop first" (Some (100, 2))
+    (World.next_signal w ~upto:1000);
+  check
+    Alcotest.(option (pair int int))
+    "pop second" (Some (500, 15))
+    (World.next_signal w ~upto:1000);
+  check Alcotest.(option (pair int int)) "empty" None (World.next_signal w ~upto:1000)
+
+let test_alloc_nondeterminism () =
+  let w1 = mk ~seed:1L () in
+  let w2 = mk ~seed:2L () in
+  let a1 = World.alloc w1 64 in
+  let a2 = World.alloc w2 64 in
+  check Alcotest.bool "layouts differ across worlds" true (a1 <> a2);
+  let d1 = mk ~seed:1L ~deterministic_alloc:true () in
+  let d2 = mk ~seed:2L ~deterministic_alloc:true () in
+  check Alcotest.int "deterministic allocator agrees" (World.alloc d1 64)
+    (World.alloc d2 64)
+
+let test_alloc_distinct () =
+  let w = mk () in
+  let a = World.alloc w 32 in
+  let b = World.alloc w 32 in
+  check Alcotest.bool "addresses distinct" true (a <> b)
+
+let alloc_distinct_prop =
+  QCheck.Test.make ~name:"allocator addresses all distinct" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 1 256))
+    (fun sizes ->
+      let w = mk () in
+      let addrs = List.map (World.alloc w) sizes in
+      List.length (List.sort_uniq compare addrs) = List.length addrs)
+
+let alloc_det_monotone =
+  QCheck.Test.make ~name:"deterministic allocator is a bump allocator"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 1 256))
+    (fun sizes ->
+      let w = mk ~deterministic_alloc:true () in
+      let addrs = List.map (World.alloc w) sizes in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      increasing addrs)
+
+let test_alloc_order_nondeterministic () =
+  (* Two worlds allocate the same sizes; the address *order* differs —
+     this is what breaks pointer-ordered containers on replay (§5.5). *)
+  let order seed =
+    let w = mk ~seed () in
+    let addrs = List.init 8 (fun i -> (World.alloc w (32 + i), i)) in
+    List.map snd (List.sort compare addrs)
+  in
+  check Alcotest.bool "orders differ" true (order 1L <> order 2L)
+
+let test_bad_fd () =
+  let w = mk () in
+  let r = World.syscall w ~now:0 (Syscall.request ~fd:999 ~len:10 Syscall.Recv) in
+  check Alcotest.int "EBADF" Syscall.ebadf r.errno
+
+let () =
+  Alcotest.run "env"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "connect/recv" `Quick test_connect_recv;
+          Alcotest.test_case "send/echo" `Quick test_send_echo;
+          Alcotest.test_case "poll" `Quick test_poll_semantics;
+          Alcotest.test_case "listen/accept" `Quick test_listen_accept;
+          Alcotest.test_case "poll listen fd" `Quick test_poll_listen_fd;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "files" `Quick test_files;
+          Alcotest.test_case "proc nondeterminism" `Quick test_proc_file_nondeterminism;
+          Alcotest.test_case "stdout capture" `Quick test_stdout_capture;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "gpu ioctl" `Quick test_gpu_ioctl;
+          Alcotest.test_case "clock" `Quick test_clock;
+          Alcotest.test_case "bad fd" `Quick test_bad_fd;
+        ] );
+      ( "signals",
+        [ Alcotest.test_case "schedule/deliver" `Quick test_signals ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "nondeterminism" `Quick test_alloc_nondeterminism;
+          Alcotest.test_case "distinct" `Quick test_alloc_distinct;
+          Alcotest.test_case "order nondeterminism" `Quick
+            test_alloc_order_nondeterministic;
+          QCheck_alcotest.to_alcotest alloc_distinct_prop;
+          QCheck_alcotest.to_alcotest alloc_det_monotone;
+        ] );
+    ]

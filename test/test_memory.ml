@@ -1,0 +1,779 @@
+(* Tests for the C++11 memory-model fragment (lib/memory) and the
+   happens-before race detector (lib/race). *)
+
+open T11r_mem
+module Detector = T11r_race.Detector
+module Report = T11r_race.Report
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Deterministic choice functions for loads. *)
+let newest n = n - 1
+let oldest _ = 0
+
+let mk () = Atomics.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Memord *)
+
+let test_memord_classes () =
+  check Alcotest.bool "acquire is acquire" true Memord.(is_acquire Acquire);
+  check Alcotest.bool "release not acquire" false Memord.(is_acquire Release);
+  check Alcotest.bool "sc is both" true
+    Memord.(is_acquire Seq_cst && is_release Seq_cst);
+  check Alcotest.bool "relaxed is neither" false
+    Memord.(is_acquire Relaxed || is_release Relaxed)
+
+let test_memord_string_roundtrip () =
+  List.iter
+    (fun mo ->
+      check Alcotest.bool "roundtrip" true
+        (Memord.of_string (Memord.to_string mo) = Some mo))
+    Memord.all;
+  check Alcotest.bool "bad string" true (Memord.of_string "bogus" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Basic coherence *)
+
+let test_read_own_write () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  Atomics.store mem x t1 Relaxed 41;
+  Atomics.store mem x t1 Relaxed 42;
+  (* A thread's own stores floor its reads: only 42 is admissible. *)
+  check
+    Alcotest.(list int)
+    "own store floors" [ 42 ]
+    (Atomics.candidates mem x t1 Relaxed);
+  check Alcotest.int "reads own newest" 42
+    (Atomics.load mem x t1 Relaxed ~choose:oldest)
+
+let test_stale_read_possible () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem x t1 Relaxed 1;
+  (* t2 has no hb edge to t1's store, so both 0 and 1 are admissible. *)
+  check
+    Alcotest.(list int)
+    "stale candidate" [ 0; 1 ]
+    (Atomics.candidates mem x t2 Relaxed);
+  check Alcotest.int "can read stale" 0
+    (Atomics.load mem x t2 Relaxed ~choose:oldest)
+
+let test_read_read_coherence () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem x t1 Relaxed 1;
+  Atomics.store mem x t1 Relaxed 2;
+  (* t2 reads the middle store; afterwards the initial store must no
+     longer be admissible (read-read coherence). *)
+  let v = Atomics.load mem x t2 Relaxed ~choose:(fun n -> n - 2) in
+  check Alcotest.int "middle" 1 v;
+  check Alcotest.(list int) "floor raised" [ 1; 2 ]
+    (Atomics.candidates mem x t2 Relaxed)
+
+let test_acquire_release_sync () =
+  let mem = mk () in
+  let data = Atomics.fresh_loc mem ~name:"data" ~init:0 in
+  let flag = Atomics.fresh_loc mem ~name:"flag" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem data t1 Relaxed 99;
+  Atomics.store mem flag t1 Release 1;
+  (* t2 acquire-reads the flag; the data store becomes hb-visible, so
+     the stale 0 is no longer admissible. *)
+  let f = Atomics.load mem flag t2 Acquire ~choose:newest in
+  check Alcotest.int "flag" 1 f;
+  check Alcotest.(list int) "data visible" [ 99 ]
+    (Atomics.candidates mem data t2 Relaxed)
+
+let test_relaxed_no_sync () =
+  let mem = mk () in
+  let data = Atomics.fresh_loc mem ~name:"data" ~init:0 in
+  let flag = Atomics.fresh_loc mem ~name:"flag" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem data t1 Relaxed 99;
+  Atomics.store mem flag t1 Release 1;
+  (* Relaxed read of the flag: no synchronisation, stale data allowed. *)
+  let f = Atomics.load mem flag t2 Relaxed ~choose:newest in
+  check Alcotest.int "flag" 1 f;
+  check Alcotest.(list int) "data may be stale" [ 0; 99 ]
+    (Atomics.candidates mem data t2 Relaxed)
+
+let test_fence_sync () =
+  let mem = mk () in
+  let data = Atomics.fresh_loc mem ~name:"data" ~init:0 in
+  let flag = Atomics.fresh_loc mem ~name:"flag" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  (* Release fence + relaxed store publishes; relaxed load + acquire
+     fence subscribes (C++11 fence synchronisation). *)
+  Atomics.store mem data t1 Relaxed 7;
+  Atomics.fence mem t1 Release;
+  Atomics.store mem flag t1 Relaxed 1;
+  let f = Atomics.load mem flag t2 Relaxed ~choose:newest in
+  check Alcotest.int "flag" 1 f;
+  check Alcotest.(list int) "not yet visible" [ 0; 7 ]
+    (Atomics.candidates mem data t2 Relaxed);
+  Atomics.fence mem t2 Acquire;
+  check Alcotest.(list int) "visible after acquire fence" [ 7 ]
+    (Atomics.candidates mem data t2 Relaxed)
+
+let test_sc_fence_dekker () =
+  (* Dekker: with SC fences between store and load, at least one thread
+     must see the other's store. *)
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let y = Atomics.fresh_loc mem ~name:"y" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem x t1 Relaxed 1;
+  Atomics.fence mem t1 Seq_cst;
+  Atomics.store mem y t2 Relaxed 1;
+  Atomics.fence mem t2 Seq_cst;
+  (* t2 fenced after t1: t2 must see x = 1. *)
+  check Alcotest.(list int) "t2 sees x=1" [ 1 ]
+    (Atomics.candidates mem x t2 Relaxed)
+
+let test_sc_load_floor () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem x t1 Seq_cst 5;
+  (* An SC load may not read past the last SC store. *)
+  check Alcotest.(list int) "sc floor" [ 5 ]
+    (Atomics.candidates mem x t2 Seq_cst);
+  (* ... but a relaxed load still may. *)
+  check Alcotest.(list int) "relaxed unaffected" [ 0; 5 ]
+    (Atomics.candidates mem x t2 Relaxed)
+
+let test_rmw_reads_newest () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:10 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem x t1 Relaxed 20;
+  (* Even though t2 could *load* 10, its RMW must act on 20. *)
+  let old = Atomics.rmw mem x t2 Relaxed (fun v -> v + 1) in
+  check Alcotest.int "rmw old" 20 old;
+  check Alcotest.int "rmw new" 21 (Atomics.newest_value mem x)
+
+let test_release_sequence_via_rmw () =
+  let mem = mk () in
+  let data = Atomics.fresh_loc mem ~name:"data" ~init:0 in
+  let flag = Atomics.fresh_loc mem ~name:"flag" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  let t3 = Tstate.create ~tid:3 in
+  Atomics.store mem data t1 Relaxed 1;
+  Atomics.store mem flag t1 Release 1;
+  (* t2's relaxed RMW continues t1's release sequence... *)
+  ignore (Atomics.rmw mem flag t2 Relaxed (fun v -> v + 1));
+  (* ... so t3's acquire load of the RMW's store synchronises with t1. *)
+  let f = Atomics.load mem flag t3 Acquire ~choose:newest in
+  check Alcotest.int "flag" 2 f;
+  check Alcotest.(list int) "data visible through release sequence" [ 1 ]
+    (Atomics.candidates mem data t3 Relaxed)
+
+let test_cas_success_failure () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let ok, old =
+    Atomics.cas mem x t1 ~success:Acq_rel ~failure:Acquire ~expected:0
+      ~desired:5 ~choose:newest
+  in
+  check Alcotest.bool "cas ok" true ok;
+  check Alcotest.int "cas old" 0 old;
+  let ok2, old2 =
+    Atomics.cas mem x t1 ~success:Acq_rel ~failure:Acquire ~expected:0
+      ~desired:9 ~choose:newest
+  in
+  check Alcotest.bool "cas fails" false ok2;
+  check Alcotest.int "cas observes" 5 old2;
+  check Alcotest.int "value unchanged" 5 (Atomics.newest_value mem x)
+
+let test_history_bound () =
+  let mem = Atomics.create ~max_history:4 () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  for i = 1 to 100 do
+    Atomics.store mem x t1 Relaxed i
+  done;
+  check Alcotest.bool "bounded" true (Atomics.history_length mem x <= 4);
+  check Alcotest.int "newest survives" 100 (Atomics.newest_value mem x)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 of the paper: the weak-memory race *)
+
+(* T1: nax = 1; x.store(1, release); y.store(1, release)
+   T2: if (y.load(relaxed) == 1 && x.load(relaxed) == 0) x.store(2, relaxed)
+   T3: if (x.load(acquire) > 0) print(nax)
+   Racy under C++11 (T3 reads T2's relaxed store, which publishes
+   nothing), impossible under SC. *)
+
+let fig1 ~t2_reads_stale_x =
+  let mem = mk () in
+  let det = Detector.create () in
+  let nax = Detector.fresh_var det ~name:"nax" in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let y = Atomics.fresh_loc mem ~name:"y" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  let t3 = Tstate.create ~tid:3 in
+  (* T1 *)
+  Detector.write det nax ~st:t1;
+  Atomics.store mem x t1 Release 1;
+  Atomics.store mem y t1 Release 1;
+  (* T2 *)
+  let yv = Atomics.load mem y t2 Relaxed ~choose:newest in
+  let xv =
+    Atomics.load mem x t2 Relaxed
+      ~choose:(if t2_reads_stale_x then oldest else newest)
+  in
+  if yv = 1 && xv = 0 then Atomics.store mem x t2 Relaxed 2;
+  (* T3 *)
+  let x3 = Atomics.load mem x t3 Acquire ~choose:newest in
+  if x3 > 0 then Detector.read det nax ~st:t3;
+  det
+
+let test_fig1_racy_execution () =
+  let det = fig1 ~t2_reads_stale_x:true in
+  check Alcotest.bool "race found" true (Detector.racy det);
+  match Detector.reports det with
+  | [ r ] ->
+      check Alcotest.string "on nax" "nax" r.Report.var;
+      check Alcotest.bool "write-read" true (r.kind = Report.Write_read)
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+let test_fig1_sc_like_execution () =
+  (* When T2 reads the newest x (as SC would force), the conditional
+     fails, T3 synchronises with T1's release store, and there is no
+     race. *)
+  let det = fig1 ~t2_reads_stale_x:false in
+  check Alcotest.bool "no race" false (Detector.racy det)
+
+(* ------------------------------------------------------------------ *)
+(* The model's envelope on the classic litmus shapes.
+
+   These tests document exactly which weak behaviours the operational
+   store-history model admits — the same envelope as tsan11's, which
+   the paper inherits: store buffering and independent-reads reorderings
+   are exhibited; load buffering (which needs value speculation) is not
+   representable in any operational store-based model. *)
+
+(* SB (store buffering): x=1 || y=1 ; r1=y || r2=x.
+   relaxed: both threads may read 0.  SC: forbidden. *)
+let test_sb_relaxed_allows_both_zero () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let y = Atomics.fresh_loc mem ~name:"y" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Atomics.store mem x t1 Relaxed 1;
+  Atomics.store mem y t2 Relaxed 1;
+  let r1 = Atomics.load mem y t1 Relaxed ~choose:oldest in
+  let r2 = Atomics.load mem x t2 Relaxed ~choose:oldest in
+  check Alcotest.(pair int int) "both stale" (0, 0) (r1, r2)
+
+let test_sb_seqcst_forbids_both_zero () =
+  (* Under seq_cst accesses, at least one thread sees the other's
+     store, whatever the choice function tries. *)
+  let outcomes = ref [] in
+  List.iter
+    (fun (c1, c2) ->
+      let mem = mk () in
+      let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+      let y = Atomics.fresh_loc mem ~name:"y" ~init:0 in
+      let t1 = Tstate.create ~tid:1 in
+      let t2 = Tstate.create ~tid:2 in
+      Atomics.store mem x t1 Seq_cst 1;
+      Atomics.store mem y t2 Seq_cst 1;
+      let r1 = Atomics.load mem y t1 Seq_cst ~choose:c1 in
+      let r2 = Atomics.load mem x t2 Seq_cst ~choose:c2 in
+      outcomes := (r1, r2) :: !outcomes)
+    [ (oldest, oldest); (oldest, newest); (newest, oldest); (newest, newest) ];
+  check Alcotest.bool "(0,0) unreachable" false (List.mem (0, 0) !outcomes)
+
+(* MP (message passing) is covered by test_acquire_release_sync and
+   test_relaxed_no_sync above. *)
+
+(* LB (load buffering): r1=x; y=1 || r2=y; x=1 with everything relaxed.
+   C++11 nominally allows r1=r2=1; an operational model cannot produce
+   it (a load only returns already-performed stores), and neither does
+   tsan11. Document that. *)
+let test_lb_not_producible () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let y = Atomics.fresh_loc mem ~name:"y" ~init:0 in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  (* whichever thread loads first can only see 0 *)
+  let r1 = Atomics.load mem x t1 Relaxed ~choose:newest in
+  Atomics.store mem y t1 Relaxed 1;
+  let r2 = Atomics.load mem y t2 Relaxed ~choose:newest in
+  Atomics.store mem x t2 Relaxed 1;
+  check Alcotest.bool "no (1,1)" false (r1 = 1 && r2 = 1);
+  check Alcotest.int "first load saw init" 0 r1
+
+(* IRIW (independent reads of independent writes): two writers, two
+   readers; relaxed readers may observe the writes in opposite orders. *)
+let test_iriw_relaxed_allows_disagreement () =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let y = Atomics.fresh_loc mem ~name:"y" ~init:0 in
+  let w1 = Tstate.create ~tid:1 in
+  let w2 = Tstate.create ~tid:2 in
+  let ra = Tstate.create ~tid:3 in
+  let rb = Tstate.create ~tid:4 in
+  Atomics.store mem x w1 Relaxed 1;
+  Atomics.store mem y w2 Relaxed 1;
+  (* reader A: x then y — sees x=1, y=0 (stale) *)
+  let a1 = Atomics.load mem x ra Relaxed ~choose:newest in
+  let a2 = Atomics.load mem y ra Relaxed ~choose:oldest in
+  (* reader B: y then x — sees y=1, x=0 (stale): opposite order *)
+  let b1 = Atomics.load mem y rb Relaxed ~choose:newest in
+  let b2 = Atomics.load mem x rb Relaxed ~choose:oldest in
+  check Alcotest.bool "readers disagree" true
+    (a1 = 1 && a2 = 0 && b1 = 1 && b2 = 0)
+
+(* CoRR (coherence of read-read): a single thread may never observe a
+   location going backwards in modification order, whatever the memory
+   orders. *)
+let corr_coherence =
+  QCheck.Test.make ~name:"CoRR: same-thread reads never go backwards"
+    ~count:300
+    QCheck.(pair (list_of_size Gen.(int_range 1 10) (int_range 0 7)) int64)
+    (fun (choices, seed) ->
+      let mem = mk () in
+      let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+      let writer = Tstate.create ~tid:1 in
+      let reader = Tstate.create ~tid:2 in
+      let rng = T11r_util.Prng.create ~seed1:seed ~seed2:3L in
+      for i = 1 to 6 do
+        Atomics.store mem x writer Relaxed i
+      done;
+      let last = ref (-1) in
+      List.for_all
+        (fun c ->
+          ignore c;
+          let v =
+            Atomics.load mem x reader Relaxed ~choose:(fun n ->
+                T11r_util.Prng.int rng n)
+          in
+          let ok = v >= !last in
+          last := v;
+          ok)
+        choices)
+
+(* ------------------------------------------------------------------ *)
+(* Race detector basics *)
+
+let test_race_ww () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Detector.write det v ~st:t1;
+  Detector.write det v ~st:t2;
+  check Alcotest.int "one report" 1 (Detector.report_count det);
+  match Detector.reports det with
+  | [ r ] -> check Alcotest.bool "ww" true (r.Report.kind = Report.Write_write)
+  | _ -> Alcotest.fail "expected exactly one report"
+
+let test_race_rw () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Detector.read det v ~st:t1;
+  Detector.write det v ~st:t2;
+  match Detector.reports det with
+  | [ r ] -> check Alcotest.bool "rw" true (r.Report.kind = Report.Read_write)
+  | _ -> Alcotest.fail "expected exactly one report"
+
+let test_no_race_reads () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Detector.read det v ~st:t1;
+  Detector.read det v ~st:t2;
+  check Alcotest.bool "reads don't race" false (Detector.racy det)
+
+let test_no_race_when_synchronised () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Detector.write det v ~st:t1;
+  (* Simulate release/acquire synchronisation t1 -> t2. *)
+  Tstate.acquire t2 t1.clock;
+  Detector.write det v ~st:t2;
+  check Alcotest.bool "ordered writes don't race" false (Detector.racy det)
+
+let test_same_thread_no_race () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let t1 = Tstate.create ~tid:1 in
+  Detector.write det v ~st:t1;
+  Detector.read det v ~st:t1;
+  Detector.write det v ~st:t1;
+  check Alcotest.bool "sequential accesses" false (Detector.racy det)
+
+let test_race_dedup () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Detector.write det v ~st:t1;
+  Detector.read det v ~st:t2;
+  Detector.read det v ~st:t2;
+  Detector.read det v ~st:t2;
+  check Alcotest.int "deduplicated" 1 (Detector.report_count det)
+
+let test_race_callback () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let hits = ref 0 in
+  Detector.on_report det (fun _ -> incr hits);
+  let t1 = Tstate.create ~tid:1 in
+  let t2 = Tstate.create ~tid:2 in
+  Detector.write det v ~st:t1;
+  Detector.write det v ~st:t2;
+  check Alcotest.int "callback fired once" 1 !hits
+
+let test_fork_orders_accesses () =
+  let det = Detector.create () in
+  let v = Detector.fresh_var det ~name:"v" in
+  let parent = Tstate.create ~tid:0 in
+  Detector.write det v ~st:parent;
+  let child = Tstate.fork ~parent ~tid:1 in
+  Detector.read det v ~st:child;
+  check Alcotest.bool "create orders parent before child" false
+    (Detector.racy det)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let ops_gen =
+  (* A random sequence of (thread, op) over two locations. *)
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (pair (int_range 1 3)
+         (oneof
+            [
+              return `Store_x;
+              return `Store_y;
+              return `Load_x;
+              return `Load_y;
+              return `Rmw_x;
+              return `Fence;
+            ])))
+
+let run_random_ops ~choose ops =
+  let mem = mk () in
+  let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+  let y = Atomics.fresh_loc mem ~name:"y" ~init:0 in
+  let states = Array.init 4 (fun tid -> Tstate.create ~tid) in
+  let counter = ref 0 in
+  List.iter
+    (fun (tid, op) ->
+      incr counter;
+      let st = states.(tid) in
+      match op with
+      | `Store_x -> Atomics.store mem x st Release !counter
+      | `Store_y -> Atomics.store mem y st Relaxed !counter
+      | `Load_x -> ignore (Atomics.load mem x st Acquire ~choose)
+      | `Load_y -> ignore (Atomics.load mem y st Relaxed ~choose)
+      | `Rmw_x -> ignore (Atomics.rmw mem x st Acq_rel (fun v -> v + 1))
+      | `Fence -> Atomics.fence mem st Seq_cst)
+    ops;
+  (mem, x, y, states)
+
+let prop_candidates_never_empty =
+  QCheck.Test.make ~name:"admissible set never empty" ~count:300
+    (QCheck.make ops_gen) (fun ops ->
+      let mem, x, y, states = run_random_ops ~choose:(fun n -> n - 1) ops in
+      Array.for_all
+        (fun st ->
+          List.length (Atomics.candidates mem x st Memord.Relaxed) >= 1
+          && List.length (Atomics.candidates mem y st Memord.Relaxed) >= 1)
+        states)
+
+let prop_newest_always_admissible =
+  QCheck.Test.make ~name:"newest store always admissible" ~count:300
+    (QCheck.make ops_gen) (fun ops ->
+      let mem, x, _, states = run_random_ops ~choose:(fun n -> n - 1) ops in
+      let nv = Atomics.newest_value mem x in
+      Array.for_all
+        (fun st ->
+          let cands = Atomics.candidates mem x st Memord.Relaxed in
+          List.nth cands (List.length cands - 1) = nv)
+        states)
+
+let prop_newest_choice_is_sc_per_loc =
+  (* Always choosing the newest store makes each location behave like a
+     sequentially consistent register. *)
+  QCheck.Test.make ~name:"newest-choice behaves like SC register" ~count:200
+    (QCheck.make ops_gen) (fun ops ->
+      let mem = mk () in
+      let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+      let states = Array.init 4 (fun tid -> Tstate.create ~tid) in
+      let shadow = ref 0 in
+      let counter = ref 0 in
+      List.for_all
+        (fun (tid, op) ->
+          incr counter;
+          let st = states.(tid) in
+          match op with
+          | `Store_x | `Store_y ->
+              Atomics.store mem x st Memord.Relaxed !counter;
+              shadow := !counter;
+              true
+          | `Load_x | `Load_y ->
+              Atomics.load mem x st Memord.Relaxed ~choose:(fun n -> n - 1)
+              = !shadow
+          | `Rmw_x ->
+              let old = Atomics.rmw mem x st Memord.Relaxed (fun v -> v + 1) in
+              let ok = old = !shadow in
+              shadow := old + 1;
+              ok
+          | `Fence ->
+              Atomics.fence mem st Memord.Seq_cst;
+              true)
+        ops)
+
+let prop_clock_monotone =
+  QCheck.Test.make ~name:"thread clocks only grow" ~count:200
+    (QCheck.make ops_gen) (fun ops ->
+      let mem = mk () in
+      let x = Atomics.fresh_loc mem ~name:"x" ~init:0 in
+      let states = Array.init 4 (fun tid -> Tstate.create ~tid) in
+      List.for_all
+        (fun (tid, op) ->
+          let st = states.(tid) in
+          let before = st.Tstate.clock in
+          (match op with
+          | `Store_x | `Store_y -> Atomics.store mem x st Memord.Release 1
+          | `Load_x | `Load_y ->
+              ignore (Atomics.load mem x st Memord.Acquire ~choose:(fun n -> n - 1))
+          | `Rmw_x -> ignore (Atomics.rmw mem x st Memord.Acq_rel (fun v -> v))
+          | `Fence -> Atomics.fence mem st Memord.Seq_cst);
+          T11r_util.Vclock.leq before st.Tstate.clock)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Lock-order inversion detection *)
+
+module Lockorder = T11r_race.Lockorder
+
+let test_lockorder_abba () =
+  let lo = Lockorder.create () in
+  (* T1: A then B; T2: B then A -> cycle *)
+  Lockorder.acquired lo ~tid:1 ~lock:0 ~name:"A";
+  Lockorder.acquired lo ~tid:1 ~lock:1 ~name:"B";
+  Lockorder.released lo ~tid:1 ~lock:1;
+  Lockorder.released lo ~tid:1 ~lock:0;
+  Lockorder.acquired lo ~tid:2 ~lock:1 ~name:"B";
+  Lockorder.acquired lo ~tid:2 ~lock:0 ~name:"A";
+  check Alcotest.int "one cycle" 1 (Lockorder.cycle_count lo);
+  match Lockorder.cycles lo with
+  | [ cyc ] ->
+      check Alcotest.bool "mentions both locks" true
+        (let s = Format.asprintf "%a" Lockorder.pp_cycle cyc in
+         let has sub =
+           let n = String.length sub and h = String.length s in
+           let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+           go 0
+         in
+         has "A" && has "B")
+  | _ -> Alcotest.fail "expected one cycle"
+
+let test_lockorder_consistent_no_cycle () =
+  let lo = Lockorder.create () in
+  for tid = 1 to 4 do
+    Lockorder.acquired lo ~tid ~lock:0 ~name:"A";
+    Lockorder.acquired lo ~tid ~lock:1 ~name:"B";
+    Lockorder.acquired lo ~tid ~lock:2 ~name:"C";
+    Lockorder.released lo ~tid ~lock:2;
+    Lockorder.released lo ~tid ~lock:1;
+    Lockorder.released lo ~tid ~lock:0
+  done;
+  check Alcotest.int "consistent order: no cycle" 0 (Lockorder.cycle_count lo)
+
+let test_lockorder_three_way () =
+  let lo = Lockorder.create () in
+  (* A->B, B->C, C->A *)
+  Lockorder.acquired lo ~tid:1 ~lock:0 ~name:"A";
+  Lockorder.acquired lo ~tid:1 ~lock:1 ~name:"B";
+  Lockorder.released lo ~tid:1 ~lock:1;
+  Lockorder.released lo ~tid:1 ~lock:0;
+  Lockorder.acquired lo ~tid:2 ~lock:1 ~name:"B";
+  Lockorder.acquired lo ~tid:2 ~lock:2 ~name:"C";
+  Lockorder.released lo ~tid:2 ~lock:2;
+  Lockorder.released lo ~tid:2 ~lock:1;
+  check Alcotest.int "no cycle yet" 0 (Lockorder.cycle_count lo);
+  Lockorder.acquired lo ~tid:3 ~lock:2 ~name:"C";
+  Lockorder.acquired lo ~tid:3 ~lock:0 ~name:"A";
+  check Alcotest.int "three-way cycle" 1 (Lockorder.cycle_count lo)
+
+let test_lockorder_dedup () =
+  let lo = Lockorder.create () in
+  for _ = 1 to 3 do
+    Lockorder.acquired lo ~tid:1 ~lock:0 ~name:"A";
+    Lockorder.acquired lo ~tid:1 ~lock:1 ~name:"B";
+    Lockorder.released lo ~tid:1 ~lock:1;
+    Lockorder.released lo ~tid:1 ~lock:0;
+    Lockorder.acquired lo ~tid:2 ~lock:1 ~name:"B";
+    Lockorder.acquired lo ~tid:2 ~lock:0 ~name:"A";
+    Lockorder.released lo ~tid:2 ~lock:0;
+    Lockorder.released lo ~tid:2 ~lock:1
+  done;
+  check Alcotest.int "reported once" 1 (Lockorder.cycle_count lo)
+
+let test_lockorder_reentrant_self () =
+  let lo = Lockorder.create () in
+  Lockorder.acquired lo ~tid:1 ~lock:0 ~name:"A";
+  Lockorder.acquired lo ~tid:1 ~lock:0 ~name:"A";
+  check Alcotest.int "self edges ignored" 0 (Lockorder.cycle_count lo)
+
+(* ------------------------------------------------------------------ *)
+(* tsan-style report rendering *)
+
+module Reportfmt = T11r_race.Reportfmt
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_reportfmt_race () =
+  let r =
+    {
+      Report.var = "scoreboard";
+      kind = Report.Write_read;
+      first_tid = 1;
+      second_tid = 3;
+    }
+  in
+  let s = Reportfmt.race ~thread_names:[ (1, "worker1"); (3, "worker3") ] ~tick:42 r in
+  check Alcotest.bool "warning header" true (contains s "WARNING: data race");
+  check Alcotest.bool "names both threads" true
+    (contains s "T1 (worker1)" && contains s "T3 (worker3)");
+  check Alcotest.bool "location" true (contains s "scoreboard");
+  check Alcotest.bool "tick" true (contains s "#42")
+
+let test_reportfmt_cycle () =
+  let lo = Lockorder.create () in
+  Lockorder.acquired lo ~tid:1 ~lock:0 ~name:"A";
+  Lockorder.acquired lo ~tid:1 ~lock:1 ~name:"B";
+  Lockorder.released lo ~tid:1 ~lock:1;
+  Lockorder.released lo ~tid:1 ~lock:0;
+  Lockorder.acquired lo ~tid:2 ~lock:1 ~name:"B";
+  Lockorder.acquired lo ~tid:2 ~lock:0 ~name:"A";
+  match Lockorder.cycles lo with
+  | [ c ] ->
+      let s = Reportfmt.lock_cycle c in
+      check Alcotest.bool "inversion header" true
+        (contains s "lock-order inversion");
+      check Alcotest.bool "mentions locks" true (contains s "'A'" && contains s "'B'")
+  | _ -> Alcotest.fail "expected one cycle"
+
+let test_reportfmt_summary () =
+  let r =
+    { Report.var = "v"; kind = Report.Write_write; first_tid = 1; second_tid = 2 }
+  in
+  check Alcotest.string "clean is silent" ""
+    (Reportfmt.summary ~races:[] ~cycles:[]);
+  check Alcotest.bool "counts" true
+    (contains (Reportfmt.summary ~races:[ r ] ~cycles:[]) "1 data race")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "memord",
+        [
+          Alcotest.test_case "classes" `Quick test_memord_classes;
+          Alcotest.test_case "string roundtrip" `Quick test_memord_string_roundtrip;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "read own write" `Quick test_read_own_write;
+          Alcotest.test_case "stale read possible" `Quick test_stale_read_possible;
+          Alcotest.test_case "read-read coherence" `Quick test_read_read_coherence;
+          Alcotest.test_case "history bound" `Quick test_history_bound;
+        ] );
+      ( "synchronisation",
+        [
+          Alcotest.test_case "acquire/release" `Quick test_acquire_release_sync;
+          Alcotest.test_case "relaxed no sync" `Quick test_relaxed_no_sync;
+          Alcotest.test_case "fences" `Quick test_fence_sync;
+          Alcotest.test_case "sc fence dekker" `Quick test_sc_fence_dekker;
+          Alcotest.test_case "sc load floor" `Quick test_sc_load_floor;
+          Alcotest.test_case "release sequence rmw" `Quick
+            test_release_sequence_via_rmw;
+        ] );
+      ( "rmw",
+        [
+          Alcotest.test_case "rmw newest" `Quick test_rmw_reads_newest;
+          Alcotest.test_case "cas" `Quick test_cas_success_failure;
+        ] );
+      ( "envelope",
+        [
+          Alcotest.test_case "SB relaxed" `Quick test_sb_relaxed_allows_both_zero;
+          Alcotest.test_case "SB seq_cst" `Quick test_sb_seqcst_forbids_both_zero;
+          Alcotest.test_case "LB not producible" `Quick test_lb_not_producible;
+          Alcotest.test_case "IRIW relaxed" `Quick test_iriw_relaxed_allows_disagreement;
+          qtest corr_coherence;
+        ] );
+      ( "fig1",
+        [
+          Alcotest.test_case "racy execution" `Quick test_fig1_racy_execution;
+          Alcotest.test_case "sc-like execution" `Quick test_fig1_sc_like_execution;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "write-write" `Quick test_race_ww;
+          Alcotest.test_case "read-write" `Quick test_race_rw;
+          Alcotest.test_case "reads no race" `Quick test_no_race_reads;
+          Alcotest.test_case "synchronised no race" `Quick
+            test_no_race_when_synchronised;
+          Alcotest.test_case "same thread" `Quick test_same_thread_no_race;
+          Alcotest.test_case "dedup" `Quick test_race_dedup;
+          Alcotest.test_case "callback" `Quick test_race_callback;
+          Alcotest.test_case "fork orders" `Quick test_fork_orders_accesses;
+        ] );
+      ( "reportfmt",
+        [
+          Alcotest.test_case "race block" `Quick test_reportfmt_race;
+          Alcotest.test_case "cycle block" `Quick test_reportfmt_cycle;
+          Alcotest.test_case "summary" `Quick test_reportfmt_summary;
+        ] );
+      ( "lockorder",
+        [
+          Alcotest.test_case "AB-BA" `Quick test_lockorder_abba;
+          Alcotest.test_case "consistent order" `Quick
+            test_lockorder_consistent_no_cycle;
+          Alcotest.test_case "three-way" `Quick test_lockorder_three_way;
+          Alcotest.test_case "dedup" `Quick test_lockorder_dedup;
+          Alcotest.test_case "re-entrant" `Quick test_lockorder_reentrant_self;
+        ] );
+      ( "properties",
+        [
+          qtest prop_candidates_never_empty;
+          qtest prop_newest_always_admissible;
+          qtest prop_newest_choice_is_sc_per_loc;
+          qtest prop_clock_monotone;
+        ] );
+    ]

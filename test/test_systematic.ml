@@ -1,0 +1,331 @@
+(* Tests for bounded systematic schedule exploration (stateless model
+   checking) and the harness's exploration reports. *)
+
+open T11r_vm
+module Conf = Tsan11rec.Conf
+module Systematic = T11r_harness.Systematic
+module Explore = T11r_harness.Explore
+module Runner = T11r_harness.Runner
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Systematic exploration *)
+
+let two_by_two () =
+  Api.program ~name:"2x2" (fun () ->
+      let a = Api.Atomic.create 0 in
+      let w () =
+        ignore (Api.Atomic.fetch_add a 1);
+        ignore (Api.Atomic.fetch_add a 1)
+      in
+      let t1 = Api.Thread.spawn w in
+      let t2 = Api.Thread.spawn w in
+      Api.Thread.join t1;
+      Api.Thread.join t2)
+
+let test_exhausts_small_program () =
+  let r = Systematic.explore ~build:two_by_two () in
+  check Alcotest.bool "complete" true r.complete;
+  (* All schedules terminate with the correct count; more than one
+     schedule exists (the two workers interleave). *)
+  check Alcotest.bool "multiple schedules" true (r.runs > 1);
+  check
+    Alcotest.(list (pair string int))
+    "all complete"
+    [ ("completed", r.runs) ]
+    (List.sort compare r.outcomes)
+
+let test_single_thread_single_schedule () =
+  let prog () =
+    Api.program ~name:"solo" (fun () ->
+        let a = Api.Atomic.create 0 in
+        Api.Atomic.store a 1;
+        Api.Atomic.store a 2)
+  in
+  let r = Systematic.explore ~build:prog () in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.int "exactly one schedule" 1 r.runs
+
+let abba () =
+  Api.program ~name:"abba" (fun () ->
+      let a = Api.Mutex.create ~name:"A" () in
+      let b = Api.Mutex.create ~name:"B" () in
+      let t1 =
+        Api.Thread.spawn (fun () ->
+            Api.Mutex.lock a;
+            Api.Mutex.lock b;
+            Api.Mutex.unlock b;
+            Api.Mutex.unlock a)
+      in
+      let t2 =
+        Api.Thread.spawn (fun () ->
+            Api.Mutex.lock b;
+            Api.Mutex.lock a;
+            Api.Mutex.unlock a;
+            Api.Mutex.unlock b)
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2)
+
+let test_finds_reachable_deadlock () =
+  (* The whole point of systematic exploration: the AB-BA deadlock is
+     guaranteed to be found, not merely likely. *)
+  let r = Systematic.explore ~build:abba () in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.bool "deadlock schedules found" true (r.deadlock_schedules > 0)
+
+let test_verifies_fixed_dekker () =
+  (* Exhausting the schedule space with zero races is a bounded
+     verification of the repaired protocol. *)
+  let e =
+    List.find
+      (fun (e : T11r_litmus.Registry.entry) -> e.name = "dekker-fences-fixed")
+      T11r_litmus.Registry.fixed
+  in
+  let r = Systematic.explore ~max_runs:5000 ~build:e.build () in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.int "no racy schedule exists" 0 r.racy_schedules
+
+let test_finds_buggy_dekker_races () =
+  let e = Option.get (T11r_litmus.Registry.find "dekker-fences") in
+  let r = Systematic.explore ~max_runs:5000 ~build:e.build () in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.bool "racy schedules found" true (r.racy_schedules > 0);
+  check Alcotest.bool "distinct races reported" true (List.length r.races >= 1)
+
+let test_budget_respected () =
+  let r = Systematic.explore ~max_runs:5 ~build:abba () in
+  check Alcotest.int "stopped at budget" 5 r.runs;
+  check Alcotest.bool "incomplete" false r.complete
+
+let test_exploration_deterministic () =
+  let go () = Systematic.explore ~build:two_by_two () in
+  let r1 = go () in
+  let r2 = go () in
+  check Alcotest.int "same run count" r1.runs r2.runs;
+  check Alcotest.bool "same outcomes" true (r1.outcomes = r2.outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Randomised exploration reports *)
+
+let test_explore_report () =
+  let e = Option.get (T11r_litmus.Registry.find "mcs-lock") in
+  let spec =
+    Runner.spec ~label:"mcs"
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      e.build
+  in
+  let r = Explore.explore spec ~n:80 in
+  check Alcotest.int "all runs counted" 80 r.runs;
+  check Alcotest.bool "schedule diversity" true (r.distinct_schedules > 10);
+  check Alcotest.bool "races sighted" true (r.races <> []);
+  (match r.races with
+  | s :: _ ->
+      check Alcotest.bool "sightings counted" true (s.sightings >= 1);
+      check Alcotest.bool "first seed valid" true
+        (s.first_seed >= 1 && s.first_seed <= 80)
+  | [] -> ());
+  (* the report renders *)
+  check Alcotest.bool "pp nonempty" true
+    (String.length (Format.asprintf "%a" Explore.pp r) > 0)
+
+let test_explore_counts_outcomes () =
+  let spec =
+    Runner.spec ~label:"abba"
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      abba
+  in
+  let r = Explore.explore spec ~n:60 in
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 r.outcomes in
+  check Alcotest.int "histogram sums to runs" 60 total
+
+(* ------------------------------------------------------------------ *)
+(* Iterative context bounding *)
+
+module Minimize = T11r_harness.Minimize
+
+let test_icb_finds_abba_deadlock_at_bound_one () =
+  (* The AB-BA deadlock needs exactly one preemption (between the two
+     acquisitions); bound 0 cannot produce it. *)
+  match Minimize.find_bug ~failure:Minimize.Deadlock ~build:abba () with
+  | Minimize.Found f -> check Alcotest.int "minimal bound" 1 f.bound
+  | Minimize.Not_found n -> Alcotest.failf "not found after %d runs" n
+
+let test_icb_bound_zero_insufficient () =
+  match
+    Minimize.find_bug ~failure:Minimize.Deadlock ~max_bound:0 ~build:abba ()
+  with
+  | Minimize.Not_found _ -> ()
+  | Minimize.Found f -> Alcotest.failf "deadlock at bound %d?" f.bound
+
+let test_icb_finds_litmus_race_with_few_preemptions () =
+  let e = Option.get (T11r_litmus.Registry.find "mcs-lock") in
+  match Minimize.find_bug ~failure:Minimize.Race ~build:e.build () with
+  | Minimize.Found f ->
+      check Alcotest.bool
+        (Printf.sprintf "small bound (%d)" f.bound)
+        true (f.bound <= 2);
+      check Alcotest.bool "race captured" true (f.races <> [])
+  | Minimize.Not_found n -> Alcotest.failf "not found after %d runs" n
+
+let test_icb_seed_reproduces () =
+  (* The returned seed must deterministically reproduce the failure. *)
+  match Minimize.find_bug ~failure:Minimize.Deadlock ~build:abba () with
+  | Minimize.Not_found _ -> Alcotest.fail "not found"
+  | Minimize.Found f ->
+      let conf =
+        Conf.with_seeds
+          (Conf.tsan11rec ~strategy:(Conf.Preempt_bounded f.bound) ())
+          f.seed 1013L
+      in
+      let r =
+        Tsan11rec.Interp.run
+          ~world:(T11r_env.World.create ~seed:7L ())
+          conf (abba ())
+      in
+      (match r.Tsan11rec.Interp.outcome with
+      | Tsan11rec.Interp.Deadlock _ -> ()
+      | o ->
+          Alcotest.failf "seed did not reproduce: %a" Tsan11rec.Interp.pp_outcome o)
+
+let test_icb_clean_program_not_found () =
+  let prog () =
+    Api.program ~name:"clean" (fun () ->
+        let m = Api.Mutex.create () in
+        let ts =
+          List.init 2 (fun _ ->
+              Api.Thread.spawn (fun () -> Api.Mutex.with_lock m (fun () -> ())))
+        in
+        List.iter Api.Thread.join ts)
+  in
+  match
+    Minimize.find_bug ~max_bound:2 ~tries_per_bound:30 ~build:prog ()
+  with
+  | Minimize.Not_found _ -> ()
+  | Minimize.Found f ->
+      Alcotest.failf "clean program 'failed' at bound %d" f.bound
+
+(* ------------------------------------------------------------------ *)
+(* Runner and workload registry *)
+
+let test_runner_aggregates () =
+  let e = Option.get (T11r_litmus.Registry.find "dekker-fences") in
+  let spec =
+    Runner.spec ~label:"dekker"
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      e.build
+  in
+  let agg = Runner.run_many spec ~n:50 in
+  check Alcotest.int "n recorded" 50 agg.Runner.n;
+  check Alcotest.int "all runs kept" 50 (List.length agg.Runner.results);
+  check Alcotest.bool "times positive" true (agg.Runner.time_ms.T11r_util.Stats.mean > 0.0);
+  check Alcotest.bool "rate within bounds" true
+    (agg.Runner.race_rate >= 0.0 && agg.Runner.race_rate <= 100.0);
+  check Alcotest.int "all completed" 50 agg.Runner.completed;
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 agg.Runner.outcomes in
+  check Alcotest.int "outcome histogram total" 50 total
+
+let test_runner_seeds_vary () =
+  (* Different run indices must see different schedules (seed discipline). *)
+  let e = Option.get (T11r_litmus.Registry.find "mcs-lock") in
+  let spec =
+    Runner.spec ~label:"mcs"
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      e.build
+  in
+  let agg = Runner.run_many spec ~n:30 in
+  let traces =
+    List.sort_uniq compare
+      (List.map (fun r -> r.Tsan11rec.Interp.trace) agg.Runner.results)
+  in
+  check Alcotest.bool "distinct schedules across runs" true
+    (List.length traces > 5)
+
+let test_runner_overhead_and_throughput () =
+  let e = Option.get (T11r_litmus.Registry.find "ms-queue") in
+  let base label conf = Runner.spec ~label ~base_conf:conf e.build in
+  let nat = Runner.run_many (base "native" Conf.native) ~n:5 in
+  let tsan = Runner.run_many (base "tsan11" Conf.tsan11) ~n:5 in
+  check Alcotest.bool "tsan11 slower than native" true
+    (Runner.overhead ~baseline:nat tsan > 1.0);
+  check Alcotest.bool "throughput inverse of time" true
+    (Runner.throughput nat ~work_items:100
+    > Runner.throughput tsan ~work_items:100)
+
+let test_workload_registry_complete () =
+  let names = T11r_harness.Workloads.names () in
+  List.iter
+    (fun expected ->
+      check Alcotest.bool (expected ^ " registered") true
+        (List.mem expected names))
+    [
+      "barrier"; "chase-lev-deque"; "dekker-fences"; "linuxrwlocks";
+      "mcs-lock"; "mpmc-queue"; "ms-queue"; "fig1"; "fig2-client"; "httpd";
+      "pbzip"; "blackscholes"; "fluidanimate"; "streamcluster"; "bodytrack";
+      "ferret"; "quakespasm"; "zandronum"; "zandronum-bug"; "sqlite-like";
+      "htop-like";
+    ];
+  check Alcotest.bool "find miss" true (T11r_harness.Workloads.find "nope" = None)
+
+let test_every_workload_runs_under_queue () =
+  (* Smoke: every registered workload completes (or legitimately
+     crashes, for the bug workload) under the queue strategy. *)
+  List.iter
+    (fun (w : T11r_harness.Workloads.t) ->
+      let world = T11r_env.World.create ~seed:5L () in
+      w.w_setup world;
+      let conf =
+        Conf.with_policy
+          (Conf.with_seeds (Conf.tsan11rec ~strategy:Conf.Queue ()) 1L 2L)
+          w.w_policy
+      in
+      let r = Tsan11rec.Interp.run ~world conf (w.w_build ()) in
+      match r.Tsan11rec.Interp.outcome with
+      | Tsan11rec.Interp.Completed | Tsan11rec.Interp.Crashed _ -> ()
+      | o ->
+          Alcotest.failf "%s: unexpected outcome %a" w.w_name
+            Tsan11rec.Interp.pp_outcome o)
+    T11r_harness.Workloads.all
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "systematic"
+    [
+      ( "systematic",
+        [
+          Alcotest.test_case "exhausts small program" `Quick test_exhausts_small_program;
+          Alcotest.test_case "single schedule" `Quick test_single_thread_single_schedule;
+          Alcotest.test_case "finds deadlock" `Quick test_finds_reachable_deadlock;
+          Alcotest.test_case "verifies fixed dekker" `Quick test_verifies_fixed_dekker;
+          Alcotest.test_case "finds buggy dekker" `Quick test_finds_buggy_dekker_races;
+          Alcotest.test_case "budget" `Quick test_budget_respected;
+          Alcotest.test_case "deterministic" `Quick test_exploration_deterministic;
+        ] );
+      ( "icb",
+        [
+          Alcotest.test_case "abba at bound 1" `Quick
+            test_icb_finds_abba_deadlock_at_bound_one;
+          Alcotest.test_case "bound 0 insufficient" `Quick
+            test_icb_bound_zero_insufficient;
+          Alcotest.test_case "litmus race few preemptions" `Quick
+            test_icb_finds_litmus_race_with_few_preemptions;
+          Alcotest.test_case "seed reproduces" `Quick test_icb_seed_reproduces;
+          Alcotest.test_case "clean program" `Quick test_icb_clean_program_not_found;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "aggregates" `Quick test_runner_aggregates;
+          Alcotest.test_case "seed discipline" `Quick test_runner_seeds_vary;
+          Alcotest.test_case "overhead/throughput" `Quick
+            test_runner_overhead_and_throughput;
+          Alcotest.test_case "registry complete" `Quick test_workload_registry_complete;
+          Alcotest.test_case "all workloads run" `Slow test_every_workload_runs_under_queue;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "report" `Quick test_explore_report;
+          Alcotest.test_case "outcome histogram" `Quick test_explore_counts_outcomes;
+        ] );
+    ]

@@ -1,0 +1,376 @@
+(* Tests for the util substrate: PRNG, RLE, vector clocks, stats,
+   table rendering and the demo-file codec. *)
+
+open T11r_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed1:42L ~seed2:7L in
+  let b = Prng.create ~seed1:42L ~seed2:7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed1:42L ~seed2:7L in
+  let b = Prng.create ~seed1:42L ~seed2:8L in
+  let xs = List.init 10 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Prng.bits64 b) in
+  check Alcotest.bool "different streams" true (xs <> ys)
+
+let test_prng_draw_count () =
+  let p = Prng.create ~seed1:1L ~seed2:2L in
+  check Alcotest.int "zero draws" 0 (Prng.draws p);
+  ignore (Prng.bits64 p);
+  ignore (Prng.int p 10);
+  ignore (Prng.bool p);
+  check Alcotest.int "three draws" 3 (Prng.draws p)
+
+let test_prng_copy_independent () =
+  let p = Prng.create ~seed1:1L ~seed2:2L in
+  ignore (Prng.bits64 p);
+  let q = Prng.copy p in
+  let x = Prng.bits64 p in
+  let y = Prng.bits64 q in
+  check Alcotest.int64 "copy continues identically" x y;
+  ignore (Prng.bits64 p);
+  check Alcotest.int "copy draws independent" 2 (Prng.draws q)
+
+let test_prng_seeds_roundtrip () =
+  let p = Prng.create ~seed1:123L ~seed2:456L in
+  let s1, s2 = Prng.seeds p in
+  check Alcotest.int64 "seed1" 123L s1;
+  check Alcotest.int64 "seed2" 456L s2
+
+let prng_int_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair (pair int64 int64) (int_range 1 1000))
+    (fun ((s1, s2), bound) ->
+      let p = Prng.create ~seed1:s1 ~seed2:s2 in
+      let v = Prng.int p bound in
+      v >= 0 && v < bound)
+
+let prng_int_covers =
+  QCheck.Test.make ~name:"prng int eventually hits all small values" ~count:20
+    QCheck.(pair int64 int64)
+    (fun (s1, s2) ->
+      let p = Prng.create ~seed1:s1 ~seed2:s2 in
+      let seen = Array.make 4 false in
+      for _ = 1 to 200 do
+        seen.(Prng.int p 4) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let test_prng_pick_empty () =
+  let p = Prng.create ~seed1:1L ~seed2:1L in
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick p [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Rle *)
+
+let test_rle_basic () =
+  check
+    Alcotest.(list (pair int int))
+    "runs" [ (1, 3); (2, 1); (1, 2) ]
+    (Rle.encode [ 1; 1; 1; 2; 1; 1 ])
+
+let test_rle_empty () =
+  check Alcotest.(list (pair int int)) "empty" [] (Rle.encode []);
+  check Alcotest.(list int) "empty decode" [] (Rle.decode [])
+
+let rle_roundtrip =
+  QCheck.Test.make ~name:"rle roundtrip" ~count:500
+    QCheck.(list (int_range 0 5))
+    (fun xs -> Rle.decode (Rle.encode xs) = xs)
+
+let rle_compresses_runs =
+  QCheck.Test.make ~name:"rle run count <= length" ~count:200
+    QCheck.(list small_nat)
+    (fun xs -> List.length (Rle.encode xs) <= List.length xs)
+
+let test_rle_decode_invalid () =
+  Alcotest.check_raises "bad run"
+    (Invalid_argument "Rle.decode: non-positive run length") (fun () ->
+      ignore (Rle.decode [ (1, 0) ]))
+
+let bytes_gen =
+  QCheck.Gen.(
+    map Bytes.of_string
+      (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 600)))
+
+let rle_bytes_roundtrip =
+  QCheck.Test.make ~name:"byte rle roundtrip" ~count:300
+    (QCheck.make ~print:(fun b -> String.escaped (Bytes.to_string b)) bytes_gen)
+    (fun b -> Bytes.equal (Rle.decode_bytes (Rle.encode_bytes b)) b)
+
+let rle_encoded_size_matches =
+  QCheck.Test.make ~name:"encoded_size = length of encode_bytes" ~count:300
+    (QCheck.make bytes_gen)
+    (fun b -> Rle.encoded_size b = String.length (Rle.encode_bytes b))
+
+let test_rle_bytes_long_run () =
+  (* Runs longer than 255 must split into multiple chunks. *)
+  let b = Bytes.make 1000 'x' in
+  let enc = Rle.encode_bytes b in
+  check Alcotest.bool "compressed" true (String.length enc < 20);
+  check Alcotest.bool "roundtrip" true (Bytes.equal (Rle.decode_bytes enc) b)
+
+let test_rle_bytes_malformed () =
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Rle.decode_bytes: truncated chunk header") (fun () ->
+      ignore (Rle.decode_bytes "\x00"));
+  Alcotest.check_raises "bad marker"
+    (Invalid_argument "Rle.decode_bytes: bad chunk marker") (fun () ->
+      ignore (Rle.decode_bytes "\x07\x01a"))
+
+(* ------------------------------------------------------------------ *)
+(* Vclock *)
+
+let vc = Alcotest.testable Vclock.pp Vclock.equal
+
+let test_vclock_empty () =
+  check Alcotest.int "empty get" 0 (Vclock.get Vclock.empty 5);
+  check Alcotest.int "empty size" 0 (Vclock.size Vclock.empty)
+
+let test_vclock_tick () =
+  let c = Vclock.tick (Vclock.tick Vclock.empty 2) 2 in
+  check Alcotest.int "ticked twice" 2 (Vclock.get c 2);
+  check Alcotest.int "others zero" 0 (Vclock.get c 0)
+
+let test_vclock_join () =
+  let a = Vclock.of_list [ 1; 5; 0; 2 ] in
+  let b = Vclock.of_list [ 3; 2 ] in
+  check vc "join" (Vclock.of_list [ 3; 5; 0; 2 ]) (Vclock.join a b)
+
+let test_vclock_trailing_zeros () =
+  let a = Vclock.of_list [ 1; 2; 0; 0 ] in
+  let b = Vclock.of_list [ 1; 2 ] in
+  check vc "normalised equal" a b;
+  check Alcotest.int "size trims zeros" 2 (Vclock.size a)
+
+let test_vclock_orders () =
+  let a = Vclock.of_list [ 1; 2 ] in
+  let b = Vclock.of_list [ 2; 2 ] in
+  let c = Vclock.of_list [ 0; 3 ] in
+  check Alcotest.bool "a <= b" true (Vclock.leq a b);
+  check Alcotest.bool "a < b" true (Vclock.lt a b);
+  check Alcotest.bool "not b <= a" false (Vclock.leq b a);
+  check Alcotest.bool "a || c" true (Vclock.concurrent a c)
+
+let clock_gen =
+  QCheck.Gen.(map Vclock.of_list (list_size (int_range 0 6) (int_range 0 8)))
+
+let clock_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Vclock.pp) clock_gen
+
+let vclock_join_comm =
+  QCheck.Test.make ~name:"join commutative" ~count:300
+    (QCheck.pair clock_arb clock_arb)
+    (fun (a, b) -> Vclock.equal (Vclock.join a b) (Vclock.join b a))
+
+let vclock_join_assoc =
+  QCheck.Test.make ~name:"join associative" ~count:300
+    (QCheck.triple clock_arb clock_arb clock_arb)
+    (fun (a, b, c) ->
+      Vclock.equal
+        (Vclock.join a (Vclock.join b c))
+        (Vclock.join (Vclock.join a b) c))
+
+let vclock_join_idem =
+  QCheck.Test.make ~name:"join idempotent" ~count:300 clock_arb (fun a ->
+      Vclock.equal (Vclock.join a a) a)
+
+let vclock_join_upper_bound =
+  QCheck.Test.make ~name:"join is upper bound" ~count:300
+    (QCheck.pair clock_arb clock_arb)
+    (fun (a, b) ->
+      Vclock.leq a (Vclock.join a b) && Vclock.leq b (Vclock.join a b))
+
+let vclock_leq_antisym =
+  QCheck.Test.make ~name:"leq antisymmetric" ~count:300
+    (QCheck.pair clock_arb clock_arb)
+    (fun (a, b) ->
+      if Vclock.leq a b && Vclock.leq b a then Vclock.equal a b else true)
+
+let vclock_tick_strict =
+  QCheck.Test.make ~name:"tick strictly increases" ~count:300
+    (QCheck.pair clock_arb (QCheck.int_range 0 7))
+    (fun (a, tid) -> Vclock.lt a (Vclock.tick a tid))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean_sd () =
+  let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check feq "mean" 5.0 s.mean;
+  check (Alcotest.float 1e-6) "sd" 2.13808993 s.sd;
+  check Alcotest.int "n" 8 s.n
+
+let test_stats_single () =
+  let s = Stats.summarize [ 3.5 ] in
+  check feq "mean" 3.5 s.mean;
+  check feq "sd" 0.0 s.sd;
+  check feq "cv" 0.0 s.cv
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  check feq "p0" 1.0 (Stats.percentile xs 0.0);
+  check feq "p100" 4.0 (Stats.percentile xs 100.0);
+  check feq "p50" 2.5 (Stats.percentile xs 50.0)
+
+let test_stats_rate () =
+  check feq "rate" 25.0 (Stats.rate [ true; false; false; false ]);
+  check feq "rate empty" 0.0 (Stats.rate [])
+
+let stats_min_max =
+  QCheck.Test.make ~name:"min <= mean <= max" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.min <= s.mean +. 1e-9 && s.mean <= s.max +. 1e-9)
+
+let stats_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 20) (float_bound_inclusive 100.0))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p, q)) ->
+      let lo = min p q and hi = max p q in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~headers:[ "prog"; "time" ] in
+  Table.add_row t [ "pbzip"; "9.2" ];
+  Table.add_row t [ "blackscholes"; "0.4" ];
+  let out = Table.render t in
+  check Alcotest.bool "has title" true
+    (String.length out > 0 && String.sub out 0 6 = "== T =");
+  (* all data lines aligned: same length *)
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  let data = List.tl lines in
+  let lens = List.map String.length data in
+  check Alcotest.bool "aligned" true
+    (List.for_all (fun l -> l = List.hd lens) lens)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_codec_escape_basic () =
+  check Alcotest.string "plain" "hello" (Codec.escape "hello");
+  check Alcotest.string "empty" "%-" (Codec.escape "");
+  check Alcotest.string "space" "a%20b" (Codec.escape "a b");
+  check Alcotest.string "unescape" "a b" (Codec.unescape "a%20b");
+  check Alcotest.string "unescape empty" "" (Codec.unescape "%-")
+
+let string_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200))
+
+let codec_roundtrip =
+  QCheck.Test.make ~name:"escape/unescape roundtrip" ~count:300
+    (QCheck.make ~print:String.escaped string_gen)
+    (fun s -> Codec.unescape (Codec.escape s) = s)
+
+let codec_no_spaces =
+  QCheck.Test.make ~name:"escaped string has no separators" ~count:300
+    (QCheck.make ~print:String.escaped string_gen)
+    (fun s ->
+      let e = Codec.escape s in
+      not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\t') e))
+
+let test_codec_fields () =
+  check
+    Alcotest.(list string)
+    "fields" [ "2"; "5"; "15" ]
+    (Codec.fields "2 5  15 ");
+  check Alcotest.int "int field" 15 (Codec.int_field "15")
+
+let test_codec_file_roundtrip () =
+  let dir = Filename.temp_file "t11r" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "sub/FILE" in
+  let lines = [ "a b c"; ""; "2 5 15" ] in
+  Codec.write_lines path lines;
+  check Alcotest.(list string) "file roundtrip" lines (Codec.read_lines path)
+
+let test_codec_missing_file () =
+  check
+    Alcotest.(list string)
+    "missing file is empty" []
+    (Codec.read_lines "/nonexistent/definitely/FILE")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "draw count" `Quick test_prng_draw_count;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "seeds roundtrip" `Quick test_prng_seeds_roundtrip;
+          Alcotest.test_case "pick empty" `Quick test_prng_pick_empty;
+          qtest prng_int_bounds;
+          qtest prng_int_covers;
+        ] );
+      ( "rle",
+        [
+          Alcotest.test_case "basic" `Quick test_rle_basic;
+          Alcotest.test_case "empty" `Quick test_rle_empty;
+          Alcotest.test_case "decode invalid" `Quick test_rle_decode_invalid;
+          Alcotest.test_case "long run" `Quick test_rle_bytes_long_run;
+          Alcotest.test_case "malformed bytes" `Quick test_rle_bytes_malformed;
+          qtest rle_roundtrip;
+          qtest rle_compresses_runs;
+          qtest rle_bytes_roundtrip;
+          qtest rle_encoded_size_matches;
+        ] );
+      ( "vclock",
+        [
+          Alcotest.test_case "empty" `Quick test_vclock_empty;
+          Alcotest.test_case "tick" `Quick test_vclock_tick;
+          Alcotest.test_case "join" `Quick test_vclock_join;
+          Alcotest.test_case "trailing zeros" `Quick test_vclock_trailing_zeros;
+          Alcotest.test_case "orders" `Quick test_vclock_orders;
+          qtest vclock_join_comm;
+          qtest vclock_join_assoc;
+          qtest vclock_join_idem;
+          qtest vclock_join_upper_bound;
+          qtest vclock_leq_antisym;
+          qtest vclock_tick_strict;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/sd" `Quick test_stats_mean_sd;
+          Alcotest.test_case "single" `Quick test_stats_single;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "rate" `Quick test_stats_rate;
+          qtest stats_min_max;
+          qtest stats_percentile_monotone;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "codec",
+        [
+          Alcotest.test_case "escape basic" `Quick test_codec_escape_basic;
+          Alcotest.test_case "fields" `Quick test_codec_fields;
+          Alcotest.test_case "file roundtrip" `Quick test_codec_file_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_codec_missing_file;
+          qtest codec_roundtrip;
+          qtest codec_no_spaces;
+        ] );
+    ]
