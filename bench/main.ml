@@ -706,6 +706,12 @@ let micro () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection sweep (robustness study)                             *)
+
+let smoke = ref false
+let faults () = T11r_harness.Faultsweep.run ~smoke:!smoke ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -719,13 +725,15 @@ let experiments =
     ("limits", limits);
     ("ablations", ablations);
     ("micro", micro);
+    ("faults", faults);
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names = List.filter (fun a -> a <> "--smoke") args in
+  smoke := List.mem "--smoke" args;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -52,6 +52,32 @@ let runs_arg =
   let doc = "Number of runs." in
   Arg.(value & opt int 100 & info [ "runs"; "n" ] ~docv:"N" ~doc)
 
+let fault_p_arg =
+  let doc =
+    "Inject environment faults (transient EAGAIN/EINTR, connection resets, \
+     short transfers) with this per-syscall probability."
+  in
+  Arg.(value & opt float 0.0 & info [ "fault-p" ] ~docv:"P" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for the fault plan's PRNG." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let on_desync_arg =
+  let doc =
+    "Replay divergence handling: abort (stop with a hard desync, the \
+     default), diagnose (stop with a structured divergence report), or \
+     resync (best-effort continuation, counting divergences)."
+  in
+  Arg.(value & opt string "abort" & info [ "on-desync" ] ~docv:"MODE" ~doc)
+
+let desync_mode_of name =
+  match Conf.desync_mode_of_name name with
+  | Some m -> m
+  | None ->
+      Fmt.epr "unknown desync mode %S (abort|diagnose|resync)@." name;
+      exit 2
+
 let lookup_workload name =
   match Workloads.find name with
   | Some w -> w
@@ -86,13 +112,18 @@ let base_conf ~tool ~strategy =
       Fmt.epr "unknown tool %S@." tool;
       exit 2
 
-let prepare ~w ~conf ~seed ~env_seed ~mode =
+let prepare ~w ~conf ~seed ~env_seed ?(fault_p = 0.0) ?(fault_seed = 1) ~mode () =
   let conf = { conf with Conf.mode } in
   let conf = Conf.with_policy conf w.Workloads.w_policy in
   let conf =
     Conf.with_seeds conf (Int64.of_int seed) (Int64.of_int (seed + 7919))
   in
-  let world = World.create ~seed:(Int64.of_int env_seed) () in
+  let faults =
+    if fault_p > 0.0 then
+      T11r_env.Fault.uniform ~seed:(Int64.of_int fault_seed) ~p:fault_p ()
+    else T11r_env.Fault.none
+  in
+  let world = World.create ~seed:(Int64.of_int env_seed) ~faults () in
   w.Workloads.w_setup world;
   (conf, world)
 
@@ -107,6 +138,9 @@ let report (r : Interp.result) =
     (fun c -> Fmt.pr "  %a@." T11r_race.Lockorder.pp_cycle c)
     r.lock_cycles;
   if r.soft_desync then Fmt.pr "NOTE: replay soft-desynchronised@.";
+  if r.desync_count > 0 then
+    Fmt.pr "desyncs:   %d divergence(s) survived@." r.desync_count;
+  List.iter (fun d -> Fmt.pr "%a@." Interp.pp_divergence d) r.divergences;
   (match r.demo with
   | Some d -> Fmt.pr "demo:      %a@." Demo.pp_summary d
   | None -> ());
@@ -121,6 +155,7 @@ let exit_of (r : Interp.result) =
   | Interp.Hard_desync _ -> 6
   | Interp.Unsupported_app _ -> 7
   | Interp.Tick_limit -> 8
+  | Interp.App_error _ -> 9
 
 (* ---- subcommands --------------------------------------------------- *)
 
@@ -134,12 +169,12 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name tool strategy seed env_seed tsan_style =
+  let run name tool strategy seed env_seed fault_p fault_seed tsan_style =
     let w = lookup_workload name in
     let conf, world =
       prepare ~w
         ~conf:(base_conf ~tool ~strategy)
-        ~seed ~env_seed ~mode:Conf.Free
+        ~seed ~env_seed ~fault_p ~fault_seed ~mode:Conf.Free ()
     in
     let r = Interp.run ~world conf (w.w_build ()) in
     if tsan_style then begin
@@ -170,44 +205,49 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload once under a tool configuration")
     Term.(
       const run $ workload_arg $ tool_arg $ strategy_arg $ seed_arg
-      $ env_seed_arg $ tsan_flag)
+      $ env_seed_arg $ fault_p_arg $ fault_seed_arg $ tsan_flag)
 
 let record_cmd =
-  let run name strategy seed env_seed demo =
+  let run name strategy seed env_seed fault_p fault_seed demo =
     let w = lookup_workload name in
     let conf, world =
       prepare ~w
         ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
-        ~seed ~env_seed ~mode:(Conf.Record demo)
+        ~seed ~env_seed ~fault_p ~fault_seed ~mode:(Conf.Record demo) ()
     in
     let r = Interp.run ~world conf (w.w_build ()) in
     report r;
+    if fault_p > 0.0 then
+      Fmt.pr "faults:    %d injected@." (World.faults_injected world);
     Fmt.pr "recorded demo in %s@." demo;
     exit (exit_of r)
   in
   Cmd.v (Cmd.info "record" ~doc:"Record a demo of one execution")
     Term.(
       const run $ workload_arg $ strategy_arg $ seed_arg $ env_seed_arg
-      $ demo_arg)
+      $ fault_p_arg $ fault_seed_arg $ demo_arg)
 
 let replay_cmd =
-  let run name strategy env_seed demo =
+  let run name strategy env_seed on_desync demo =
     let w = lookup_workload name in
     let conf, world =
       prepare ~w
         ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
-        ~seed:0 ~env_seed ~mode:(Conf.Replay demo)
+        ~seed:0 ~env_seed ~mode:(Conf.Replay demo) ()
     in
+    let conf = { conf with Conf.on_desync = desync_mode_of on_desync } in
     let r = Interp.run ~world conf (w.w_build ()) in
     report r;
     exit (exit_of r)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded demo (checks for desync)")
-    Term.(const run $ workload_arg $ strategy_arg $ env_seed_arg $ demo_arg)
+    Term.(
+      const run $ workload_arg $ strategy_arg $ env_seed_arg $ on_desync_arg
+      $ demo_arg)
 
 let hunt_cmd =
-  let run name strategy runs env_seed =
+  let run name strategy runs env_seed fault_p =
     let w = lookup_workload name in
     let racy = ref 0 in
     let crashed = ref 0 in
@@ -218,7 +258,7 @@ let hunt_cmd =
           ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
           ~seed:i
           ~env_seed:(env_seed + i)
-          ~mode:Conf.Free
+          ~fault_p ~fault_seed:i ~mode:Conf.Free ()
       in
       let r = Interp.run ~world conf (w.w_build ()) in
       if r.race_count > 0 then incr racy;
@@ -243,7 +283,9 @@ let hunt_cmd =
   Cmd.v
     (Cmd.info "hunt"
        ~doc:"Controlled concurrency testing: many seeds, race/crash counts")
-    Term.(const run $ workload_arg $ strategy_arg $ runs_arg $ env_seed_arg)
+    Term.(
+      const run $ workload_arg $ strategy_arg $ runs_arg $ env_seed_arg
+      $ fault_p_arg)
 
 let explore_cmd =
   let run name strategy runs =

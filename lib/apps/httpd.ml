@@ -35,6 +35,10 @@ type config = {
           feature — exercises the paper's pipe-recording case (§4.4) *)
   graceful_stop : bool;
       (** install a SIGTERM handler and drain instead of counting down *)
+  max_idle_spins : int;
+      (** consecutive accept-less spins before a worker gives up; bounds
+          the run when injected faults kill connections and the served
+          target becomes unreachable *)
 }
 
 let default_config =
@@ -48,6 +52,7 @@ let default_config =
     use_epoll = false;
     access_log = false;
     graceful_stop = false;
+    max_idle_spins = 1000;
   }
 
 (* A remote ab client: opens the connection, sends a query, and sends
@@ -123,9 +128,13 @@ let program ?(cfg = default_config) () =
       let served = Api.Atomic.create ~name:"served" 0 in
       let worker wid () =
         let handled_conns = ref 0 in
+        let idle_spins = ref 0 in
         let continue_ = ref true in
         while !continue_ do
-          (* Serialized accept, as in httpd's accept mutex. *)
+          (* Serialized accept, as in httpd's accept mutex.  The accept
+             path retries transient failures (EINTR/EAGAIN from an
+             injected fault plan) with exponential backoff, as httpd's
+             apr layer does. *)
           Api.Mutex.lock accept_mtx;
           let conn =
             if
@@ -136,10 +145,14 @@ let program ?(cfg = default_config) () =
               let wait_call =
                 if cfg.use_epoll then
                   Api.Sys_api.epoll_wait ~fds:[ listen_fd ] ~timeout_ms:2
-                else Api.Sys_api.poll ~fds:[ listen_fd ] ~timeout_ms:2
+                else
+                  Api.Sys_api.retry (fun () ->
+                      Api.Sys_api.poll ~fds:[ listen_fd ] ~timeout_ms:2)
               in
               if wait_call.Syscall.ret > 0 then
-                let a = Api.Sys_api.accept ~fd:listen_fd in
+                let a =
+                  Api.Sys_api.retry (fun () -> Api.Sys_api.accept ~fd:listen_fd)
+                in
                 if a.Syscall.ret >= 0 then Some a.Syscall.ret else None
               else None
             end
@@ -148,15 +161,21 @@ let program ?(cfg = default_config) () =
           match conn with
           | Some fd ->
               incr handled_conns;
+              idle_spins := 0;
               (* Keep-alive loop: serve per_client requests. *)
               let remaining = ref per_client in
               while !remaining > 0 do
                 if cfg.graceful_stop && Api.Atomic.load stopping = 1 then
                   remaining := 0
                 else
-                let p = Api.Sys_api.poll ~fds:[ fd ] ~timeout_ms:50 in
+                let p =
+                  Api.Sys_api.retry (fun () ->
+                      Api.Sys_api.poll ~fds:[ fd ] ~timeout_ms:50)
+                in
                 if p.Syscall.ret > 0 then begin
-                  let q = Api.Sys_api.recv ~fd ~len:64 in
+                  let q =
+                    Api.Sys_api.retry (fun () -> Api.Sys_api.recv ~fd ~len:64)
+                  in
                   if q.Syscall.ret > 0 then begin
                     (* request log timestamps, as httpd takes per request *)
                     ignore (Api.Sys_api.clock_gettime ());
@@ -165,13 +184,19 @@ let program ?(cfg = default_config) () =
                     (* racy scoreboard updates *)
                     Api.Var.incr scoreboard.(wid mod Array.length scoreboard);
                     Api.Var.incr scoreboard.((wid + 1) mod Array.length scoreboard);
-                    ignore (Api.Sys_api.send ~fd (Bytes.of_string "200 OK"));
+                    let s =
+                      Api.Sys_api.retry (fun () ->
+                          Api.Sys_api.send ~fd (Bytes.of_string "200 OK"))
+                    in
                     log_line
                       (Printf.sprintf "%s 200\n" (Bytes.to_string q.Syscall.data));
                     ignore (Api.Atomic.fetch_add served 1);
-                    decr remaining
+                    decr remaining;
+                    (* ECONNRESET (or any non-transient send failure):
+                       the peer is gone; stop serving this connection *)
+                    if s.Syscall.ret < 0 then remaining := 0
                   end
-                  else remaining := 0 (* connection closed *)
+                  else remaining := 0 (* closed, reset, or query dropped *)
                 end
                 else remaining := 0 (* client gone quiet *)
               done;
@@ -181,7 +206,15 @@ let program ?(cfg = default_config) () =
                 Api.Atomic.load served >= cfg.queries
                 || (cfg.graceful_stop && Api.Atomic.load stopping = 1)
               then continue_ := false
-              else Api.work 10
+              else begin
+                (* Injected faults can kill connections for good, leaving
+                   the served target unreachable; give up after a bounded
+                   number of fruitless spins instead of hanging at the
+                   tick limit. *)
+                incr idle_spins;
+                if !idle_spins >= cfg.max_idle_spins then continue_ := false
+                else Api.work 10
+              end
         done
       in
       let threads =

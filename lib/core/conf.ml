@@ -10,6 +10,8 @@ type sched_model = Os_model | Controlled of strategy
 
 type mode = Free | Record of string | Replay of string
 
+type desync_mode = Abort | Diagnose | Resync
+
 type t = {
   name : string;
   sched : sched_model;
@@ -34,6 +36,7 @@ type t = {
   max_history : int;
   suppressions : string list;
   debug_trace : bool;
+  on_desync : desync_mode;
 }
 
 (* Cost-model notes. Baseline visible ops take ~1µs natively. tsan11's
@@ -68,6 +71,7 @@ let default =
     max_history = 8;
     suppressions = [];
     debug_trace = false;
+    on_desync = Abort;
   }
 
 let native =
@@ -154,6 +158,17 @@ let tsan11rec ?(strategy = Random) ?(mode = Free) () =
 
 let with_seeds t s1 s2 = { t with seeds = Some (s1, s2) }
 let with_policy t p = { t with policy = p }
+
+let desync_mode_name = function
+  | Abort -> "abort"
+  | Diagnose -> "diagnose"
+  | Resync -> "resync"
+
+let desync_mode_of_name = function
+  | "abort" -> Some Abort
+  | "diagnose" -> Some Diagnose
+  | "resync" -> Some Resync
+  | _ -> None
 
 let strategy_name = function
   | Random -> "random"

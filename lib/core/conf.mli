@@ -46,6 +46,20 @@ type mode =
   | Record of string  (** record a demo into the given directory *)
   | Replay of string  (** replay the demo in the given directory *)
 
+(** What the replayer does when the run diverges from the demo in a
+    way that cannot be reconciled (a hard desynchronisation, §4.2). *)
+type desync_mode =
+  | Abort  (** stop immediately with [Hard_desync] — the paper's
+               behaviour, and the default *)
+  | Diagnose
+      (** stop at the first divergence but produce a structured report
+          (op index, thread, expected-vs-actual constraint, recent
+          trace) in [Interp.result.divergences] *)
+  | Resync
+      (** best-effort continuation: skip or pad recorded events to get
+          past each divergence, count them all, and report them in
+          [Interp.result] instead of aborting *)
+
 type t = {
   name : string;
   sched : sched_model;
@@ -93,6 +107,8 @@ type t = {
           into recorded demos, and on replay diff against it to report
           the precise first divergence — a debugging aid beyond the
           paper's demo format, off by default *)
+  on_desync : desync_mode;
+      (** replay divergence handling; [Abort] by default *)
 }
 
 val default : t
@@ -111,3 +127,5 @@ val with_seeds : t -> int64 -> int64 -> t
 val with_policy : t -> Policy.t -> t
 val strategy_name : strategy -> string
 val strategy_of_name : string -> strategy option
+val desync_mode_name : desync_mode -> string
+val desync_mode_of_name : string -> desync_mode option

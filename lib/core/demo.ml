@@ -35,8 +35,14 @@ type t = {
 
 (* -- rendering ------------------------------------------------------ *)
 
+(* Bump when the on-disk layout changes incompatibly. Loaders accept
+   demos without a "format" line (recorded before versioning) and
+   reject any other version with a clear error. *)
+let format_version = 1
+
 let render_meta m =
   [
+    Printf.sprintf "format %d" format_version;
     "app " ^ Codec.escape m.app;
     "strategy " ^ m.strategy;
     Printf.sprintf "seed1 %Ld" m.seed1;
@@ -115,6 +121,12 @@ let parse_meta lines =
     | Some v -> v
     | None -> fail "Demo: META missing key %s" k
   in
+  (match Hashtbl.find_opt tbl "format" with
+  | None -> () (* pre-versioning demo *)
+  | Some v ->
+      if int_of_string_opt v <> Some format_version then
+        fail "Demo: unsupported demo format version %S (this build reads %d)" v
+          format_version);
   {
     app = Codec.unescape (get "app");
     strategy = get "strategy";
@@ -133,7 +145,12 @@ let parse_queue lines =
       | [ "queue" ] -> ()
       | [ "first"; tid; tick ] ->
           firsts := (Codec.int_field tid, Codec.int_field tick) :: !firsts
-      | [ "t"; v; n ] -> pairs := (Codec.int_field v, Codec.int_field n) :: !pairs
+      | [ "t"; v; n ] ->
+          let n = Codec.int_field n in
+          (* A corrupt count must not make Rle.decode materialise a
+             giant list before anyone can reject the demo. *)
+          if n > 10_000_000 then fail "Demo: absurd QUEUE run length %d" n;
+          pairs := (Codec.int_field v, n) :: !pairs
       | [] -> ()
       | _ -> fail "Demo: bad QUEUE line %S" line)
     lines;

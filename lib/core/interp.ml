@@ -14,7 +14,17 @@ type outcome =
   | Crashed of int * string
   | Hard_desync of string
   | Unsupported_app of string
+  | App_error of string
   | Tick_limit
+
+type divergence = {
+  div_tick : int;
+  div_tid : int;
+  div_site : string;
+  div_expected : string;
+  div_actual : string;
+  div_trail : (int * int * string) list;
+}
 
 type result = {
   outcome : outcome;
@@ -30,10 +40,13 @@ type result = {
   trace : (int * int * string) list;
   thread_names : (int * string) list;
   rng_draws : int;
+  desync_count : int;
+  divergences : divergence list;
 }
 
 exception Hard of string
 exception Unsupported_run of string
+exception Diagnosed of divergence
 
 type pending = P : 'a Api.req * ('a, unit) continuation -> pending
 
@@ -118,6 +131,9 @@ type ctx = {
   (* schedule-bounding strategies *)
   mutable strat_budget : int;  (* remaining delays / preemptions *)
   mutable last_sched : int;  (* tid of the previously scheduled thread *)
+  (* desync recovery *)
+  mutable desync_count : int;
+  mutable desyncs : divergence list;  (* first 64, reversed *)
 }
 
 let threads_in_order ctx = List.rev_map (Hashtbl.find ctx.threads) ctx.order
@@ -132,6 +148,48 @@ let is_replay ctx = ctx.replay <> None
 let is_record ctx = match ctx.conf.mode with Conf.Record _ -> true | _ -> false
 let draw ctx n = if n <= 0 then 0 else Prng.int ctx.rng n
 let hard ctx msg = raise (Hard (Printf.sprintf "tick %d: %s" ctx.tick msg))
+
+(* Note a replay divergence at [site] (QUEUE/SYSCALL/SIGNAL/ASYNC).
+   What happens next depends on the configured desync mode: [Abort]
+   raises {!Hard} exactly as the paper prescribes; [Diagnose] raises
+   {!Diagnosed} carrying a structured report; [Resync] records the
+   divergence and *returns*, so the call site applies its best-effort
+   recovery (skip the recorded event, or pad with a live one). *)
+let diverge ctx ~tid ~site ~expected ~actual =
+  match ctx.conf.Conf.on_desync with
+  | Conf.Abort ->
+      hard ctx (Printf.sprintf "%s expects %s, got %s" site expected actual)
+  | Conf.Diagnose ->
+      let trail =
+        let rec take n = function
+          | x :: xs when n > 0 -> x :: take (n - 1) xs
+          | _ -> []
+        in
+        List.rev (take 8 ctx.trace)
+      in
+      raise
+        (Diagnosed
+           {
+             div_tick = ctx.tick;
+             div_tid = tid;
+             div_site = site;
+             div_expected = expected;
+             div_actual = actual;
+             div_trail = trail;
+           })
+  | Conf.Resync ->
+      ctx.desync_count <- ctx.desync_count + 1;
+      if ctx.desync_count <= 64 then
+        ctx.desyncs <-
+          {
+            div_tick = ctx.tick;
+            div_tid = tid;
+            div_site = site;
+            div_expected = expected;
+            div_actual = actual;
+            div_trail = [];
+          }
+          :: ctx.desyncs
 
 (* ------------------------------------------------------------------ *)
 (* Fibers                                                               *)
@@ -157,7 +215,7 @@ let fiber_handler ctx t ~on_return =
     exnc =
       (fun e ->
         match e with
-        | Hard _ | Unsupported_run _ -> raise e
+        | Hard _ | Unsupported_run _ | Diagnosed _ -> raise e
         | e -> crash ctx t (Printexc.to_string e));
     effc =
       (fun (type a) (eff : a Effect.t) ->
@@ -356,7 +414,12 @@ let replay_signals_after_cs ctx ~tickno ~tid =
       (fun (s : Demo.signal_entry) ->
         match Hashtbl.find_opt ctx.threads s.s_tid with
         | Some t -> deliver_signal ctx t s.s_signo
-        | None -> hard ctx (Printf.sprintf "SIGNAL names unknown thread %d" s.s_tid))
+        | None ->
+            (* Resync: drop the undeliverable signal. *)
+            diverge ctx ~tid:s.s_tid ~site:"SIGNAL"
+              ~expected:(Printf.sprintf "thread %d to deliver signal %d to"
+                           s.s_tid s.s_signo)
+              ~actual:"no such thread")
       mine
   end
 
@@ -372,7 +435,11 @@ let replay_initial_signals ctx =
       (fun (s : Demo.signal_entry) ->
         match Hashtbl.find_opt ctx.threads s.s_tid with
         | Some t -> deliver_signal ctx t s.s_signo
-        | None -> hard ctx "SIGNAL names unknown thread")
+        | None ->
+            diverge ctx ~tid:s.s_tid ~site:"SIGNAL"
+              ~expected:(Printf.sprintf "thread %d to deliver signal %d to"
+                           s.s_tid s.s_signo)
+              ~actual:"no such thread")
       initial
   end
 
@@ -405,7 +472,10 @@ let replay_asyncs_for_tick ctx =
                       t.arrival <- ctx.gclock
                   | _ -> ())
               | None ->
-                  hard ctx (Printf.sprintf "ASYNC sigwake for unknown thread %d" tid)))
+                  (* Resync: drop the wakeup. *)
+                  diverge ctx ~tid ~site:"ASYNC"
+                    ~expected:(Printf.sprintf "thread %d to wake" tid)
+                    ~actual:"no such thread"))
         mine;
       !rescheds
 
@@ -461,6 +531,20 @@ let fifo_min ts =
       | Some b -> if (t.arrival, t.tid) < (b.arrival, b.tid) then Some t else Some b)
     None ts
 
+(* The free-mode FIFO pick, also the Resync fallback when the QUEUE
+   stream no longer matches the run. *)
+let pick_fifo ctx enabled =
+  let arrived = List.filter (fun t -> t.arrival <= ctx.gclock) enabled in
+  match fifo_min arrived with
+  | Some t -> t
+  | None ->
+      (* Idle until the first thread finishes its invisible region.
+         Advance by the un-jittered clock so recorded timings are
+         reproducible on replay. *)
+      let t = Option.get (fifo_min enabled) in
+      ctx.gclock <- max ctx.gclock t.ltime;
+      t
+
 let pick_queue ctx enabled =
   match ctx.replay with
   | Some _ -> (
@@ -471,27 +555,26 @@ let pick_queue ctx enabled =
           ctx.rep_queue_next None
       in
       match expected with
-      | None -> hard ctx "QUEUE has no thread scheduled for this tick"
+      | None ->
+          diverge ctx ~tid:(-1) ~site:"QUEUE"
+            ~expected:"a thread scheduled for this tick" ~actual:"none";
+          pick_fifo ctx enabled
       | Some tid -> (
           match Hashtbl.find_opt ctx.threads tid with
-          | None -> hard ctx (Printf.sprintf "QUEUE names unknown thread %d" tid)
+          | None ->
+              diverge ctx ~tid ~site:"QUEUE"
+                ~expected:(Printf.sprintf "thread %d to schedule" tid)
+                ~actual:"no such thread";
+              pick_fifo ctx enabled
           | Some t ->
-              if t.status <> Ready then
-                hard ctx
-                  (Printf.sprintf
-                     "QUEUE schedules thread %d but it is not enabled" tid);
-              t))
-  | None -> (
-      let arrived = List.filter (fun t -> t.arrival <= ctx.gclock) enabled in
-      match fifo_min arrived with
-      | Some t -> t
-      | None ->
-          (* Idle until the first thread finishes its invisible region.
-             Advance by the un-jittered clock so recorded timings are
-             reproducible on replay. *)
-          let t = Option.get (fifo_min enabled) in
-          ctx.gclock <- max ctx.gclock t.ltime;
-          t)
+              if t.status <> Ready then begin
+                diverge ctx ~tid ~site:"QUEUE"
+                  ~expected:(Printf.sprintf "thread %d enabled" tid)
+                  ~actual:"thread is blocked or gone";
+                pick_fifo ctx enabled
+              end
+              else t))
+  | None -> pick_fifo ctx enabled
 
 (* Delay bounding (Emmi et al.): follow the deterministic FCFS order,
    but up to [d] times take the second-in-line instead of the head.
@@ -609,32 +692,57 @@ let exec_syscall ctx t ~now (r : Syscall.request) : Syscall.result =
             (Syscall.kind_to_string r.kind)));
   let cls = fd_class ctx r.fd in
   let recordable = Policy.should_record conf.policy ~fd_class:cls r in
+  let live () =
+    let res =
+      try World.syscall ctx.world ~now r
+      with World.Unsupported msg -> raise (Unsupported_run msg)
+    in
+    note_new_fd ctx r res;
+    res
+  in
   match conf.mode with
   | Conf.Replay _ when recordable -> (
-      match ctx.rep_syscalls with
-      | [] -> hard ctx "SYSCALL exhausted: program issued an extra recorded call"
-      | e :: rest ->
-          if e.Demo.sc_tid <> t.tid then
-            hard ctx
-              (Printf.sprintf "SYSCALL expects thread %d, got %d issuing %s"
-                 e.Demo.sc_tid t.tid (Syscall.kind_to_string r.kind));
-          if e.Demo.sc_label <> Syscall.kind_to_string r.kind then
-            hard ctx
-              (Printf.sprintf "SYSCALL expects %s, got %s" e.Demo.sc_label
-                 (Syscall.kind_to_string r.kind));
-          ctx.rep_syscalls <- rest;
-          {
-            Syscall.ret = e.Demo.sc_ret;
-            errno = e.Demo.sc_errno;
-            data = e.Demo.sc_data;
-            elapsed = e.Demo.sc_elapsed;
-          })
-  | _ ->
-      let res =
-        try World.syscall ctx.world ~now r
-        with World.Unsupported msg -> raise (Unsupported_run msg)
+      let label = Syscall.kind_to_string r.kind in
+      let of_entry (e : Demo.syscall_entry) =
+        {
+          Syscall.ret = e.Demo.sc_ret;
+          errno = e.Demo.sc_errno;
+          data = e.Demo.sc_data;
+          elapsed = e.Demo.sc_elapsed;
+        }
       in
-      note_new_fd ctx r res;
+      match ctx.rep_syscalls with
+      | e :: rest when e.Demo.sc_tid = t.tid && e.Demo.sc_label = label ->
+          ctx.rep_syscalls <- rest;
+          of_entry e
+      | [] ->
+          diverge ctx ~tid:t.tid ~site:"SYSCALL" ~expected:"no more recorded calls"
+            ~actual:(Printf.sprintf "thread %d issuing %s" t.tid label);
+          (* Resync: pad the exhausted stream with a live call. *)
+          live ()
+      | e :: _ ->
+          diverge ctx ~tid:t.tid ~site:"SYSCALL"
+            ~expected:
+              (Printf.sprintf "thread %d issuing %s" e.Demo.sc_tid e.Demo.sc_label)
+            ~actual:(Printf.sprintf "thread %d issuing %s" t.tid label);
+          (* Resync: schedule skew can move results across threads —
+             look a bounded distance ahead for this thread's entry,
+             leaving skipped entries for their owners; otherwise serve
+             the call live without consuming the stream. *)
+          let rec split i acc = function
+            | (e : Demo.syscall_entry) :: rest when i < 16 ->
+                if e.Demo.sc_tid = t.tid && e.Demo.sc_label = label then
+                  Some (e, List.rev_append acc rest)
+                else split (i + 1) (e :: acc) rest
+            | _ -> None
+          in
+          (match split 0 [] ctx.rep_syscalls with
+          | Some (e, rest) ->
+              ctx.rep_syscalls <- rest;
+              of_entry e
+          | None -> live ()))
+  | _ ->
+      let res = live () in
       if is_record ctx && recordable then
         ctx.rec_syscalls <-
           {
@@ -1263,6 +1371,8 @@ let make_ctx conf world program_seeds_override =
         | Conf.Controlled (Conf.Preempt_bounded b) -> b
         | _ -> 0);
       last_sched = -1;
+      desync_count = 0;
+      desyncs = [];
     }
   in
   (* Emitting a race report costs the reporting thread real time
@@ -1297,13 +1407,28 @@ let pp_outcome fmt = function
   | Crashed (tid, msg) -> Format.fprintf fmt "crashed in thread %d: %s" tid msg
   | Hard_desync msg -> Format.fprintf fmt "hard desync: %s" msg
   | Unsupported_app msg -> Format.fprintf fmt "unsupported: %s" msg
+  | App_error msg -> Format.fprintf fmt "app error: %s" msg
   | Tick_limit -> Format.fprintf fmt "tick limit reached"
 
-(* A malformed demo is a usability error, not a crash: surface it as a
-   hard desynchronisation with an empty result. *)
-let malformed_demo_result msg =
+let pp_divergence fmt d =
+  Format.fprintf fmt "@[<v>divergence at op %d (thread %d, %s): expected %s, got %s"
+    d.div_tick d.div_tid d.div_site d.div_expected d.div_actual;
+  (match d.div_trail with
+  | [] -> ()
+  | trail ->
+      Format.fprintf fmt "@,  last %d trace events:" (List.length trail);
+      List.iter
+        (fun (tick, tid, label) ->
+          Format.fprintf fmt "@,    tick %d thread %d %s" tick tid label)
+        trail);
+  Format.fprintf fmt "@]"
+
+(* An empty result carrying just an outcome — for failures that happen
+   before (or instead of) a run: malformed demos, harness-caught
+   exceptions. *)
+let result_of_outcome outcome =
   {
-    outcome = Hard_desync (Printf.sprintf "malformed demo: %s" msg);
+    outcome;
     makespan_us = 0;
     ticks = 0;
     races = [];
@@ -1316,7 +1441,14 @@ let malformed_demo_result msg =
     thread_names = [];
     trace_divergence = None;
     rng_draws = 0;
+    desync_count = 0;
+    divergences = [];
   }
+
+(* A malformed demo is a usability error, not a crash: surface it as a
+   hard desynchronisation with an empty result. *)
+let malformed_demo_result msg =
+  result_of_outcome (Hard_desync (Printf.sprintf "malformed demo: %s" msg))
 
 let run ?world conf (program : Api.program) =
   let world = match world with Some w -> Some w | None -> None in
@@ -1410,6 +1542,8 @@ let run ?world conf (program : Api.program) =
         List.map (fun t -> (t.tid, t.tname)) (threads_in_order ctx);
       trace_divergence;
       rng_draws = Prng.draws ctx.rng;
+      desync_count = ctx.desync_count;
+      divergences = List.rev ctx.desyncs;
     }
   in
   try
@@ -1478,6 +1612,13 @@ let run ?world conf (program : Api.program) =
     finish (loop ())
   with
   | Hard msg -> finish (Hard_desync msg)
+  | Diagnosed d ->
+      ctx.desync_count <- ctx.desync_count + 1;
+      ctx.desyncs <- d :: ctx.desyncs;
+      finish
+        (Hard_desync
+           (Printf.sprintf "op %d thread %d: %s expects %s, got %s" d.div_tick
+              d.div_tid d.div_site d.div_expected d.div_actual))
   | Unsupported_run msg -> finish (Unsupported_app msg)
   | World.Unsupported msg -> finish (Unsupported_app msg)
 

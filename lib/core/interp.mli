@@ -22,7 +22,23 @@ type outcome =
   | Unsupported_app of string
       (** the tool cannot drive this program at all (rr vs the opaque
           display driver, a recording policy vs [epoll_wait]) *)
+  | App_error of string
+      (** the workload itself failed outside any thread (setup or
+          build raised) — reported by the harness, never by {!run} *)
   | Tick_limit
+
+(** One replay divergence: at op (tick) [div_tick], [div_site] (QUEUE,
+    SYSCALL, SIGNAL or ASYNC) expected [div_expected] but the run
+    produced [div_actual]. [div_trail] holds the last trace events
+    before the divergence (populated under [Conf.Diagnose]). *)
+type divergence = {
+  div_tick : int;
+  div_tid : int;
+  div_site : string;
+  div_expected : string;
+  div_actual : string;
+  div_trail : (int * int * string) list;
+}
 
 type result = {
   outcome : outcome;
@@ -46,6 +62,13 @@ type result = {
   thread_names : (int * string) list;
       (** tid -> program-supplied thread name, creation order *)
   rng_draws : int;  (** scheduler-PRNG draws (replay must match) *)
+  desync_count : int;
+      (** replay divergences encountered; only [Conf.Resync] can
+          produce values above 1 — [Abort]/[Diagnose] stop at the
+          first *)
+  divergences : divergence list;
+      (** structured reports for the first divergences (capped at 64
+          under [Resync]; exactly the diagnosed one under [Diagnose]) *)
 }
 
 val run : ?world:T11r_env.World.t -> Conf.t -> T11r_vm.Api.program -> result
@@ -57,4 +80,10 @@ val run : ?world:T11r_env.World.t -> Conf.t -> T11r_vm.Api.program -> result
 val completed : result -> bool
 (** [outcome = Completed]. *)
 
+val result_of_outcome : outcome -> result
+(** An empty result carrying just [outcome] — for failures that happen
+    before a run starts (the harness wraps workload setup/build
+    exceptions this way). *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
+val pp_divergence : Format.formatter -> divergence -> unit

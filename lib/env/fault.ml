@@ -1,0 +1,75 @@
+(* A seeded fault plan for the simulated world.
+
+   The plan owns its own PRNG, separate from the world's: fault
+   decisions must not perturb the draw sequence the environment uses
+   for arrival jitter, /proc contents or allocation noise, otherwise
+   merely *enabling* a plan with zero probabilities would change the
+   run. For the same reason [flip] never draws when the answer is
+   already known (p <= 0, p >= 1, or the budget is spent) — a plan
+   built by [none] is bit-for-bit invisible. *)
+
+module Prng = T11r_util.Prng
+
+type t = {
+  frng : Prng.t;
+  p_drop : float;
+  p_duplicate : float;
+  p_delay : float;
+  delay_us : int;
+  p_eagain : float;
+  p_eintr : float;
+  p_reset : float;
+  p_short : float;
+  clock_skew_us : int;
+  max_faults : int; (* < 0 means unlimited *)
+  mutable injected : int;
+}
+
+let create ?(seed = 1L) ?(p_drop = 0.0) ?(p_duplicate = 0.0) ?(p_delay = 0.0)
+    ?(delay_us = 500) ?(p_eagain = 0.0) ?(p_eintr = 0.0) ?(p_reset = 0.0)
+    ?(p_short = 0.0) ?(clock_skew_us = 0) ?(max_faults = -1) () =
+  {
+    frng = Prng.create ~seed1:seed ~seed2:(Int64.add seed 0x9e3779b9L);
+    p_drop;
+    p_duplicate;
+    p_delay;
+    delay_us;
+    p_eagain;
+    p_eintr;
+    p_reset;
+    p_short;
+    clock_skew_us;
+    max_faults;
+    injected = 0;
+  }
+
+let none = create ()
+
+(* The uniform plan used by the fault sweep: every *transient* failure
+   mode at probability [p]. Message drop/duplication is left out — the
+   sweep's point is that retry loops recover, and a dropped message is
+   not recoverable by retrying the receiver. *)
+let uniform ?seed ~p () =
+  create ?seed ~p_eagain:p ~p_eintr:p ~p_reset:p ~p_short:p ()
+
+let exhausted t = t.max_faults >= 0 && t.injected >= t.max_faults
+
+let flip t p =
+  if p <= 0.0 || exhausted t then false
+  else
+    let hit = p >= 1.0 || Prng.float t.frng 1.0 < p in
+    if hit then t.injected <- t.injected + 1;
+    hit
+
+(* Named decision points, one per fault class, so World call sites read
+   as policy, not probability plumbing. *)
+let eintr t = flip t t.p_eintr
+let eagain t = flip t t.p_eagain
+let reset t = flip t t.p_reset
+let drop t = flip t t.p_drop
+let duplicate t = flip t t.p_duplicate
+let short t = flip t t.p_short
+let delay t = if flip t t.p_delay then t.delay_us else 0
+
+let injected t = t.injected
+let clock_skew_us t = t.clock_skew_us

@@ -1,0 +1,64 @@
+(** Seeded fault plans for the simulated environment.
+
+    A plan is installed into a {!World.t} and consulted at each syscall
+    dispatch site; it decides — from its own PRNG, independent of the
+    world's — whether this call fails transiently ([EAGAIN]/[EINTR]),
+    the connection resets, a message is dropped/duplicated/delayed, a
+    file transfer is cut short, or the clock reads skewed. A plan with
+    all probabilities at zero ({!none}) performs no draws at all, so a
+    fault-free world behaves identically whether or not a plan is
+    installed. *)
+
+type t
+
+val none : t
+(** The inert plan: never fails anything, never draws. *)
+
+val create :
+  ?seed:int64 ->
+  ?p_drop:float ->
+  ?p_duplicate:float ->
+  ?p_delay:float ->
+  ?delay_us:int ->
+  ?p_eagain:float ->
+  ?p_eintr:float ->
+  ?p_reset:float ->
+  ?p_short:float ->
+  ?clock_skew_us:int ->
+  ?max_faults:int ->
+  unit ->
+  t
+(** [p_drop]/[p_duplicate]/[p_delay] lose, duplicate or stretch (by
+    [delay_us]) an inbound network message; [p_eagain] and [p_eintr]
+    fail blocking points (poll/accept/recv/send) transiently; [p_reset]
+    kills a connection on send ([ECONNRESET], permanent for that
+    socket); [p_short] cuts file/pipe transfers short;
+    [clock_skew_us] is a constant offset added to every
+    [Clock_gettime]. [max_faults] caps total injections (negative,
+    the default, means unlimited) — a budget of 1 yields exactly one
+    fault, which tests use for determinism. *)
+
+val uniform : ?seed:int64 -> p:float -> unit -> t
+(** Every transient failure mode ([EAGAIN], [EINTR], [ECONNRESET],
+    short transfers) at probability [p]; no drops or duplicates, so a
+    workload with retry loops can always make progress. *)
+
+(** Decision points, one per fault class. Each consults the plan's
+    PRNG only when the outcome is genuinely random (0 < p < 1 and
+    budget remaining) and counts a hit against the budget. *)
+
+val eintr : t -> bool
+val eagain : t -> bool
+val reset : t -> bool
+val drop : t -> bool
+val duplicate : t -> bool
+val short : t -> bool
+
+val delay : t -> int
+(** Extra simulated µs to stretch this receive by; [0] when the delay
+    fault does not fire. *)
+
+val injected : t -> int
+(** Faults injected so far. *)
+
+val clock_skew_us : t -> int

@@ -49,12 +49,13 @@ type t = {
   mutable forbid_opaque_ioctl : bool;
   mutable gpu_frames : int;
   mutable net_events : int;
+  mutable faults : Fault.t;
 }
 
 let stdout_fd = 1
 let gpu_path = "/dev/gpu0"
 
-let create ?seed ?(deterministic_alloc = false) () =
+let create ?seed ?(deterministic_alloc = false) ?(faults = Fault.none) () =
   let rng =
     match seed with
     | Some s -> Prng.create ~seed1:s ~seed2:(Int64.lognot s)
@@ -79,12 +80,15 @@ let create ?seed ?(deterministic_alloc = false) () =
       forbid_opaque_ioctl = false;
       gpu_frames = 0;
       net_events = 0;
+      faults;
     }
   in
   Hashtbl.replace t.fds stdout_fd Std_out;
   t
 
 let prng t = t.rng
+let set_faults t f = t.faults <- f
+let faults_injected t = Fault.injected t.faults
 
 let fresh_fd t obj =
   let fd = t.next_fd in
@@ -330,21 +334,56 @@ let do_ioctl t ~code ~payload:_ fd_obj =
       Syscall.ok ~data 0
   | _ -> Syscall.error ~errno:Syscall.einval ()
 
+(* Fault injection happens here, at dispatch, so every syscall site can
+   fail. Blocking points (poll/accept/socket recv) can take EINTR;
+   socket transfers can spuriously EAGAIN, reset, or lose/duplicate/
+   delay a message; file and pipe transfers can come up short; the
+   clock can read skewed. Errors are injected *before* the call takes
+   effect, so a retry observes the same world the first attempt did. *)
 let syscall t ~now (r : Syscall.request) : Syscall.result =
   let obj fd = Hashtbl.find_opt t.fds fd in
+  let fl = t.faults in
+  let eintr () = Syscall.error ~errno:Syscall.eintr () in
   match r.kind with
   | Pipe ->
       let rfd, wfd = new_pipe t in
       Syscall.ok ~data:(Bytes.of_string (string_of_int wfd)) rfd
   | Bind -> Syscall.ok (fresh_fd t (Listen { port = r.arg }))
-  | Accept | Accept4 -> do_accept t ~now r.fd
-  | Poll | Select | Epoll_wait -> do_poll t ~now ~fds:r.fds ~timeout_ms:r.arg
+  | Accept | Accept4 -> if Fault.eintr fl then eintr () else do_accept t ~now r.fd
+  | Poll | Select | Epoll_wait ->
+      if Fault.eintr fl then eintr ()
+      else do_poll t ~now ~fds:r.fds ~timeout_ms:r.arg
   | Recv | Recvmsg | Read -> (
       match obj r.fd with
-      | Some (Sock s) -> do_recv t s ~now ~len:r.len
+      | Some (Sock s) ->
+          if Fault.eintr fl then eintr ()
+          else if Fault.eagain fl then Syscall.error ~errno:Syscall.eagain ()
+          else begin
+            (* Message-level faults act on the head of the inbox; pull
+               the look-ahead message first so there is usually one. *)
+            if Fault.drop fl then begin
+              ignore (next_arrival t s);
+              match s.inbox with _ :: rest -> s.inbox <- rest | [] -> ()
+            end;
+            if Fault.duplicate fl then begin
+              ignore (next_arrival t s);
+              match s.inbox with m :: rest -> s.inbox <- m :: m :: rest | [] -> ()
+            end;
+            let res = do_recv t s ~now ~len:r.len in
+            let extra = if res.Syscall.ret > 0 then Fault.delay fl else 0 in
+            if extra = 0 then res
+            else { res with Syscall.elapsed = res.Syscall.elapsed + extra }
+          end
       | Some (Pipe_r b) -> (
           match b.pdata with
           | chunk :: rest ->
+              let chunk, rest =
+                let n = Bytes.length chunk in
+                if n > 1 && Fault.short fl then
+                  let k = n / 2 in
+                  (Bytes.sub chunk 0 k, Bytes.sub chunk k (n - k) :: rest)
+                else (chunk, rest)
+              in
               b.pdata <- rest;
               Syscall.ok ~data:chunk (Bytes.length chunk)
           | [] ->
@@ -353,6 +392,7 @@ let syscall t ~now (r : Syscall.request) : Syscall.result =
       | Some (File f) ->
           let n = min r.len (String.length f.content - f.pos) in
           let n = max n 0 in
+          let n = if n > 1 && Fault.short fl then n / 2 else n in
           let data = Bytes.of_string (String.sub f.content f.pos n) in
           f.pos <- f.pos + n;
           Syscall.ok ~data n
@@ -360,17 +400,29 @@ let syscall t ~now (r : Syscall.request) : Syscall.result =
       | None -> bad_fd)
   | Send | Sendmsg | Write -> (
       match obj r.fd with
-      | Some (Sock s) -> do_send t s ~now r.payload
+      | Some (Sock s) ->
+          if Fault.eintr fl then eintr ()
+          else if Fault.eagain fl then Syscall.error ~errno:Syscall.eagain ()
+          else if Fault.reset fl then begin
+            (* The connection is gone for good: later sends fail too. *)
+            s.closed <- true;
+            Syscall.error ~errno:Syscall.econnreset ()
+          end
+          else do_send t s ~now r.payload
       | Some (Pipe_w b) ->
-          b.pdata <- b.pdata @ [ Bytes.copy r.payload ];
-          Syscall.ok (Bytes.length r.payload)
+          let n = Bytes.length r.payload in
+          let n = if n > 1 && Fault.short fl then n / 2 else n in
+          b.pdata <- b.pdata @ [ Bytes.sub r.payload 0 n ];
+          Syscall.ok n
       | Some Std_out ->
           Buffer.add_bytes t.out r.payload;
           Syscall.ok (Bytes.length r.payload)
-      | Some (File _) -> Syscall.ok (Bytes.length r.payload)
+      | Some (File _) ->
+          let n = Bytes.length r.payload in
+          Syscall.ok (if n > 1 && Fault.short fl then n / 2 else n)
       | Some _ -> Syscall.error ~errno:Syscall.einval ()
       | None -> bad_fd)
-  | Clock_gettime -> Syscall.ok now
+  | Clock_gettime -> Syscall.ok (now + Fault.clock_skew_us fl)
   | Ioctl -> (
       match obj r.fd with
       | Some o -> do_ioctl t ~code:r.arg ~payload:r.payload o

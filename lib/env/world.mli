@@ -23,13 +23,21 @@ exception Unsupported of string
     (§5.4: rr "is unable to record and replay" the game/display
     communication). *)
 
-val create : ?seed:int64 -> ?deterministic_alloc:bool -> unit -> t
+val create :
+  ?seed:int64 -> ?deterministic_alloc:bool -> ?faults:Fault.t -> unit -> t
 (** A fresh world. [seed] fixes the environment PRNG (tests and the
     harness pass run-specific seeds; omitting it seeds from the wall
     clock). [deterministic_alloc] models replacing the program's
-    allocator with a deterministic one — the §5.5 workaround. *)
+    allocator with a deterministic one — the §5.5 workaround.
+    [faults] installs a {!Fault} plan (default {!Fault.none}). *)
 
 val prng : t -> T11r_util.Prng.t
+
+val set_faults : t -> Fault.t -> unit
+(** Install (or replace) the fault plan consulted by {!syscall}. *)
+
+val faults_injected : t -> int
+(** Faults the installed plan has injected so far. *)
 
 (** {1 Configuration before a run} *)
 

@@ -16,15 +16,6 @@ type report = {
   outcomes : (string * int) list;
 }
 
-let outcome_key (o : Interp.outcome) =
-  match o with
-  | Interp.Completed -> "completed"
-  | Interp.Deadlock _ -> "deadlock"
-  | Interp.Crashed _ -> "crashed"
-  | Interp.Hard_desync _ -> "hard-desync"
-  | Interp.Unsupported_app _ -> "unsupported"
-  | Interp.Tick_limit -> "tick-limit"
-
 let explore (spec : Runner.spec) ~n =
   let schedules = Hashtbl.create 64 in
   let sightings : (Report.t, int * int) Hashtbl.t = Hashtbl.create 16 in
@@ -32,7 +23,10 @@ let explore (spec : Runner.spec) ~n =
   let racy = ref 0 in
   let crashes = ref [] in
   for i = 1 to n do
-    let r = Interp.run ~world:(spec.world i) (spec.conf i) (spec.program i) in
+    let r =
+      Outcome.protect (fun () ->
+          Interp.run ~world:(spec.world i) (spec.conf i) (spec.program i))
+    in
     Hashtbl.replace schedules
       (List.map (fun (_, tid, label) -> (tid, label)) r.Interp.trace)
       ();
@@ -46,7 +40,7 @@ let explore (spec : Runner.spec) ~n =
     (match r.Interp.outcome with
     | Interp.Crashed (_, msg) -> crashes := (i, msg) :: !crashes
     | _ -> ());
-    let k = outcome_key r.Interp.outcome in
+    let k = Outcome.key r.Interp.outcome in
     Hashtbl.replace outcomes k
       (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k))
   done;

@@ -1,0 +1,126 @@
+(* The fault-sweep experiment: how well does sparse record/replay hold
+   up when the environment misbehaves?
+
+   For each fault probability p we record the httpd workload with a
+   seeded fault plan injecting transient EAGAIN/EINTR, connection
+   resets and short reads/writes at every syscall site.  The recording
+   must complete anyway — the server retries transients with backoff
+   and gives up cleanly on dead connections.  Each demo is then
+   replayed with NO live fault plan: the injected failures live in the
+   demo's SYSCALL file, so a faithful replay reproduces the identical
+   syscall-result sequence, failures included, with zero hard desyncs. *)
+
+open T11r_util
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module World = T11r_env.World
+module Fault = T11r_env.Fault
+module Httpd = T11r_apps.Httpd
+
+type row = {
+  p : float;  (** per-site fault probability *)
+  runs : int;
+  record_completed : int;  (** recordings that ran to completion *)
+  mean_injected : float;  (** faults injected per recording *)
+  replay_faithful : int;  (** replays matching the recorded outcome *)
+  hard_desyncs : int;
+  soft_desyncs : int;
+}
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+let seeded base i =
+  Conf.with_seeds base
+    (Int64.of_int ((i * 2654435761) + 17))
+    (Int64.of_int ((i * 40503) + 9176))
+
+let one_cell ~cfg ~p ~runs =
+  let record_completed = ref 0 in
+  let injected = ref 0 in
+  let faithful = ref 0 in
+  let hard = ref 0 in
+  let soft = ref 0 in
+  for i = 1 to runs do
+    let dir = tmpdir "faultsweep" in
+    let faults =
+      if p > 0.0 then Fault.uniform ~seed:(Int64.of_int (100 + i)) ~p ()
+      else Fault.none
+    in
+    let world = World.create ~seed:(Int64.of_int ((i * 7919) + 3)) ~faults () in
+    Httpd.setup_world cfg world;
+    let rc =
+      seeded (Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Record dir) ()) i
+    in
+    let r1 =
+      Outcome.protect (fun () ->
+          Interp.run ~world rc (Httpd.program ~cfg ()))
+    in
+    if r1.Interp.outcome = Interp.Completed then incr record_completed;
+    injected := !injected + World.faults_injected world;
+    (* Replay against a different world seed and no fault plan: every
+       injected failure must come back out of the demo. *)
+    let world2 = World.create ~seed:(Int64.of_int ((i * 104729) + 11)) () in
+    Httpd.setup_world cfg world2;
+    let pc = Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Replay dir) () in
+    let r2 =
+      Outcome.protect (fun () ->
+          Interp.run ~world:world2 pc (Httpd.program ~cfg ()))
+    in
+    (match r2.Interp.outcome with Interp.Hard_desync _ -> incr hard | _ -> ());
+    if r2.Interp.soft_desync then incr soft;
+    if
+      Outcome.key r2.Interp.outcome = Outcome.key r1.Interp.outcome
+      && not r2.Interp.soft_desync
+    then incr faithful
+  done;
+  {
+    p;
+    runs;
+    record_completed = !record_completed;
+    mean_injected = float_of_int !injected /. float_of_int (max 1 runs);
+    replay_faithful = !faithful;
+    hard_desyncs = !hard;
+    soft_desyncs = !soft;
+  }
+
+let sweep ?(smoke = false) () =
+  let cfg =
+    if smoke then
+      { Httpd.default_config with queries = 24; clients = 3; workers = 3 }
+    else { Httpd.default_config with queries = 60; clients = 4; workers = 4 }
+  in
+  let ps = if smoke then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.05; 0.1; 0.2 ] in
+  let runs = if smoke then 2 else 5 in
+  List.map (fun p -> one_cell ~cfg ~p ~runs) ps
+
+let print rows =
+  let t =
+    Table.create
+      ~title:
+        "Fault sweep: record httpd under injected faults, replay fault-free"
+      ~headers:
+        [ "p"; "runs"; "rec ok"; "faults/run"; "faithful"; "hard"; "soft" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" r.p;
+          string_of_int r.runs;
+          Printf.sprintf "%d/%d" r.record_completed r.runs;
+          Printf.sprintf "%.1f" r.mean_injected;
+          Printf.sprintf "%d/%d" r.replay_faithful r.runs;
+          string_of_int r.hard_desyncs;
+          string_of_int r.soft_desyncs;
+        ])
+    rows;
+  Table.print t;
+  print_endline
+    "Shape to check: recording completes at every p (retries absorb\n\
+     transients); replay is faithful with zero hard desyncs because the\n\
+     injected failures are part of the recorded syscall sequence.\n"
+
+let run ?smoke () = print (sweep ?smoke ())

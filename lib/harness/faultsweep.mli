@@ -1,0 +1,21 @@
+(** Fault-injection sweep over the httpd workload: record under a
+    seeded fault plan of increasing probability, then replay each demo
+    fault-free and check that the recorded syscall-result sequence
+    (injected failures included) reproduces with zero hard desyncs. *)
+
+type row = {
+  p : float;  (** per-site fault probability *)
+  runs : int;
+  record_completed : int;  (** recordings that ran to completion *)
+  mean_injected : float;  (** faults injected per recording *)
+  replay_faithful : int;  (** replays matching the recorded outcome *)
+  hard_desyncs : int;
+  soft_desyncs : int;
+}
+
+val sweep : ?smoke:bool -> unit -> row list
+(** Run the sweep. [smoke] shrinks it to two probabilities and two runs
+    each for CI. *)
+
+val print : row list -> unit
+val run : ?smoke:bool -> unit -> unit

@@ -1,0 +1,25 @@
+module Interp = Tsan11rec.Interp
+module World = T11r_env.World
+
+let key (o : Interp.outcome) =
+  match o with
+  | Interp.Completed -> "completed"
+  | Interp.Deadlock _ -> "deadlock"
+  | Interp.Crashed _ -> "crashed"
+  | Interp.Hard_desync _ -> "hard-desync"
+  | Interp.Unsupported_app _ -> "unsupported"
+  | Interp.App_error _ -> "app-error"
+  | Interp.Tick_limit -> "tick-limit"
+
+(* One faulty run must not kill an N-run experiment: world setup or
+   program build raising World.Unsupported / Failure / Invalid_argument
+   becomes a structured outcome instead of an escaping exception.
+   Anything else is a harness bug and still propagates. *)
+let protect f =
+  match f () with
+  | r -> r
+  | exception World.Unsupported msg ->
+      Interp.result_of_outcome (Interp.Unsupported_app msg)
+  | exception Failure msg -> Interp.result_of_outcome (Interp.App_error msg)
+  | exception Invalid_argument msg ->
+      Interp.result_of_outcome (Interp.App_error msg)

@@ -1,0 +1,14 @@
+(** The one place outcomes are turned into histogram keys, and the
+    harness-wide guard that keeps a single faulty run from killing a
+    whole experiment. *)
+
+val key : Tsan11rec.Interp.outcome -> string
+(** Stable short name for aggregation ("completed", "deadlock",
+    "crashed", "hard-desync", "unsupported", "app-error",
+    "tick-limit"). *)
+
+val protect : (unit -> Tsan11rec.Interp.result) -> Tsan11rec.Interp.result
+(** Run one experiment iteration (world setup + program build +
+    interpretation). [World.Unsupported], [Failure] and
+    [Invalid_argument] become [Unsupported_app] / [App_error] results;
+    other exceptions propagate. *)

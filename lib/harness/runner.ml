@@ -41,24 +41,17 @@ type agg = {
   results : Interp.result list;
 }
 
-let outcome_key (o : Interp.outcome) =
-  match o with
-  | Interp.Completed -> "completed"
-  | Interp.Deadlock _ -> "deadlock"
-  | Interp.Crashed _ -> "crashed"
-  | Interp.Hard_desync _ -> "hard-desync"
-  | Interp.Unsupported_app _ -> "unsupported"
-  | Interp.Tick_limit -> "tick-limit"
-
 let run_many s ~n =
   let results =
-    List.init n (fun i -> Interp.run ~world:(s.world i) (s.conf i) (s.program i))
+    List.init n (fun i ->
+        Outcome.protect (fun () ->
+            Interp.run ~world:(s.world i) (s.conf i) (s.program i)))
   in
   let times = List.map (fun r -> float_of_int r.Interp.makespan_us /. 1000.0) results in
   let hist = Hashtbl.create 4 in
   List.iter
     (fun r ->
-      let k = outcome_key r.Interp.outcome in
+      let k = Outcome.key r.Interp.outcome in
       Hashtbl.replace hist k (1 + Option.value ~default:0 (Hashtbl.find_opt hist k)))
     results;
   {

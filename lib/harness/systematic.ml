@@ -14,15 +14,6 @@ type result = {
   max_depth_seen : int;
 }
 
-let outcome_key (o : Interp.outcome) =
-  match o with
-  | Interp.Completed -> "completed"
-  | Interp.Deadlock _ -> "deadlock"
-  | Interp.Crashed _ -> "crashed"
-  | Interp.Hard_desync _ -> "hard-desync"
-  | Interp.Unsupported_app _ -> "unsupported"
-  | Interp.Tick_limit -> "tick-limit"
-
 let explore ?(max_runs = 2000) ?(world_seed = 7L) ?(seeds = (11L, 13L))
     ~build () =
   let s1, s2 = seeds in
@@ -33,7 +24,10 @@ let explore ?(max_runs = 2000) ?(world_seed = 7L) ?(seeds = (11L, 13L))
         (Conf.tsan11rec ~strategy:(Conf.Guided { prefix; observed }) ())
         s1 s2
     in
-    let r = Interp.run ~world:(World.create ~seed:world_seed ()) conf (build ()) in
+    let r =
+      Outcome.protect (fun () ->
+          Interp.run ~world:(World.create ~seed:world_seed ()) conf (build ()))
+    in
     (r, Array.of_list (List.rev !observed))
   in
   let stack = ref [ [||] ] in
@@ -65,7 +59,7 @@ let explore ?(max_runs = 2000) ?(world_seed = 7L) ?(seeds = (11L, 13L))
         | Interp.Deadlock _ -> incr deadlocks
         | Interp.Crashed _ -> incr crashes
         | _ -> ());
-        let k = outcome_key r.Interp.outcome in
+        let k = Outcome.key r.Interp.outcome in
         Hashtbl.replace outcomes k
           (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k));
         (* Frontier expansion: for every scheduling point at or beyond

@@ -49,10 +49,19 @@ let program ?(cfg = default_config) ~server_fd () =
       Api.set_signal_handler 15 (fun () -> Api.Atomic.store quit 1);
       let listener () =
         while Api.Atomic.load quit = 0 do
-          let res = Api.Sys_api.poll ~fds:[ server_fd ] ~timeout_ms:1 in
+          (* Transient poll/recv failures (EINTR from the shutdown
+             signal, injected EAGAIN) are retried with backoff; only a
+             persistent error is fatal. *)
+          let res =
+            Api.Sys_api.retry (fun () ->
+                Api.Sys_api.poll ~fds:[ server_fd ] ~timeout_ms:1)
+          in
           if res.Syscall.ret <> 0 then begin
             if res.Syscall.ret < 0 then failwith "poll error";
-            let r = Api.Sys_api.recv ~fd:server_fd ~len:100 in
+            let r =
+              Api.Sys_api.retry (fun () ->
+                  Api.Sys_api.recv ~fd:server_fd ~len:100)
+            in
             if r.Syscall.ret > 0 then begin
               Api.Mutex.lock mtx;
               Queue.push r.Syscall.data requests;

@@ -221,6 +221,17 @@ module Sys_api = struct
   let close ~fd = call (Syscall.request ~fd Syscall.Close)
 
   let print s = ignore (write ~fd:1 (Bytes.of_string s))
+
+  (* Bounded retry with exponential backoff for transient failures
+     (EAGAIN/EINTR). Success and permanent errors return immediately
+     after the first call, so fault-free runs are unchanged. *)
+  let rec retry ?(attempts = 8) ?(backoff_ms = 1) f =
+    let r = f () in
+    if attempts <= 1 || not (Syscall.is_transient r) then r
+    else begin
+      op (Sleep backoff_ms);
+      retry ~attempts:(attempts - 1) ~backoff_ms:(backoff_ms * 2) f
+    end
 end
 
 let work us = op (Work us)

@@ -199,6 +199,17 @@ module Sys_api : sig
   val print : string -> unit
   (** observable output: a [write] to fd 1; the replayer compares the
       output stream for soft-desync detection *)
+
+  val retry :
+    ?attempts:int ->
+    ?backoff_ms:int ->
+    (unit -> Syscall.result) ->
+    Syscall.result
+  (** [retry f] calls [f] until its result is not transient
+      ({!Syscall.is_transient}) or [attempts] (default 8) are
+      exhausted, sleeping [backoff_ms] (default 1, doubling each
+      attempt) between tries. Success and permanent errors return
+      after the first call, so fault-free behaviour is unchanged. *)
 end
 
 val work : int -> unit

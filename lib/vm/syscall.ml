@@ -93,3 +93,6 @@ let econnreset = 104
 let einval = 22
 let enosys = 38
 let enoent = 2
+let eintr = 4
+
+let is_transient r = r.ret < 0 && (r.errno = eagain || r.errno = eintr)

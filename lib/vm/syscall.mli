@@ -75,3 +75,9 @@ val econnreset : int
 val einval : int
 val enosys : int
 val enoent : int
+val eintr : int
+
+val is_transient : result -> bool
+(** [true] for failures that a caller should simply retry: [EAGAIN]
+    (nothing ready yet) and [EINTR] (interrupted before completion).
+    Everything else — including success — is not transient. *)

@@ -1,6 +1,7 @@
 (* Tests for the simulated external world (lib/env). *)
 
 module World = T11r_env.World
+module Fault = T11r_env.Fault
 module Syscall = T11r_vm.Syscall
 
 let check = Alcotest.check
@@ -221,6 +222,121 @@ let test_bad_fd () =
   let r = World.syscall w ~now:0 (Syscall.request ~fd:999 ~len:10 Syscall.Recv) in
   check Alcotest.int "EBADF" Syscall.ebadf r.errno
 
+(* -- fault injection ------------------------------------------------- *)
+
+let mkf ?(seed = 7L) faults =
+  let w = World.create ~seed ~faults () in
+  w
+
+let test_fault_none_invisible () =
+  (* A zero-probability plan never draws from its PRNG and injects
+     nothing: behaviour is bit-identical to a fault-free world. *)
+  let w1 = mk ~seed:5L () in
+  let w2 = mkf ~seed:5L (Fault.uniform ~p:0.0 ()) in
+  let probe w =
+    let fd = World.connect w hello_peer in
+    World.syscall w ~now:0 (Syscall.request ~fd ~len:100 Syscall.Recv)
+  in
+  let r1 = probe w1 and r2 = probe w2 in
+  check Alcotest.string "same data" (Bytes.to_string r1.data)
+    (Bytes.to_string r2.data);
+  check Alcotest.int "same elapsed" r1.elapsed r2.elapsed;
+  check Alcotest.int "nothing injected" 0 (World.faults_injected w2)
+
+let test_fault_eintr_once () =
+  let w = mkf (Fault.create ~seed:1L ~p_eintr:1.0 ~max_faults:1 ()) in
+  let fd = World.connect w hello_peer in
+  let r =
+    World.syscall w ~now:0 (Syscall.request ~fds:[ fd ] ~arg:1 Syscall.Poll)
+  in
+  check Alcotest.int "first poll EINTR" Syscall.eintr r.errno;
+  check Alcotest.bool "EINTR is transient" true (Syscall.is_transient r);
+  let r2 =
+    World.syscall w ~now:0 (Syscall.request ~fds:[ fd ] ~arg:1 Syscall.Poll)
+  in
+  check Alcotest.int "second poll succeeds" 1 r2.ret;
+  check Alcotest.int "one fault injected" 1 (World.faults_injected w)
+
+let test_fault_eagain_recv () =
+  let w = mkf (Fault.create ~seed:1L ~p_eagain:1.0 ~max_faults:1 ()) in
+  let fd = World.connect w hello_peer in
+  let r = World.syscall w ~now:200 (Syscall.request ~fd ~len:100 Syscall.Recv) in
+  check Alcotest.int "first recv EAGAIN" Syscall.eagain r.errno;
+  check Alcotest.bool "EAGAIN is transient" true (Syscall.is_transient r);
+  let r2 = World.syscall w ~now:200 (Syscall.request ~fd ~len:100 Syscall.Recv) in
+  check Alcotest.string "retry delivers" "hello" (Bytes.to_string r2.data)
+
+let test_fault_reset_permanent () =
+  let w = mkf (Fault.create ~seed:1L ~p_reset:1.0 ~max_faults:1 ()) in
+  let fd = World.connect w echo_peer in
+  let payload = Bytes.of_string "ping" in
+  let r = World.syscall w ~now:0 (Syscall.request ~fd ~payload Syscall.Send) in
+  check Alcotest.int "send ECONNRESET" Syscall.econnreset r.errno;
+  check Alcotest.bool "reset is not transient" false (Syscall.is_transient r);
+  (* the budget is spent, but the socket stays dead *)
+  let r2 = World.syscall w ~now:0 (Syscall.request ~fd ~payload Syscall.Send) in
+  check Alcotest.int "still ECONNRESET" Syscall.econnreset r2.errno
+
+let two_msg_peer =
+  {
+    World.on_receive = (fun _ _ -> []);
+    spontaneous =
+      (fun _ i ->
+        if i < 2 then Some (100, Bytes.of_string (Printf.sprintf "m%d" i))
+        else None);
+  }
+
+let test_fault_drop () =
+  let w = mkf (Fault.create ~seed:1L ~p_drop:1.0 ~max_faults:1 ()) in
+  let fd = World.connect w two_msg_peer in
+  let r = World.syscall w ~now:300 (Syscall.request ~fd ~len:100 Syscall.Recv) in
+  check Alcotest.string "first message dropped" "m1" (Bytes.to_string r.data)
+
+let test_fault_duplicate () =
+  let w = mkf (Fault.create ~seed:1L ~p_duplicate:1.0 ~max_faults:1 ()) in
+  let fd = World.connect w hello_peer in
+  let r = World.syscall w ~now:200 (Syscall.request ~fd ~len:100 Syscall.Recv) in
+  let r2 = World.syscall w ~now:200 (Syscall.request ~fd ~len:100 Syscall.Recv) in
+  check Alcotest.string "first copy" "hello" (Bytes.to_string r.data);
+  check Alcotest.string "duplicate copy" "hello" (Bytes.to_string r2.data)
+
+let test_fault_short_read_preserves_content () =
+  (* Short reads fragment the stream but never lose bytes. *)
+  let w = mkf (Fault.create ~seed:1L ~p_short:1.0 ()) in
+  World.add_file w ~path:"/data" "abcdefgh";
+  let fd =
+    (World.syscall w ~now:0 (Syscall.request ~path:"/data" Syscall.Open_)).ret
+  in
+  let buf = Buffer.create 8 in
+  let rec drain n =
+    if n > 0 then
+      let r = World.syscall w ~now:0 (Syscall.request ~fd ~len:100 Syscall.Read) in
+      if r.ret > 0 then begin
+        Buffer.add_bytes buf r.data;
+        drain (n - 1)
+      end
+  in
+  drain 20;
+  check Alcotest.string "all bytes arrive" "abcdefgh" (Buffer.contents buf)
+
+let test_fault_clock_skew () =
+  let w = mkf (Fault.create ~clock_skew_us:250 ()) in
+  let r = World.syscall w ~now:1000 (Syscall.request Syscall.Clock_gettime) in
+  check Alcotest.int "skewed clock" 1250 r.ret
+
+let test_fault_budget () =
+  let w = mkf (Fault.create ~seed:1L ~p_eagain:1.0 ~max_faults:3 ()) in
+  let fd = World.connect w hello_peer in
+  let eagains = ref 0 in
+  for _ = 1 to 10 do
+    let r =
+      World.syscall w ~now:200 (Syscall.request ~fd ~len:100 Syscall.Recv)
+    in
+    if r.ret < 0 && r.errno = Syscall.eagain then incr eagains
+  done;
+  check Alcotest.int "budget bounds injections" 3 !eagains;
+  check Alcotest.int "injected counter agrees" 3 (World.faults_injected w)
+
 let () =
   Alcotest.run "env"
     [
@@ -246,6 +362,21 @@ let () =
         ] );
       ( "signals",
         [ Alcotest.test_case "schedule/deliver" `Quick test_signals ] );
+      ( "faults",
+        [
+          Alcotest.test_case "zero-p plan is invisible" `Quick
+            test_fault_none_invisible;
+          Alcotest.test_case "eintr once" `Quick test_fault_eintr_once;
+          Alcotest.test_case "eagain recv" `Quick test_fault_eagain_recv;
+          Alcotest.test_case "reset is permanent" `Quick
+            test_fault_reset_permanent;
+          Alcotest.test_case "drop" `Quick test_fault_drop;
+          Alcotest.test_case "duplicate" `Quick test_fault_duplicate;
+          Alcotest.test_case "short reads preserve content" `Quick
+            test_fault_short_read_preserves_content;
+          Alcotest.test_case "clock skew" `Quick test_fault_clock_skew;
+          Alcotest.test_case "fault budget" `Quick test_fault_budget;
+        ] );
       ( "alloc",
         [
           Alcotest.test_case "nondeterminism" `Quick test_alloc_nondeterminism;

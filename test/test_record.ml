@@ -459,6 +459,216 @@ let test_debug_trace_pinpoints_divergence () =
   | None -> Alcotest.fail "expected a divergence diagnosis"
 
 (* ------------------------------------------------------------------ *)
+(* Failed syscalls are part of the recording *)
+
+let hello_peer =
+  {
+    World.on_receive = (fun _ _ -> []);
+    spontaneous =
+      (fun _ i -> if i = 0 then Some (100, Bytes.of_string "hello") else None);
+  }
+
+(* Poll (with retry), recv, print: under a one-EINTR fault plan the
+   first poll fails and the retry succeeds; both calls are recorded. *)
+let faulty_prog fd () =
+  Api.program ~name:"faultrec" (fun () ->
+      let p =
+        Api.Sys_api.retry (fun () ->
+            Api.Sys_api.poll ~fds:[ fd ] ~timeout_ms:1)
+      in
+      if p.Syscall.ret > 0 then begin
+        let r = Api.Sys_api.retry (fun () -> Api.Sys_api.recv ~fd ~len:100) in
+        if r.Syscall.ret > 0 then
+          Api.Sys_api.print (Bytes.to_string r.Syscall.data)
+      end)
+
+let record_faulty dir =
+  let faults = T11r_env.Fault.create ~seed:1L ~p_eintr:1.0 ~max_faults:1 () in
+  let world = World.create ~seed:5L ~faults () in
+  let fd = World.connect world hello_peer in
+  let rc =
+    Conf.with_seeds
+      (Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Record dir) ())
+      1L 2L
+  in
+  (Interp.run ~world rc (faulty_prog fd ()), fd)
+
+let test_failed_syscall_replays () =
+  let dir = tmpdir () in
+  let r1, _fd = record_faulty dir in
+  check_completed r1;
+  check Alcotest.string "retry recovered" "hello" r1.output;
+  let d = Option.get r1.demo in
+  let eintrs =
+    List.filter
+      (fun (e : Demo.syscall_entry) -> e.sc_errno = Syscall.eintr)
+      d.Demo.syscalls
+  in
+  check Alcotest.int "EINTR recorded" 1 (List.length eintrs);
+  (* Fault-free replay: the failure comes back out of the demo, the
+     retry takes the identical path. *)
+  let world2 = World.create ~seed:99L () in
+  let fd2 = World.connect world2 hello_peer in
+  let pc = Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Replay dir) () in
+  let r2 = Interp.run ~world:world2 pc (faulty_prog fd2 ()) in
+  check_completed r2;
+  check Alcotest.bool "identical trace" true (r1.trace = r2.trace);
+  check Alcotest.string "identical output" r1.output r2.output;
+  check Alcotest.bool "no soft desync" false r2.soft_desync
+
+let test_failed_syscall_floats_to_tick () =
+  (* The EINTR entry carries the tick/thread of the visible operation
+     it floated to, so replay can hand it back at the same point. *)
+  let dir = tmpdir () in
+  let r1, _fd = record_faulty dir in
+  check_completed r1;
+  let d = Option.get r1.demo in
+  let e =
+    List.find
+      (fun (e : Demo.syscall_entry) -> e.sc_errno = Syscall.eintr)
+      d.Demo.syscalls
+  in
+  check Alcotest.bool "anchored to a trace event" true
+    (List.exists
+       (fun (tick, tid, _) -> tick = e.Demo.sc_tick && tid = e.Demo.sc_tid)
+       r1.trace)
+
+(* ------------------------------------------------------------------ *)
+(* Desync recovery modes *)
+
+let corrupt_queue dir =
+  let qf = Filename.concat dir "QUEUE" in
+  let lines = T11r_util.Codec.read_lines qf in
+  let corrupted =
+    List.map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "first"; tid; tick ] when tid <> "0" ->
+            Printf.sprintf "first %s %d" tid (int_of_string tick + 1)
+        | _ -> line)
+      lines
+  in
+  T11r_util.Codec.write_lines qf corrupted
+
+let replay_dir_mode dir mode prog =
+  let pc =
+    {
+      (Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Replay dir) ()) with
+      Conf.on_desync = mode;
+    }
+  in
+  Interp.run ~world:(World.create ~seed:6L ()) pc prog
+
+let test_diagnose_reports_divergence () =
+  let dir = tmpdir () in
+  let prog = record_mixed dir in
+  corrupt_queue dir;
+  let r = replay_dir_mode dir Conf.Diagnose prog in
+  (match r.Interp.outcome with
+  | Interp.Hard_desync _ -> ()
+  | o -> Alcotest.failf "expected hard desync, got %a" Interp.pp_outcome o);
+  match r.Interp.divergences with
+  | [ d ] ->
+      check Alcotest.bool "op index is set" true (d.Interp.div_tick >= 0);
+      check Alcotest.bool "site names the QUEUE" true
+        (d.Interp.div_site = "QUEUE");
+      let report = Format.asprintf "%a" Interp.pp_divergence d in
+      let has sub =
+        let n = String.length sub and h = String.length report in
+        let rec go i = i + n <= h && (String.sub report i n = sub || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "report names the op" true (has "op ");
+      check Alcotest.bool "report names the thread" true (has "thread ")
+  | ds -> Alcotest.failf "expected exactly 1 divergence, got %d" (List.length ds)
+
+let test_resync_continues_and_counts () =
+  let dir = tmpdir () in
+  let prog = record_mixed dir in
+  corrupt_queue dir;
+  let r = replay_dir_mode dir Conf.Resync prog in
+  (match r.Interp.outcome with
+  | Interp.Hard_desync _ ->
+      Alcotest.fail "resync must not hard-desync on a satisfiable drift"
+  | _ -> ());
+  check Alcotest.bool "divergences counted" true (r.Interp.desync_count > 0)
+
+let test_abort_unchanged_by_default () =
+  (* Conf.default still aborts: the old tampering behaviour holds. *)
+  check Alcotest.bool "default mode is abort" true
+    (Conf.default.Conf.on_desync = Conf.Abort)
+
+let test_resync_sqlite_like () =
+  (* The §5.5 limitation workload: its walk order depends on the
+     world's memory layout, so replaying against a different world seed
+     issues a different syscall sequence. Resync must absorb that as
+     counted divergences, not an abort. *)
+  let found = ref false in
+  let s = ref 0 in
+  while (not !found) && !s < 20 do
+    incr s;
+    let dir = tmpdir () in
+    let rc =
+      Conf.with_seeds
+        (Conf.tsan11rec ~strategy:Conf.Random ~mode:(Conf.Record dir) ())
+        (Int64.of_int !s) 4L
+    in
+    let r1 =
+      Interp.run
+        ~world:(World.create ~seed:(Int64.of_int (2 * !s)) ())
+        rc
+        (T11r_apps.Sqlite_like.program ())
+    in
+    if r1.Interp.outcome = Interp.Completed then begin
+      let pc =
+        {
+          (Conf.tsan11rec ~strategy:Conf.Random ~mode:(Conf.Replay dir) ()) with
+          Conf.on_desync = Conf.Resync;
+        }
+      in
+      let r2 =
+        Interp.run
+          ~world:(World.create ~seed:(Int64.of_int ((2 * !s) + 1)) ())
+          pc
+          (T11r_apps.Sqlite_like.program ())
+      in
+      (match r2.Interp.outcome with
+      | Interp.Hard_desync _ -> Alcotest.fail "resync aborted on sqlite-like"
+      | _ -> ());
+      if r2.Interp.desync_count > 0 then found := true
+    end
+  done;
+  check Alcotest.bool "found a divergent seed pair, absorbed by resync" true
+    !found
+
+let test_resync_htop_like () =
+  (* Under the default policy /proc reads are not recorded, so replay
+     re-reads live nondeterministic content: a soft desync (digest
+     mismatch), never an abort, under Resync. *)
+  let dir = tmpdir () in
+  let mk seed =
+    let w = World.create ~seed () in
+    T11r_apps.Htop_like.setup_world w;
+    w
+  in
+  let rc =
+    Conf.with_seeds
+      (Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Record dir) ())
+      1L 2L
+  in
+  let r1 = Interp.run ~world:(mk 5L) rc (T11r_apps.Htop_like.program ()) in
+  check_completed r1;
+  let pc =
+    {
+      (Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Replay dir) ()) with
+      Conf.on_desync = Conf.Resync;
+    }
+  in
+  let r2 = Interp.run ~world:(mk 60L) pc (T11r_apps.Htop_like.program ()) in
+  check_completed r2;
+  check Alcotest.bool "soft desync reported" true r2.Interp.soft_desync
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzing the demo parser *)
 
 let mutate_file rng path =
@@ -501,6 +711,102 @@ let fuzz_demo_loader =
           let r = replay_dir dir prog in
           (match r.Interp.outcome with _ -> true))
 
+(* Byte-level hardening: truncation, bit flips and garbage injection,
+   against a template demo recorded once. Whatever the damage, loading
+   either succeeds or raises [Invalid_argument] ("malformed demo"), and
+   a loadable demo replays to some outcome — no other exception. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let demo_files = [ "META"; "QUEUE"; "SIGNAL"; "SYSCALL"; "ASYNC" ]
+
+let template_demo =
+  lazy
+    (let dir = tmpdir () in
+     let prog = record_mixed dir in
+     (dir, prog))
+
+let copy_template dst =
+  let src, prog = Lazy.force template_demo in
+  Unix.mkdir dst 0o755;
+  List.iter
+    (fun f ->
+      let p = Filename.concat src f in
+      if Sys.file_exists p then write_file (Filename.concat dst f) (read_file p))
+    demo_files;
+  prog
+
+let fuzz_demo_hardening =
+  QCheck.Test.make
+    ~name:"truncated/bit-flipped/garbage demos always fail cleanly" ~count:1000
+    QCheck.(triple int64 (int_range 0 4) (int_range 0 2))
+    (fun (seed, which, kind) ->
+      let dir = tmpdir () in
+      let prog = copy_template dir in
+      let rng = T11r_util.Prng.create ~seed1:seed ~seed2:4242L in
+      let path = Filename.concat dir (List.nth demo_files which) in
+      let s = if Sys.file_exists path then read_file path else "" in
+      let n = String.length s in
+      (match kind with
+      | 0 ->
+          (* truncate at an arbitrary byte *)
+          write_file path (String.sub s 0 (if n = 0 then 0 else T11r_util.Prng.int rng n))
+      | 1 ->
+          (* flip one bit *)
+          if n > 0 then begin
+            let b = Bytes.of_string s in
+            let i = T11r_util.Prng.int rng n in
+            let bit = 1 lsl T11r_util.Prng.int rng 8 in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit land 0xff));
+            write_file path (Bytes.to_string b)
+          end
+      | _ ->
+          (* splice in a garbage line *)
+          let len = 1 + T11r_util.Prng.int rng 24 in
+          let junk =
+            String.init len (fun _ -> Char.chr (T11r_util.Prng.int rng 256))
+          in
+          let cut = if n = 0 then 0 else T11r_util.Prng.int rng n in
+          write_file path
+            (String.sub s 0 cut ^ "\n" ^ junk ^ "\n" ^ String.sub s cut (n - cut)));
+      match Demo.load ~dir with
+      | exception Invalid_argument _ -> true
+      | _ -> (
+          let r = replay_dir dir prog in
+          match r.Interp.outcome with _ -> true))
+
+let test_format_version_rejected () =
+  let dir = tmpdir () in
+  ignore (record_mixed dir);
+  let mf = Filename.concat dir "META" in
+  let lines = T11r_util.Codec.read_lines mf in
+  let bumped =
+    List.map
+      (fun l -> if String.length l > 7 && String.sub l 0 7 = "format " then "format 99" else l)
+      lines
+  in
+  T11r_util.Codec.write_lines mf bumped;
+  match Demo.load ~dir with
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "names the version" true
+        (let has sub =
+           let n = String.length sub and h = String.length msg in
+           let rec go i = i + n <= h && (String.sub msg i n = sub || go (i + 1)) in
+           go 0
+         in
+         has "format version")
+  | _ -> Alcotest.fail "expected the loader to reject format 99"
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -527,7 +833,27 @@ let () =
           Alcotest.test_case "unused syscall data" `Quick
             test_wrong_syscall_data_soft_desyncs;
           Alcotest.test_case "meta strategy" `Quick test_wrong_strategy_misparse;
+          Alcotest.test_case "format version" `Quick test_format_version_rejected;
           qtest fuzz_demo_loader;
+          qtest fuzz_demo_hardening;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "failed syscall replays" `Quick
+            test_failed_syscall_replays;
+          Alcotest.test_case "failure floats to tick" `Quick
+            test_failed_syscall_floats_to_tick;
+        ] );
+      ( "desync-modes",
+        [
+          Alcotest.test_case "diagnose reports" `Quick
+            test_diagnose_reports_divergence;
+          Alcotest.test_case "resync continues" `Quick
+            test_resync_continues_and_counts;
+          Alcotest.test_case "resync sqlite-like" `Quick test_resync_sqlite_like;
+          Alcotest.test_case "resync htop-like" `Quick test_resync_htop_like;
+          Alcotest.test_case "abort is default" `Quick
+            test_abort_unchanged_by_default;
         ] );
       ( "debug-trace",
         [
