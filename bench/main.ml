@@ -19,12 +19,18 @@ module Demo = Tsan11rec.Demo
 module Policy = Tsan11rec.Policy
 module World = T11r_env.World
 module Runner = T11r_harness.Runner
+module Campaign = T11r_harness.Campaign
+module Pool = T11r_harness.Pool
 open T11r_apps
 
-let tmpdir prefix =
-  let d = Filename.temp_file prefix "" in
-  Sys.remove d;
-  d
+(* Race-free under concurrent campaigns: the directory is atomically
+   created before the path is handed out (lib/util/tmp.ml). *)
+let tmpdir prefix = T11r_util.Tmp.fresh_dir ~prefix ()
+
+(* Worker domains for campaign-aware experiments (--jobs N; 0 = all
+   cores). The default stays sequential so historical numbers are
+   comparable. *)
+let jobs = ref 1
 
 (* Runs per experiment. The paper uses 1000 for Table 1 and 10
    elsewhere; we default lower to keep the full suite around a minute
@@ -67,7 +73,7 @@ let table1 () =
         List.concat_map
           (fun (label, base) ->
             let spec = Runner.spec ~label ~base_conf:base e.build in
-            let agg = Runner.run_many spec ~n:table1_runs in
+            let agg = Runner.run_many ~jobs:!jobs spec ~n:table1_runs in
             [
               Format.asprintf "%a" Stats.pp_mean_sd agg.time_ms;
               Printf.sprintf "%.1f%%" agg.race_rate;
@@ -109,7 +115,7 @@ let run_httpd_setup (label, base, detects) ~reports =
       ~setup_world:(Httpd.setup_world httpd_cfg) (fun () ->
         Httpd.program ~cfg:httpd_cfg ())
   in
-  let agg = Runner.run_many spec ~n:app_runs in
+  let agg = Runner.run_many ~jobs:!jobs spec ~n:app_runs in
   (label, agg, detects)
 
 let table2 () =
@@ -238,7 +244,7 @@ let table34 () =
         List.map
           (fun (label, base) ->
             let spec = Runner.spec ~label ~base_conf:base build in
-            Runner.run_many spec ~n:app_runs)
+            Runner.run_many ~jobs:!jobs spec ~n:app_runs)
           configs
       in
       let native = List.hd aggs in
@@ -530,7 +536,7 @@ let ablations () =
             ~base_conf:(Conf.tsan11rec ~strategy ())
             e.build
         in
-        (Runner.run_many spec ~n:100).race_rate
+        (Runner.run_many ~jobs:!jobs spec ~n:100).race_rate
       in
       Table.add_row t2
         [
@@ -563,7 +569,7 @@ let ablations () =
           { (Conf.tsan11rec ~strategy:Conf.Random ()) with Conf.max_history = depth }
         in
         let spec = Runner.spec ~label:"x" ~base_conf:base e.build in
-        (Runner.run_many spec ~n:500).race_rate
+        (Runner.run_many ~jobs:!jobs spec ~n:500).race_rate
       in
       Table.add_row t3
         [
@@ -709,7 +715,114 @@ let micro () =
 (* Fault-injection sweep (robustness study)                             *)
 
 let smoke = ref false
-let faults () = T11r_harness.Faultsweep.run ~smoke:!smoke ()
+let faults () = T11r_harness.Faultsweep.run ~smoke:!smoke ~jobs:!jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Campaign throughput: sequential vs sharded, with a machine-readable
+   trajectory file so subsequent PRs can track the perf curve.          *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let campaign () =
+  let par_jobs = if !jobs > 1 then !jobs else 4 in
+  let n = if !smoke then 60 else table1_runs in
+  let litmus (e : T11r_litmus.Registry.entry) =
+    Runner.spec ~label:e.name
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      e.build
+  in
+  let httpd_cfg = { Httpd.default_config with queries = 40 } in
+  let specs =
+    [
+      (litmus T11r_litmus.Registry.fig1, n);
+      (litmus (Option.get (T11r_litmus.Registry.find "mcs-lock")), n);
+      ( Runner.spec ~label:"httpd-40q"
+          ~base_conf:(Conf.tsan11rec ~strategy:Conf.Queue ())
+          ~setup_world:(Httpd.setup_world httpd_cfg)
+          (fun () -> Httpd.program ~cfg:httpd_cfg ()),
+        max 2 (n / 10) );
+    ]
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Campaign throughput: -j1 vs -j%d (%d-run fig1 campaign et al.)"
+           par_jobs n)
+      ~headers:
+        [ "campaign"; "runs"; "j1 s"; "runs/s"; Printf.sprintf "j%d s" par_jobs;
+          "runs/s"; "speedup"; "identical?" ]
+  in
+  let cells =
+    List.map
+      (fun (spec, n) ->
+        let seq = Campaign.run spec ~n ~jobs:1 [] in
+        let par = Campaign.run spec ~n ~jobs:par_jobs [] in
+        let identical = Campaign.equal seq par in
+        let speedup =
+          if par.Campaign.wall_s > 0.0 then
+            seq.Campaign.wall_s /. par.Campaign.wall_s
+          else 0.0
+        in
+        Table.add_row t
+          [
+            spec.Runner.label;
+            string_of_int n;
+            Printf.sprintf "%.2f" seq.Campaign.wall_s;
+            Printf.sprintf "%.0f" (Campaign.runs_per_sec seq);
+            Printf.sprintf "%.2f" par.Campaign.wall_s;
+            Printf.sprintf "%.0f" (Campaign.runs_per_sec par);
+            Printf.sprintf "%.2fx" speedup;
+            (if identical then "yes" else "NO");
+          ];
+        (spec.Runner.label, n, seq, par, speedup, identical))
+      specs
+  in
+  Table.print t;
+  Fmt.pr
+    "(host reports %d core(s); speedup is bounded by physical parallelism)@.@."
+    (Domain.recommended_domain_count ());
+  let experiments =
+    String.concat ",\n"
+      (List.map
+         (fun (label, n, seq, par, speedup, identical) ->
+           Printf.sprintf
+             "    {\"label\": \"%s\", \"runs\": %d, \"seq_wall_s\": %.4f, \
+              \"par_wall_s\": %.4f, \"seq_runs_per_s\": %.1f, \
+              \"par_runs_per_s\": %.1f, \"speedup\": %.3f, \
+              \"aggregates_identical\": %b}"
+             (json_escape label) n seq.Campaign.wall_s par.Campaign.wall_s
+             (Campaign.runs_per_sec seq) (Campaign.runs_per_sec par) speedup
+             identical)
+         cells)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"tsan11rec/campaign-bench/v1\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"smoke\": %b,\n\
+      \  \"experiments\": [\n%s\n  ]\n}\n"
+      (Domain.recommended_domain_count ())
+      par_jobs !smoke experiments
+  in
+  let oc = open_out "BENCH_campaign.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_campaign.json@."
 
 (* ------------------------------------------------------------------ *)
 
@@ -726,10 +839,33 @@ let experiments =
     ("ablations", ablations);
     ("micro", micro);
     ("faults", faults);
+    ("campaign", campaign);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --jobs N (or --jobs=N): worker domains; 0 = every core. *)
+  let rec strip_jobs = function
+    | [] -> []
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j ->
+            jobs := (if j <= 0 then Pool.default_jobs () else j);
+            strip_jobs rest
+        | None ->
+            Fmt.epr "--jobs expects an integer, got %S@." v;
+            exit 2)
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" -> (
+        match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+        | Some j ->
+            jobs := (if j <= 0 then Pool.default_jobs () else j);
+            strip_jobs rest
+        | None ->
+            Fmt.epr "bad %S@." a;
+            exit 2)
+    | a :: rest -> a :: strip_jobs rest
+  in
+  let args = strip_jobs args in
   let names = List.filter (fun a -> a <> "--smoke") args in
   smoke := List.mem "--smoke" args;
   let requested =

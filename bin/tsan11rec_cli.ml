@@ -52,6 +52,16 @@ let runs_arg =
   let doc = "Number of runs." in
   Arg.(value & opt int 100 & info [ "runs"; "n" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for campaign subcommands: 1 (default) runs \
+     sequentially, 0 uses every core ($(b,T11R_JOBS) overrides the \
+     auto-detected count). Results are identical for every value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+
+let resolve_jobs j = if j <= 0 then T11r_harness.Pool.default_jobs () else j
+
 let fault_p_arg =
   let doc =
     "Inject environment faults (transient EAGAIN/EINTR, connection resets, \
@@ -124,8 +134,8 @@ let prepare ~w ~conf ~seed ~env_seed ?(fault_p = 0.0) ?(fault_seed = 1) ~mode ()
     else T11r_env.Fault.none
   in
   let world = World.create ~seed:(Int64.of_int env_seed) ~faults () in
-  w.Workloads.w_setup world;
-  (conf, world)
+  let build = w.Workloads.w_instance world in
+  (conf, world, build)
 
 let report (r : Interp.result) =
   Fmt.pr "outcome:   %a@." Interp.pp_outcome r.outcome;
@@ -171,12 +181,12 @@ let list_cmd =
 let run_cmd =
   let run name tool strategy seed env_seed fault_p fault_seed tsan_style =
     let w = lookup_workload name in
-    let conf, world =
+    let conf, world, build =
       prepare ~w
         ~conf:(base_conf ~tool ~strategy)
         ~seed ~env_seed ~fault_p ~fault_seed ~mode:Conf.Free ()
     in
-    let r = Interp.run ~world conf (w.w_build ()) in
+    let r = Interp.run ~world conf (build ()) in
     if tsan_style then begin
       List.iter
         (fun race ->
@@ -210,12 +220,12 @@ let run_cmd =
 let record_cmd =
   let run name strategy seed env_seed fault_p fault_seed demo =
     let w = lookup_workload name in
-    let conf, world =
+    let conf, world, build =
       prepare ~w
         ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
         ~seed ~env_seed ~fault_p ~fault_seed ~mode:(Conf.Record demo) ()
     in
-    let r = Interp.run ~world conf (w.w_build ()) in
+    let r = Interp.run ~world conf (build ()) in
     report r;
     if fault_p > 0.0 then
       Fmt.pr "faults:    %d injected@." (World.faults_injected world);
@@ -230,13 +240,13 @@ let record_cmd =
 let replay_cmd =
   let run name strategy env_seed on_desync demo =
     let w = lookup_workload name in
-    let conf, world =
+    let conf, world, build =
       prepare ~w
         ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
         ~seed:0 ~env_seed ~mode:(Conf.Replay demo) ()
     in
     let conf = { conf with Conf.on_desync = desync_mode_of on_desync } in
-    let r = Interp.run ~world conf (w.w_build ()) in
+    let r = Interp.run ~world conf (build ()) in
     report r;
     exit (exit_of r)
   in
@@ -247,48 +257,64 @@ let replay_cmd =
       $ demo_arg)
 
 let hunt_cmd =
-  let run name strategy runs env_seed fault_p =
+  let run name strategy runs env_seed fault_p jobs =
     let w = lookup_workload name in
-    let racy = ref 0 in
-    let crashed = ref 0 in
-    let first_crash = ref None in
-    for i = 1 to runs do
-      let conf, world =
-        prepare ~w
-          ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
-          ~seed:i
-          ~env_seed:(env_seed + i)
-          ~fault_p ~fault_seed:i ~mode:Conf.Free ()
-      in
-      let r = Interp.run ~world conf (w.w_build ()) in
-      if r.race_count > 0 then incr racy;
-      match r.outcome with
-      | Interp.Crashed (_, msg) ->
-          incr crashed;
-          if !first_crash = None then first_crash := Some (i, msg)
-      | _ -> ()
-    done;
+    let base =
+      Conf.with_policy (base_conf ~tool:"tsan11rec" ~strategy) w.Workloads.w_policy
+    in
+    (* The hunt's historical seed discipline, expressed as a campaign
+       spec: scheduler seed i, environment seed env_seed + i, fault
+       seed i — run i is a pure function of i, so the hunt shards. *)
+    let spec =
+      {
+        T11r_harness.Campaign.label = name;
+        conf =
+          (fun i ->
+            Conf.with_seeds base (Int64.of_int i) (Int64.of_int (i + 7919)));
+        instance =
+          (fun i ->
+            let faults =
+              if fault_p > 0.0 then
+                T11r_env.Fault.uniform ~seed:(Int64.of_int i) ~p:fault_p ()
+              else T11r_env.Fault.none
+            in
+            let world =
+              World.create ~seed:(Int64.of_int (env_seed + i)) ~faults ()
+            in
+            let build = w.Workloads.w_instance world in
+            (world, build ()));
+      }
+    in
+    let c =
+      T11r_harness.Campaign.run spec ~n:runs ~jobs:(resolve_jobs jobs) ~first:1 []
+    in
+    let crashed =
+      List.fold_left (fun acc (k, v) -> if k = "crashed" then acc + v else acc)
+        0 c.T11r_harness.Campaign.outcomes
+    in
     Fmt.pr "%d runs (%s strategy): %d racy (%.1f%%), %d crashed@." runs
-      strategy !racy
-      (100.0 *. float_of_int !racy /. float_of_int runs)
-      !crashed;
-    (match !first_crash with
-    | Some (i, msg) ->
+      strategy c.T11r_harness.Campaign.racy_runs
+      (100.0
+      *. float_of_int c.T11r_harness.Campaign.racy_runs
+      /. float_of_int runs)
+      crashed;
+    (match c.T11r_harness.Campaign.crashes with
+    | (i, msg) :: _ ->
         Fmt.pr "first crash at seed %d: %s@." i msg;
         Fmt.pr "reproduce with: record %s -s %s --seed %d --env-seed %d@." name
           strategy i (env_seed + i)
-    | None -> ());
-    exit (if !racy > 0 || !crashed > 0 then 1 else 0)
+    | [] -> ());
+    exit (if c.T11r_harness.Campaign.racy_runs > 0 || crashed > 0 then 1 else 0)
   in
   Cmd.v
     (Cmd.info "hunt"
        ~doc:"Controlled concurrency testing: many seeds, race/crash counts")
     Term.(
       const run $ workload_arg $ strategy_arg $ runs_arg $ env_seed_arg
-      $ fault_p_arg)
+      $ fault_p_arg $ jobs_arg)
 
 let explore_cmd =
-  let run name strategy runs =
+  let run name strategy runs jobs =
     let w = lookup_workload name in
     let strat =
       match strategy_of strategy with
@@ -298,23 +324,32 @@ let explore_cmd =
           exit 2
     in
     let spec =
-      T11r_harness.Runner.spec ~label:name
-        ~base_conf:(Conf.with_policy (Conf.tsan11rec ~strategy:strat ()) w.Workloads.w_policy)
-        ~setup_world:w.Workloads.w_setup w.Workloads.w_build
+      T11r_harness.Workloads.spec_of
+        ~base_conf:(Conf.tsan11rec ~strategy:strat ())
+        w
     in
-    let report = T11r_harness.Explore.explore spec ~n:runs in
+    let report =
+      T11r_harness.Explore.explore ~jobs:(resolve_jobs jobs) spec ~n:runs
+    in
     Fmt.pr "%a" T11r_harness.Explore.pp report
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Schedule-space exploration report: coverage, races, crashes")
-    Term.(const run $ workload_arg $ strategy_arg $ runs_arg)
+    Term.(const run $ workload_arg $ strategy_arg $ runs_arg $ jobs_arg)
 
 let check_cmd =
-  let run name max_runs =
+  let run name max_runs jobs =
     let w = lookup_workload name in
+    let build () =
+      (* Systematic exploration is closed-world: setup runs against a
+         throwaway world; workloads that need live endpoints fail as
+         unsupported, exactly as before. *)
+      w.Workloads.w_instance (World.create ~seed:0L ()) ()
+    in
     let r =
-      T11r_harness.Systematic.explore ~max_runs ~build:w.Workloads.w_build ()
+      T11r_harness.Systematic.explore ~max_runs ~jobs:(resolve_jobs jobs)
+        ~build ()
     in
     Fmt.pr "%a" T11r_harness.Systematic.pp r;
     exit
@@ -332,13 +367,15 @@ let check_cmd =
        ~doc:
          "Bounded systematic exploration (stateless model checking) of a \
           closed workload")
-    Term.(const run $ workload_arg $ max_runs)
+    Term.(const run $ workload_arg $ max_runs $ jobs_arg)
 
 let icb_cmd =
   let run name max_bound =
     let w = lookup_workload name in
     let r =
-      T11r_harness.Minimize.find_bug ~max_bound ~build:w.Workloads.w_build ()
+      T11r_harness.Minimize.find_bug ~max_bound
+        ~build:(fun () -> w.Workloads.w_instance (World.create ~seed:0L ()) ())
+        ()
     in
     Fmt.pr "%a@." T11r_harness.Minimize.pp r;
     exit (match r with T11r_harness.Minimize.Found _ -> 1 | _ -> 0)

@@ -1451,6 +1451,9 @@ let malformed_demo_result msg =
   result_of_outcome (Hard_desync (Printf.sprintf "malformed demo: %s" msg))
 
 let run ?world conf (program : Api.program) =
+  (* Generated names must be a function of the program alone, not of
+     prior runs on this domain — see Api.reset_auto_names. *)
+  Api.reset_auto_names ();
   let world = match world with Some w -> Some w | None -> None in
   let world =
     match world with Some w -> w | None -> World.create ()

@@ -1,0 +1,201 @@
+open T11r_util
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module World = T11r_env.World
+module Report = T11r_race.Report
+
+type spec = {
+  label : string;
+  conf : int -> Conf.t;
+  instance : int -> World.t * T11r_vm.Api.program;
+}
+
+(* The seed discipline, unchanged from the original Runner: run [i]
+   gets scheduler seeds derived from [i] (the stand-in for the two
+   rdtsc() calls of a real recording, §4) and a world seed derived
+   from [i], so the whole campaign is a pure function of the spec. *)
+let scheduler_seeds base i =
+  Conf.with_seeds base
+    (Int64.of_int ((i * 2654435761) + 17))
+    (Int64.of_int ((i * 40503) + 9176))
+
+let world_seed i = Int64.of_int ((i * 7919) + 3)
+
+let spec_io ~label ?base_conf prepare =
+  let base = match base_conf with Some c -> c | None -> Conf.default in
+  {
+    label;
+    conf = scheduler_seeds base;
+    instance =
+      (fun i ->
+        let world = World.create ~seed:(world_seed i) () in
+        let build = prepare i world in
+        (world, build ()));
+  }
+
+let spec ~label ?base_conf ?(setup_world = fun _ -> ()) build =
+  spec_io ~label ?base_conf (fun _ w ->
+      setup_world w;
+      build)
+
+(* ------------------------------------------------------------------ *)
+
+type observer = { on_run : int -> Interp.result -> unit }
+
+let observer on_run = { on_run }
+
+type sighting = { s_race : Report.t; s_first : int; s_count : int }
+
+type report = {
+  label : string;
+  n : int;
+  first : int;
+  jobs : int;
+  wall_s : float;
+  results : Interp.result array;
+  time_ms : Stats.summary;
+  race_rate : float;
+  mean_reports : float;
+  mean_ticks : float;
+  completed : int;
+  racy_runs : int;
+  distinct_schedules : int;
+  outcomes : (string * int) list;
+  sightings : sighting list;
+  crashes : (int * string) list;
+}
+
+let schedule_key (r : Interp.result) =
+  List.map (fun (_, tid, label) -> (tid, label)) r.Interp.trace
+
+(* Aggregation is a sequential fold over the results in run-index
+   order — never over arrival order — so every derived number,
+   histogram order and float rounding is identical whatever [jobs]
+   was. *)
+let aggregate ~label ~n ~first ~jobs ~wall_s results =
+  let in_order f = Array.to_list (Array.map f results) in
+  let outcomes = Hashtbl.create 8 in
+  let schedules = Hashtbl.create 64 in
+  let sightings : (Report.t, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let crashes = ref [] in
+  Array.iteri
+    (fun k (r : Interp.result) ->
+      let i = first + k in
+      let key = Outcome.key r.Interp.outcome in
+      Hashtbl.replace outcomes key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes key));
+      Hashtbl.replace schedules (schedule_key r) ();
+      List.iter
+        (fun race ->
+          match Hashtbl.find_opt sightings race with
+          | Some (f0, c) -> Hashtbl.replace sightings race (f0, c + 1)
+          | None -> Hashtbl.replace sightings race (i, 1))
+        r.Interp.races;
+      match r.Interp.outcome with
+      | Interp.Crashed (_, msg) -> crashes := (i, msg) :: !crashes
+      | _ -> ())
+    results;
+  {
+    label;
+    n;
+    first;
+    jobs;
+    wall_s;
+    results;
+    time_ms =
+      Stats.summarize
+        (in_order (fun r -> float_of_int r.Interp.makespan_us /. 1000.0));
+    race_rate = Stats.rate (in_order (fun r -> r.Interp.race_count > 0));
+    mean_reports =
+      Stats.mean (in_order (fun r -> float_of_int r.Interp.race_count));
+    mean_ticks = Stats.mean (in_order (fun r -> float_of_int r.Interp.ticks));
+    completed =
+      Array.fold_left
+        (fun acc r -> if Interp.completed r then acc + 1 else acc)
+        0 results;
+    racy_runs =
+      Array.fold_left
+        (fun acc (r : Interp.result) ->
+          if r.Interp.race_count > 0 then acc + 1 else acc)
+        0 results;
+    distinct_schedules = Hashtbl.length schedules;
+    outcomes =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes []);
+    sightings =
+      Hashtbl.fold
+        (fun race (s_first, s_count) acc ->
+          { s_race = race; s_first; s_count } :: acc)
+        sightings []
+      |> List.sort (fun a b ->
+             (* most-sighted first; ties broken deterministically *)
+             match compare b.s_count a.s_count with
+             | 0 -> (
+                 match compare a.s_first b.s_first with
+                 | 0 -> Report.compare a.s_race b.s_race
+                 | c -> c)
+             | c -> c);
+    crashes = List.rev !crashes;
+  }
+
+let run s ~n ?(jobs = 1) ?(first = 0) observers =
+  if n < 1 then invalid_arg "Campaign.run: n < 1";
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Pool.map ~jobs n (fun k ->
+        let i = first + k in
+        Outcome.protect (fun () ->
+            let world, program = s.instance i in
+            Interp.run ~world (s.conf i) program))
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* Observers see the completed run stream in index order, on the
+     calling domain — they may keep plain mutable state. *)
+  List.iter
+    (fun obs -> Array.iteri (fun k r -> obs.on_run (first + k) r) results)
+    observers;
+  aggregate ~label:s.label ~n ~first ~jobs ~wall_s results
+
+(* Wall-clock and worker count are the only fields allowed to differ
+   between equivalent campaigns; demos hold open handles to their
+   directory and are dropped (record-mode campaigns write to disk, the
+   in-memory aggregate comparison is about everything else). *)
+let fingerprint r =
+  ( ( r.label,
+      r.n,
+      r.first,
+      Array.to_list
+        (Array.map (fun x -> { x with Interp.demo = None }) r.results) ),
+    ( r.time_ms,
+      r.race_rate,
+      r.mean_reports,
+      r.mean_ticks,
+      r.completed,
+      r.racy_runs,
+      r.distinct_schedules,
+      r.outcomes,
+      r.sightings,
+      r.crashes ) )
+
+let equal a b = fingerprint a = fingerprint b
+
+let runs_per_sec r =
+  if r.wall_s <= 0.0 then 0.0 else float_of_int r.n /. r.wall_s
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%s: %d runs (jobs %d, %.2fs wall): %d distinct schedules, %d racy (%.1f%%), %d completed@."
+    r.label r.n r.jobs r.wall_s r.distinct_schedules r.racy_runs
+    (100.0 *. float_of_int r.racy_runs /. float_of_int (max 1 r.n))
+    r.completed;
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "  outcome %-12s %d@." k v)
+    r.outcomes;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %a — %d sighting(s), first at run %d@." Report.pp
+        s.s_race s.s_count s.s_first)
+    r.sightings;
+  match r.crashes with
+  | [] -> ()
+  | (i, msg) :: _ -> Format.fprintf fmt "  first crash at run %d: %s@." i msg

@@ -1,0 +1,103 @@
+(** The unified campaign engine: every "run workload W under strategy
+    S, N times with derived seeds" experiment in the paper's evaluation
+    goes through this one module, optionally sharded across an OCaml 5
+    domain pool.
+
+    A campaign is a pure function of its {!spec}: run [i] constructs
+    its own [Conf], [World] and program from the index alone, runs on
+    exactly one domain, and shares nothing with any other run. The
+    per-run results are collected by index and aggregated by a
+    sequential fold in index order, so the {!report} — histograms,
+    race-sighting tables, schedule counts, float statistics, byte for
+    byte — is identical whatever [jobs] is. [jobs = 1] is exactly the
+    old sequential loop.
+
+    The legacy entry points ([Runner.run_many], [Explore.explore],
+    [Faultsweep.sweep], and the systematic explorer's per-wave
+    execution) are thin wrappers over this module and {!Pool}. *)
+
+type spec = {
+  label : string;  (** row/column label, e.g. "tsan11rec rnd" *)
+  conf : int -> Tsan11rec.Conf.t;  (** configuration for run [i] *)
+  instance : int -> T11r_env.World.t * T11r_vm.Api.program;
+      (** world {e and} program for run [i], built together so the
+          program closure can capture handles (fds) created during
+          world setup — no globals, no cross-run state *)
+}
+
+val spec :
+  label:string ->
+  ?base_conf:Tsan11rec.Conf.t ->
+  ?setup_world:(T11r_env.World.t -> unit) ->
+  (unit -> T11r_vm.Api.program) ->
+  spec
+(** Convenience constructor for workloads whose program does not
+    depend on world setup: derives per-run scheduler and world seeds
+    from the run index, applies [setup_world] to each fresh world. *)
+
+val spec_io :
+  label:string ->
+  ?base_conf:Tsan11rec.Conf.t ->
+  (int -> T11r_env.World.t -> unit -> T11r_vm.Api.program) ->
+  spec
+(** Like {!spec} for workloads that must thread per-run state from
+    world setup into the program: [prepare i world] sets up [world]
+    for run [i] (connections, fault plans, files) and returns the
+    program builder, typically capturing fds from setup. *)
+
+(** {1 Running} *)
+
+type observer = { on_run : int -> Tsan11rec.Interp.result -> unit }
+(** Extra per-run hook. Observers are invoked after the campaign
+    completes, on the calling domain, in run-index order — they may
+    keep ordinary mutable state without any synchronisation. *)
+
+val observer : (int -> Tsan11rec.Interp.result -> unit) -> observer
+
+type sighting = {
+  s_race : T11r_race.Report.t;
+  s_first : int;  (** lowest run index that exposed it *)
+  s_count : int;  (** how many runs exposed it *)
+}
+
+type report = {
+  label : string;
+  n : int;
+  first : int;  (** first run index (run [k] of the array is [first + k]) *)
+  jobs : int;  (** worker domains used *)
+  wall_s : float;  (** real wall-clock of the whole campaign *)
+  results : Tsan11rec.Interp.result array;  (** slot [k] = run [first + k] *)
+  time_ms : T11r_util.Stats.summary;  (** simulated makespans, ms *)
+  race_rate : float;  (** % of runs with at least one race *)
+  mean_reports : float;
+  mean_ticks : float;
+  completed : int;
+  racy_runs : int;
+  distinct_schedules : int;
+      (** unique critical-section traces across the campaign *)
+  outcomes : (string * int) list;  (** outcome histogram, sorted by key *)
+  sightings : sighting list;  (** distinct races, most-sighted first *)
+  crashes : (int * string) list;  (** (run index, message), in run order *)
+}
+
+val run : spec -> n:int -> ?jobs:int -> ?first:int -> observer list -> report
+(** Execute runs [first .. first + n - 1] ([first] defaults to 0) on
+    up to [jobs] domains (default 1 = sequential) and aggregate.
+    Aggregates are bit-identical for every [jobs]; only [wall_s] and
+    [jobs] themselves vary. A run whose setup or build raises becomes
+    an [App_error]/[Unsupported_app] result (via [Outcome.protect])
+    rather than killing the campaign. *)
+
+val equal : report -> report -> bool
+(** Structural equality of everything except [wall_s], [jobs] and the
+    recorded demo handles — the determinism check for
+    [-j1] vs [-jN] campaigns. *)
+
+val runs_per_sec : report -> float
+(** Campaign throughput in real time: [n / wall_s]. *)
+
+val schedule_key : Tsan11rec.Interp.result -> (int * string) list
+(** The (tid, op) projection of a run's trace used for
+    distinct-schedule counting. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,4 +1,3 @@
-module Interp = Tsan11rec.Interp
 module Report = T11r_race.Report
 
 type race_sighting = {
@@ -16,46 +15,22 @@ type report = {
   outcomes : (string * int) list;
 }
 
-let explore (spec : Runner.spec) ~n =
-  let schedules = Hashtbl.create 64 in
-  let sightings : (Report.t, int * int) Hashtbl.t = Hashtbl.create 16 in
-  let outcomes = Hashtbl.create 4 in
-  let racy = ref 0 in
-  let crashes = ref [] in
-  for i = 1 to n do
-    let r =
-      Outcome.protect (fun () ->
-          Interp.run ~world:(spec.world i) (spec.conf i) (spec.program i))
-    in
-    Hashtbl.replace schedules
-      (List.map (fun (_, tid, label) -> (tid, label)) r.Interp.trace)
-      ();
-    if r.race_count > 0 then incr racy;
-    List.iter
-      (fun race ->
-        match Hashtbl.find_opt sightings race with
-        | Some (first, count) -> Hashtbl.replace sightings race (first, count + 1)
-        | None -> Hashtbl.replace sightings race (i, 1))
-      r.races;
-    (match r.Interp.outcome with
-    | Interp.Crashed (_, msg) -> crashes := (i, msg) :: !crashes
-    | _ -> ());
-    let k = Outcome.key r.Interp.outcome in
-    Hashtbl.replace outcomes k
-      (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k))
-  done;
+(* Historically this loop ran seeds 1..n (seed 0 degenerates for some
+   strategies); Campaign.run's [first] preserves that numbering so
+   "first at seed i" reproduction hints stay valid. *)
+let explore ?jobs (spec : Runner.spec) ~n =
+  let c = Campaign.run spec ~n ?jobs ~first:1 [] in
   {
-    runs = n;
-    distinct_schedules = Hashtbl.length schedules;
-    racy_runs = !racy;
+    runs = c.Campaign.n;
+    distinct_schedules = c.Campaign.distinct_schedules;
+    racy_runs = c.Campaign.racy_runs;
     races =
-      Hashtbl.fold
-        (fun race (first_seed, sightings) acc ->
-          { race; first_seed; sightings } :: acc)
-        sightings []
-      |> List.sort (fun a b -> compare b.sightings a.sightings);
-    crashes = List.rev !crashes;
-    outcomes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes [];
+      List.map
+        (fun (s : Campaign.sighting) ->
+          { race = s.s_race; first_seed = s.s_first; sightings = s.s_count })
+        c.Campaign.sightings;
+    crashes = c.Campaign.crashes;
+    outcomes = c.Campaign.outcomes;
   }
 
 let pp fmt r =

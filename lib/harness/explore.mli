@@ -1,6 +1,10 @@
 (** Schedule-space exploration: the controlled-concurrency-testing use
     of tsan11rec (§5.1), packaged as a coverage report.
 
+    @deprecated This is a thin projection of {!Campaign.run} (which
+    also exposes the raw results, timing summaries and observers);
+    kept for the original report shape and 1-based seed numbering.
+
     Running a workload under a controlled strategy with many seeds is
     the tool's bug-hunting mode. This module aggregates such a campaign:
     how much of the schedule space the strategy actually explored
@@ -25,7 +29,9 @@ type report = {
   outcomes : (string * int) list;  (** outcome histogram *)
 }
 
-val explore : Runner.spec -> n:int -> report
+val explore : ?jobs:int -> Runner.spec -> n:int -> report
+(** Runs seeds [1..n], optionally sharded over [jobs] domains; the
+    report is identical for every [jobs]. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable summary, including reproduction hints (the seed of

@@ -8,7 +8,13 @@
    and gives up cleanly on dead connections.  Each demo is then
    replayed with NO live fault plan: the injected failures live in the
    demo's SYSCALL file, so a faithful replay reproduces the identical
-   syscall-result sequence, failures included, with zero hard desyncs. *)
+   syscall-result sequence, failures included, with zero hard desyncs.
+
+   Each run (a record/replay pair) is index-seeded and writes into its
+   own atomically-created demo directory, so a cell's runs shard
+   across the domain pool; the per-run counters form a commutative
+   monoid, so the chunked merge equals the sequential fold and the row
+   is identical for every jobs count. *)
 
 open T11r_util
 module Conf = Tsan11rec.Conf
@@ -27,66 +33,84 @@ type row = {
   soft_desyncs : int;
 }
 
-let tmpdir prefix =
-  let d = Filename.temp_file prefix "" in
-  Sys.remove d;
-  d
-
 let seeded base i =
   Conf.with_seeds base
     (Int64.of_int ((i * 2654435761) + 17))
     (Int64.of_int ((i * 40503) + 9176))
 
-let one_cell ~cfg ~p ~runs =
-  let record_completed = ref 0 in
-  let injected = ref 0 in
-  let faithful = ref 0 in
-  let hard = ref 0 in
-  let soft = ref 0 in
-  for i = 1 to runs do
-    let dir = tmpdir "faultsweep" in
-    let faults =
-      if p > 0.0 then Fault.uniform ~seed:(Int64.of_int (100 + i)) ~p ()
-      else Fault.none
-    in
-    let world = World.create ~seed:(Int64.of_int ((i * 7919) + 3)) ~faults () in
-    Httpd.setup_world cfg world;
-    let rc =
-      seeded (Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Record dir) ()) i
-    in
-    let r1 =
-      Outcome.protect (fun () ->
-          Interp.run ~world rc (Httpd.program ~cfg ()))
-    in
-    if r1.Interp.outcome = Interp.Completed then incr record_completed;
-    injected := !injected + World.faults_injected world;
-    (* Replay against a different world seed and no fault plan: every
-       injected failure must come back out of the demo. *)
-    let world2 = World.create ~seed:(Int64.of_int ((i * 104729) + 11)) () in
-    Httpd.setup_world cfg world2;
-    let pc = Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Replay dir) () in
-    let r2 =
-      Outcome.protect (fun () ->
-          Interp.run ~world:world2 pc (Httpd.program ~cfg ()))
-    in
-    (match r2.Interp.outcome with Interp.Hard_desync _ -> incr hard | _ -> ());
-    if r2.Interp.soft_desync then incr soft;
-    if
-      Outcome.key r2.Interp.outcome = Outcome.key r1.Interp.outcome
-      && not r2.Interp.soft_desync
-    then incr faithful
-  done;
+(* Per-run tallies: a commutative monoid under pointwise sum. *)
+type tally = {
+  t_rec : int;
+  t_injected : int;
+  t_faithful : int;
+  t_hard : int;
+  t_soft : int;
+}
+
+let tally_zero = { t_rec = 0; t_injected = 0; t_faithful = 0; t_hard = 0; t_soft = 0 }
+
+let tally_add a b =
+  {
+    t_rec = a.t_rec + b.t_rec;
+    t_injected = a.t_injected + b.t_injected;
+    t_faithful = a.t_faithful + b.t_faithful;
+    t_hard = a.t_hard + b.t_hard;
+    t_soft = a.t_soft + b.t_soft;
+  }
+
+let one_run ~cfg ~p i =
+  let dir = Tmp.fresh_dir ~prefix:"faultsweep" () in
+  let faults =
+    if p > 0.0 then Fault.uniform ~seed:(Int64.of_int (100 + i)) ~p ()
+    else Fault.none
+  in
+  let world = World.create ~seed:(Int64.of_int ((i * 7919) + 3)) ~faults () in
+  Httpd.setup_world cfg world;
+  let rc =
+    seeded (Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Record dir) ()) i
+  in
+  let r1 =
+    Outcome.protect (fun () -> Interp.run ~world rc (Httpd.program ~cfg ()))
+  in
+  (* Replay against a different world seed and no fault plan: every
+     injected failure must come back out of the demo. *)
+  let world2 = World.create ~seed:(Int64.of_int ((i * 104729) + 11)) () in
+  Httpd.setup_world cfg world2;
+  let pc = Conf.tsan11rec ~strategy:Conf.Queue ~mode:(Conf.Replay dir) () in
+  let r2 =
+    Outcome.protect (fun () -> Interp.run ~world:world2 pc (Httpd.program ~cfg ()))
+  in
+  {
+    t_rec = (if r1.Interp.outcome = Interp.Completed then 1 else 0);
+    t_injected = World.faults_injected world;
+    t_hard =
+      (match r2.Interp.outcome with Interp.Hard_desync _ -> 1 | _ -> 0);
+    t_soft = (if r2.Interp.soft_desync then 1 else 0);
+    t_faithful =
+      (if
+         Outcome.key r2.Interp.outcome = Outcome.key r1.Interp.outcome
+         && not r2.Interp.soft_desync
+       then 1
+       else 0);
+  }
+
+let one_cell ?jobs ~cfg ~p ~runs () =
+  let t =
+    Pool.fold_indices ?jobs ~init:(fun () -> tally_zero)
+      ~step:(fun acc k -> tally_add acc (one_run ~cfg ~p (k + 1)))
+      ~merge:tally_add runs
+  in
   {
     p;
     runs;
-    record_completed = !record_completed;
-    mean_injected = float_of_int !injected /. float_of_int (max 1 runs);
-    replay_faithful = !faithful;
-    hard_desyncs = !hard;
-    soft_desyncs = !soft;
+    record_completed = t.t_rec;
+    mean_injected = float_of_int t.t_injected /. float_of_int (max 1 runs);
+    replay_faithful = t.t_faithful;
+    hard_desyncs = t.t_hard;
+    soft_desyncs = t.t_soft;
   }
 
-let sweep ?(smoke = false) () =
+let sweep ?(smoke = false) ?jobs () =
   let cfg =
     if smoke then
       { Httpd.default_config with queries = 24; clients = 3; workers = 3 }
@@ -94,7 +118,7 @@ let sweep ?(smoke = false) () =
   in
   let ps = if smoke then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.05; 0.1; 0.2 ] in
   let runs = if smoke then 2 else 5 in
-  List.map (fun p -> one_cell ~cfg ~p ~runs) ps
+  List.map (fun p -> one_cell ?jobs ~cfg ~p ~runs ()) ps
 
 let print rows =
   let t =
@@ -123,4 +147,4 @@ let print rows =
      transients); replay is faithful with zero hard desyncs because the\n\
      injected failures are part of the recorded syscall sequence.\n"
 
-let run ?smoke () = print (sweep ?smoke ())
+let run ?smoke ?jobs () = print (sweep ?smoke ?jobs ())

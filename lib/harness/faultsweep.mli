@@ -1,7 +1,11 @@
 (** Fault-injection sweep over the httpd workload: record under a
     seeded fault plan of increasing probability, then replay each demo
     fault-free and check that the recorded syscall-result sequence
-    (injected failures included) reproduces with zero hard desyncs. *)
+    (injected failures included) reproduces with zero hard desyncs.
+
+    Each run is an independent, index-seeded record/replay pair with
+    its own demo directory, so a cell's runs shard across the domain
+    pool ({!Pool.fold_indices}); rows are identical for every [jobs]. *)
 
 type row = {
   p : float;  (** per-site fault probability *)
@@ -13,9 +17,10 @@ type row = {
   soft_desyncs : int;
 }
 
-val sweep : ?smoke:bool -> unit -> row list
+val sweep : ?smoke:bool -> ?jobs:int -> unit -> row list
 (** Run the sweep. [smoke] shrinks it to two probabilities and two runs
-    each for CI. *)
+    each for CI; [jobs] shards each cell's runs over that many domains
+    (default 1). *)
 
 val print : row list -> unit
-val run : ?smoke:bool -> unit -> unit
+val run : ?smoke:bool -> ?jobs:int -> unit -> unit

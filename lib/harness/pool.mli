@@ -1,0 +1,41 @@
+(** Work-stealing Domain pool: the sharding substrate for parallel
+    campaigns.
+
+    Run indices [0..n-1] are handed out to an OCaml 5 domain pool
+    through an atomic cursor; each index is computed exactly once, on
+    exactly one domain, and the join before returning publishes every
+    result to the caller. Because campaign runs construct all their
+    state (Conf, World, program) from the index, results are identical
+    whatever [jobs] is; [jobs = 1] is a plain sequential loop with no
+    domains spawned. *)
+
+val default_jobs : unit -> int
+(** [$T11R_JOBS] if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+exception Worker_error of int * exn
+(** A worker raised while computing the given index. When several
+    indices fail, the lowest index is reported — deterministically,
+    regardless of execution order. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [Array.init n f] computed on up to [jobs]
+    domains (clamped to [n]; default 1 = sequential). [f] must not
+    share mutable state across indices. *)
+
+val fold_indices :
+  ?jobs:int ->
+  ?chunk:int ->
+  init:(unit -> 'acc) ->
+  step:('acc -> int -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  int ->
+  'acc
+(** [fold_indices ~init ~step ~merge n] folds [step] over [0..n-1] in
+    fixed chunks of [chunk] (default 1) indices: each chunk folds
+    sequentially from a fresh [init ()], chunks run on the pool, and
+    the partial accumulators are merged {e in chunk order}. When
+    [merge] is associative with [init ()] as identity and
+    [step acc i = merge acc (step (init ()) i)], the result equals the
+    sequential fold for every [jobs] — chunk boundaries are fixed by
+    [chunk] alone and never depend on [jobs]. *)

@@ -1,33 +1,13 @@
 open T11r_util
-module Conf = Tsan11rec.Conf
 module Interp = Tsan11rec.Interp
-module World = T11r_env.World
 
-type spec = {
+type spec = Campaign.spec = {
   label : string;
-  conf : int -> Conf.t;
-  world : int -> World.t;
-  program : int -> T11r_vm.Api.program;
+  conf : int -> Tsan11rec.Conf.t;
+  instance : int -> T11r_env.World.t * T11r_vm.Api.program;
 }
 
-let spec ~label ?base_conf ?(setup_world = fun _ -> ()) build =
-  let base = match base_conf with Some c -> c | None -> Conf.default in
-  {
-    label;
-    conf =
-      (fun i ->
-        (* Distinct, deterministic seeds per run: the stand-in for the
-           two rdtsc() calls of a real recording (§4). *)
-        Conf.with_seeds base
-          (Int64.of_int ((i * 2654435761) + 17))
-          (Int64.of_int ((i * 40503) + 9176)));
-    world =
-      (fun i ->
-        let w = World.create ~seed:(Int64.of_int ((i * 7919) + 3)) () in
-        setup_world w;
-        w);
-    program = (fun _ -> build ());
-  }
+let spec = Campaign.spec
 
 type agg = {
   label : string;
@@ -41,31 +21,20 @@ type agg = {
   results : Interp.result list;
 }
 
-let run_many s ~n =
-  let results =
-    List.init n (fun i ->
-        Outcome.protect (fun () ->
-            Interp.run ~world:(s.world i) (s.conf i) (s.program i)))
-  in
-  let times = List.map (fun r -> float_of_int r.Interp.makespan_us /. 1000.0) results in
-  let hist = Hashtbl.create 4 in
-  List.iter
-    (fun r ->
-      let k = Outcome.key r.Interp.outcome in
-      Hashtbl.replace hist k (1 + Option.value ~default:0 (Hashtbl.find_opt hist k)))
-    results;
+let of_report (c : Campaign.report) =
   {
-    label = s.label;
-    n;
-    time_ms = Stats.summarize times;
-    race_rate = Stats.rate (List.map (fun r -> r.Interp.race_count > 0) results);
-    mean_reports =
-      Stats.mean (List.map (fun r -> float_of_int r.Interp.race_count) results);
-    completed = List.length (List.filter Interp.completed results);
-    outcomes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [];
-    mean_ticks = Stats.mean (List.map (fun r -> float_of_int r.Interp.ticks) results);
-    results;
+    label = c.Campaign.label;
+    n = c.Campaign.n;
+    time_ms = c.Campaign.time_ms;
+    race_rate = c.Campaign.race_rate;
+    mean_reports = c.Campaign.mean_reports;
+    completed = c.Campaign.completed;
+    outcomes = c.Campaign.outcomes;
+    mean_ticks = c.Campaign.mean_ticks;
+    results = Array.to_list c.Campaign.results;
   }
+
+let run_many ?jobs s ~n = of_report (Campaign.run s ~n ?jobs [])
 
 let throughput agg ~work_items =
   if agg.time_ms.Stats.mean <= 0.0 then 0.0

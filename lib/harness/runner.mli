@@ -1,18 +1,23 @@
-(** Experiment driver: repeated runs, seed management, aggregation.
+(** Experiment driver — thin compatibility layer over {!Campaign}.
+
+    @deprecated New code should use {!Campaign.run} directly: it
+    exposes the same aggregation plus schedule/race-sighting tables,
+    observers and domain-pool sharding. This module remains for the
+    original "run N times, summarise" call sites.
 
     Every experiment in the paper is "run workload W under tool T, N
-    times; report mean time (sd), race rate, ...". This module owns the
-    seed discipline: run [i] of an experiment gets scheduler seeds
-    derived from [i] (standing in for the wall-clock seeding of a real
-    recording run) and an environment seed derived from [i] so that the
-    external world differs across runs but the whole experiment is
-    reproducible. *)
+    times; report mean time (sd), race rate, ...". The seed discipline
+    lives in {!Campaign.spec}: run [i] of an experiment gets scheduler
+    seeds derived from [i] (standing in for the wall-clock seeding of
+    a real recording run) and an environment seed derived from [i], so
+    the whole experiment is reproducible — and index-determined, which
+    is what makes sharding across domains sound. *)
 
-type spec = {
+type spec = Campaign.spec = {
   label : string;  (** row/column label, e.g. "tsan11rec rnd" *)
   conf : int -> Tsan11rec.Conf.t;  (** configuration for run [i] *)
-  world : int -> T11r_env.World.t;  (** fresh world for run [i] *)
-  program : int -> T11r_vm.Api.program;  (** fresh program for run [i] *)
+  instance : int -> T11r_env.World.t * T11r_vm.Api.program;
+      (** fresh world and program for run [i] (see {!Campaign.spec}) *)
 }
 
 val spec :
@@ -21,8 +26,7 @@ val spec :
   ?setup_world:(T11r_env.World.t -> unit) ->
   (unit -> T11r_vm.Api.program) ->
   spec
-(** Convenience constructor: derives per-run seeds from the run index,
-    applies [setup_world] to each fresh world. *)
+(** Alias of {!Campaign.spec}. *)
 
 type agg = {
   label : string;
@@ -31,13 +35,18 @@ type agg = {
   race_rate : float;  (** % of runs with at least one race *)
   mean_reports : float;  (** mean distinct race reports per run *)
   completed : int;  (** runs with outcome = Completed *)
-  outcomes : (string * int) list;  (** outcome histogram *)
+  outcomes : (string * int) list;  (** outcome histogram, sorted by key *)
   mean_ticks : float;
   results : Tsan11rec.Interp.result list;
 }
 
-val run_many : spec -> n:int -> agg
-(** Execute [n] runs and aggregate. *)
+val run_many : ?jobs:int -> spec -> n:int -> agg
+(** Execute [n] runs and aggregate, on up to [jobs] domains (default 1).
+    Aggregates are identical for every [jobs].
+    @deprecated use {!Campaign.run}. *)
+
+val of_report : Campaign.report -> agg
+(** Project a campaign report onto the legacy aggregate. *)
 
 val throughput : agg -> work_items:int -> float
 (** work_items / mean time, in items per second — Table 2's metric. *)

@@ -14,8 +14,8 @@ type result = {
   max_depth_seen : int;
 }
 
-let explore ?(max_runs = 2000) ?(world_seed = 7L) ?(seeds = (11L, 13L))
-    ~build () =
+let explore ?(max_runs = 2000) ?(jobs = 1) ?(world_seed = 7L)
+    ?(seeds = (11L, 13L)) ~build () =
   let s1, s2 = seeds in
   let run_prefix prefix =
     let observed = ref [] in
@@ -39,13 +39,31 @@ let explore ?(max_runs = 2000) ?(world_seed = 7L) ?(seeds = (11L, 13L))
   let races = ref [] in
   let seen_races = Hashtbl.create 16 in
   let outcomes = Hashtbl.create 4 in
+  (* The DFS frontier is inherently sequential (fresh prefixes come
+     from run results), but the runs of one wave are independent: pop
+     up to [jobs] prefixes, execute them on the pool, then expand the
+     frontier in wave order. At [jobs = 1] the wave is a single pop —
+     exactly the classic DFS. With [jobs > 1] the traversal order
+     differs, so a budget-truncated exploration may cover a different
+     (same-sized) slice of the tree; a completed exploration visits
+     the identical schedule set either way. *)
   while !stack <> [] && !runs < max_runs do
-    match !stack with
-    | [] -> ()
-    | prefix :: rest ->
-        stack := rest;
+    let rec take k acc st =
+      if k = 0 then (List.rev acc, st)
+      else
+        match st with
+        | [] -> (List.rev acc, [])
+        | p :: rest -> take (k - 1) (p :: acc) rest
+    in
+    let wave, rest = take (max 1 (min jobs (max_runs - !runs))) [] !stack in
+    stack := rest;
+    let wave = Array.of_list wave in
+    let results = Pool.map ~jobs (Array.length wave) (fun i -> run_prefix wave.(i)) in
+    let fresh_waves = ref [] in
+    Array.iteri
+      (fun w (r, counts) ->
+        let prefix = wave.(w) in
         incr runs;
-        let r, counts = run_prefix prefix in
         max_depth := max !max_depth (Array.length counts);
         if r.Interp.race_count > 0 then incr racy;
         List.iter
@@ -76,7 +94,9 @@ let explore ?(max_runs = 2000) ?(world_seed = 7L) ?(seeds = (11L, 13L))
         done;
         (* !fresh currently has deepest-first order (we built it by
            pushing); keep it and prepend for DFS. *)
-        stack := !fresh @ !stack
+        fresh_waves := !fresh :: !fresh_waves)
+      results;
+    stack := List.concat (List.rev !fresh_waves) @ !stack
   done;
   {
     runs = !runs;

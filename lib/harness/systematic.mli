@@ -29,6 +29,7 @@ type result = {
 
 val explore :
   ?max_runs:int ->
+  ?jobs:int ->
   ?world_seed:int64 ->
   ?seeds:int64 * int64 ->
   build:(unit -> T11r_vm.Api.program) ->
@@ -36,6 +37,11 @@ val explore :
   result
 (** DFS over scheduling choices. [max_runs] bounds the number of
     executions (default 2000); [seeds] fixes the PRNG used for
-    weak-memory read choices. *)
+    weak-memory read choices. [jobs] (default 1) executes each
+    frontier wave of up to [jobs] independent prefixes on the domain
+    pool: at [jobs = 1] this is the classic sequential DFS; at
+    [jobs > 1] a {e completed} exploration visits the same schedule
+    set, while a budget-truncated one may cover a different same-sized
+    slice of the tree (traversal order changes). *)
 
 val pp : Format.formatter -> result -> unit

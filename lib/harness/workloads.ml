@@ -1,4 +1,5 @@
 module Policy = Tsan11rec.Policy
+module Conf = Tsan11rec.Conf
 module World = T11r_env.World
 open T11r_apps
 
@@ -6,11 +7,19 @@ type t = {
   w_name : string;
   w_desc : string;
   w_policy : Policy.t;
-  w_setup : World.t -> unit;
-  w_build : unit -> T11r_vm.Api.program;
+  w_instance : World.t -> unit -> T11r_vm.Api.program;
 }
 
-let nop _ = ()
+(* Workloads that need a connected socket used to smuggle the fd
+   through a global ref set during setup — shared mutable state that
+   silently corrupts runs once campaigns shard across domains. The fd
+   now flows through the closure: [w_instance world] performs the
+   setup and returns a builder that captures whatever setup created. *)
+
+let pure build _world () = build ()
+let with_setup setup build world =
+  setup world;
+  fun () -> build ()
 
 let litmus_entries =
   List.map
@@ -19,15 +28,9 @@ let litmus_entries =
         w_name = e.name;
         w_desc = e.description;
         w_policy = Policy.default;
-        w_setup = nop;
-        w_build = e.build;
+        w_instance = pure e.build;
       })
     T11r_litmus.Registry.all
-
-(* Workloads that need a connected socket smuggle the fd through a ref
-   set during setup; setup always runs before build for a given run. *)
-let fig2_fd = ref (-1)
-let zan_fd = ref (-1)
 
 let all =
   litmus_entries
@@ -36,34 +39,34 @@ let all =
         w_name = "fig1";
         w_desc = T11r_litmus.Registry.fig1.description;
         w_policy = Policy.default;
-        w_setup = nop;
-        w_build = T11r_litmus.Registry.fig1.build;
+        w_instance = pure T11r_litmus.Registry.fig1.build;
       };
       {
         w_name = "fig2-client";
         w_desc = "Figure 2: poll/recv/send client with shutdown signal";
         w_policy = Policy.default;
-        w_setup =
-          (fun w ->
-            fig2_fd :=
+        w_instance =
+          (fun world ->
+            let fd =
               T11r_litmus.Fig2_client.setup_world
-                T11r_litmus.Fig2_client.default_config w);
-        w_build =
-          (fun () -> T11r_litmus.Fig2_client.program ~server_fd:!fig2_fd ());
+                T11r_litmus.Fig2_client.default_config world
+            in
+            fun () -> T11r_litmus.Fig2_client.program ~server_fd:fd ());
       };
       {
         w_name = "httpd";
         w_desc = "Apache httpd model under ab stress (§5.2)";
         w_policy = Policy.default;
-        w_setup = Httpd.setup_world Httpd.default_config;
-        w_build = (fun () -> Httpd.program ());
+        w_instance =
+          with_setup
+            (Httpd.setup_world Httpd.default_config)
+            (fun () -> Httpd.program ());
       };
       {
         w_name = "pbzip";
         w_desc = "parallel block compressor (§5.3)";
         w_policy = Policy.default;
-        w_setup = nop;
-        w_build = (fun () -> Pbzip.program ());
+        w_instance = pure (fun () -> Pbzip.program ());
       };
     ]
   @ List.map
@@ -72,8 +75,7 @@ let all =
           w_name = k.k_name;
           w_desc = "PARSEC kernel model (§5.3)";
           w_policy = Policy.default;
-          w_setup = nop;
-          w_build = (fun () -> k.build ~threads:4 ());
+          w_instance = pure (fun () -> k.build ~threads:4 ());
         })
       Parsec.kernels
   @ [
@@ -81,41 +83,50 @@ let all =
         w_name = "quakespasm";
         w_desc = "SDL game, uncapped frame rate (§5.4, Table 5)";
         w_policy = Policy.games;
-        w_setup = nop;
-        w_build =
-          (fun () -> Game.program ~p:(Game.quakespasm ~fps_cap:None ()) ());
+        w_instance =
+          pure (fun () -> Game.program ~p:(Game.quakespasm ~fps_cap:None ()) ());
       };
       {
         w_name = "zandronum";
         w_desc = "SDL game with many helper threads, 60 fps cap (§5.4)";
         w_policy = Policy.games;
-        w_setup = nop;
-        w_build = (fun () -> Game.program ~p:(Game.zandronum ()) ());
+        w_instance = pure (fun () -> Game.program ~p:(Game.zandronum ()) ());
       };
       {
         w_name = "zandronum-bug";
         w_desc = "multiplayer client with the map-change bug (§5.4)";
         w_policy = Policy.games;
-        w_setup =
-          (fun w ->
-            zan_fd := Zandronum_bug.setup_world Zandronum_bug.default_config w);
-        w_build = (fun () -> Zandronum_bug.program ~server_fd:!zan_fd ());
+        w_instance =
+          (fun world ->
+            let fd =
+              Zandronum_bug.setup_world Zandronum_bug.default_config world
+            in
+            fun () -> Zandronum_bug.program ~server_fd:fd ());
       };
       {
         w_name = "sqlite-like";
         w_desc = "memory-layout-dependent walk (§5.5 limitation)";
         w_policy = Policy.default;
-        w_setup = nop;
-        w_build = (fun () -> Sqlite_like.program ());
+        w_instance = pure (fun () -> Sqlite_like.program ());
       };
       {
         w_name = "htop-like";
         w_desc = "/proc monitor needing an extended policy (§4.4)";
         w_policy = Policy.with_proc;
-        w_setup = Htop_like.setup_world;
-        w_build = (fun () -> Htop_like.program ());
+        w_instance =
+          with_setup Htop_like.setup_world (fun () -> Htop_like.program ());
       };
     ]
 
 let find name = List.find_opt (fun w -> w.w_name = name) all
 let names () = List.map (fun w -> w.w_name) all
+
+let spec_of ?base_conf w =
+  let base =
+    match base_conf with
+    | Some c -> c
+    | None -> Conf.tsan11rec ~strategy:Conf.Random ()
+  in
+  Campaign.spec_io ~label:w.w_name
+    ~base_conf:(Conf.with_policy base w.w_policy)
+    (fun _i world -> w.w_instance world)

@@ -2,14 +2,21 @@
 
     A workload bundles the program builder with the environment setup
     it needs (remote peers, files, signals) and the sparse recording
-    policy appropriate for it (§4.4: policies are per-application). *)
+    policy appropriate for it (§4.4: policies are per-application).
+
+    A workload instance is created per run: [w_instance world] sets up
+    the (fresh, per-run) world and returns the program builder.
+    Handles created during setup (e.g. the connected socket of the
+    Figure-2 client) are captured in the returned closure, never in
+    shared state, so instances of the same workload can run
+    concurrently on different domains. *)
 
 type t = {
   w_name : string;
   w_desc : string;
   w_policy : Tsan11rec.Policy.t;
-  w_setup : T11r_env.World.t -> unit;
-  w_build : unit -> T11r_vm.Api.program;
+  w_instance : T11r_env.World.t -> unit -> T11r_vm.Api.program;
+      (** set up the given world and return the program builder *)
 }
 
 val all : t list
@@ -18,3 +25,9 @@ val all : t list
 
 val find : string -> t option
 val names : unit -> string list
+
+val spec_of : ?base_conf:Tsan11rec.Conf.t -> t -> Campaign.spec
+(** A campaign spec for the workload: derives per-run seeds, applies
+    the workload's policy to [base_conf] (default the random-strategy
+    tsan11rec configuration) and threads setup handles through the
+    per-run instance closure. *)

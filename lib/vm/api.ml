@@ -102,11 +102,20 @@ let req_label : type a. a req -> string = function
   | Raise_sync signo -> Printf.sprintf "raise_sync:%d" signo
 
 let op r = Effect.perform (Op r)
-let fresh_name = ref 0
+
+(* Auto-naming counter for unnamed atomics/vars/locks. Domain-local,
+   and reset by the interpreter at the start of every run: names must
+   be a function of the program alone, not of how many runs this
+   domain (or any other) executed before — race reports embed them,
+   and campaign aggregates dedupe on report equality. *)
+let fresh_name = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_auto_names () = Domain.DLS.get fresh_name := 0
 
 let auto prefix =
-  incr fresh_name;
-  Printf.sprintf "%s%d" prefix !fresh_name
+  let r = Domain.DLS.get fresh_name in
+  incr r;
+  Printf.sprintf "%s%d" prefix !r
 
 module Atomic = struct
   let create ?name init =

@@ -115,6 +115,12 @@ val req_label : 'a req -> string
 (** Short human-readable tag ("a_load", "mutex_lock", ...), used in
     traces and desync diagnostics. *)
 
+val reset_auto_names : unit -> unit
+(** Reset the domain-local counter behind auto-generated names
+    ("atomic1", "thread2", ...). Called by the interpreter at the
+    start of every run so that generated names depend only on the
+    program — identical across runs, run orders and worker domains. *)
+
 (** {1 Program-side operations} *)
 
 module Atomic : sig

@@ -1,0 +1,175 @@
+(* The parallel campaign engine: Pool sharding, Campaign determinism
+   across worker counts, the race-free tmpdir helper, and the legacy
+   wrappers' jobs plumbing. The load-bearing property throughout is
+   that results are a function of the run index alone, so any [jobs]
+   produces bit-identical aggregates. *)
+
+module Conf = Tsan11rec.Conf
+module World = T11r_env.World
+module Fault = T11r_env.Fault
+module Pool = T11r_harness.Pool
+module Campaign = T11r_harness.Campaign
+module Runner = T11r_harness.Runner
+module Httpd = T11r_apps.Httpd
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_map_matches_array_init () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let expect = Array.init n (fun i -> (i * 37) mod 11) in
+          let got = Pool.map ~jobs n (fun i -> (i * 37) mod 11) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map jobs=%d n=%d" jobs n)
+            expect got)
+        [ 0; 1; 2; 7; 64 ])
+    [ 1; 2; 4; 9 ]
+
+let test_map_error_lowest_index () =
+  (* Several indices raise; the reported index must be the lowest,
+     whatever order the domains reached them in. *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map ~jobs 50 (fun i ->
+            if i mod 7 = 3 then failwith (string_of_int i) else i)
+      with
+      | _ -> Alcotest.fail "expected Worker_error"
+      | exception Pool.Worker_error (i, Failure m) ->
+          Alcotest.(check int) "lowest failing index" 3 i;
+          Alcotest.(check string) "original exception" "3" m
+      | exception e -> raise e)
+    [ 1; 4 ]
+
+let qcheck_fold_indices_matches_sequential =
+  QCheck.Test.make ~name:"fold_indices (sum) = sequential fold" ~count:200
+    QCheck.(triple (int_range 0 100) (int_range 1 17) (int_range 1 8))
+    (fun (n, chunk, jobs) ->
+      let seq = List.fold_left ( + ) 0 (List.init n (fun i -> (i * i) + 1)) in
+      let par =
+        Pool.fold_indices ~jobs ~chunk
+          ~init:(fun () -> 0)
+          ~step:(fun acc i -> acc + (i * i) + 1)
+          ~merge:( + ) n
+      in
+      seq = par)
+
+let qcheck_fold_indices_ordered =
+  (* List accumulator: merge is append, so the fold must deliver the
+     indices in order — chunk boundaries fixed by [chunk], merged in
+     chunk order, never arrival order. *)
+  QCheck.Test.make ~name:"fold_indices (list) preserves index order" ~count:200
+    QCheck.(triple (int_range 0 60) (int_range 1 9) (int_range 1 6))
+    (fun (n, chunk, jobs) ->
+      let par =
+        Pool.fold_indices ~jobs ~chunk
+          ~init:(fun () -> [])
+          ~step:(fun acc i -> acc @ [ i ])
+          ~merge:( @ ) n
+      in
+      par = List.init n Fun.id)
+
+let test_fresh_dir_concurrent_unique () =
+  let dirs = Pool.map ~jobs:4 100 (fun _ -> T11r_util.Tmp.fresh_dir ~prefix:"t11r_test" ()) in
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) (d ^ " exists") true (Sys.is_directory d))
+    dirs;
+  let distinct =
+    Array.to_list dirs |> List.sort_uniq compare |> List.length
+  in
+  Alcotest.(check int) "all paths distinct" (Array.length dirs) distinct;
+  Array.iter (fun d -> try Unix.rmdir d with Unix.Unix_error _ -> ()) dirs
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism                                                *)
+
+let fig1_spec =
+  Campaign.spec ~label:"fig1"
+    ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+    T11r_litmus.Registry.fig1.build
+
+let check_campaign_deterministic name spec n =
+  let seq = Campaign.run spec ~n ~jobs:1 [] in
+  let par = Campaign.run spec ~n ~jobs:4 [] in
+  Alcotest.(check bool) (name ^ ": -j4 = -j1") true (Campaign.equal seq par);
+  Alcotest.(check int) (name ^ ": jobs recorded") 4 par.Campaign.jobs;
+  (* and re-running sequentially reproduces itself exactly *)
+  let seq' = Campaign.run spec ~n ~jobs:1 [] in
+  Alcotest.(check bool) (name ^ ": rerun stable") true (Campaign.equal seq seq')
+
+let test_fig1_deterministic_across_jobs () =
+  check_campaign_deterministic "fig1" fig1_spec 40
+
+let test_httpd_faults_deterministic_across_jobs () =
+  (* The stress case for per-run isolation: world setup opens
+     connections the program closes over, and a per-run fault plan
+     injects syscall failures. *)
+  let cfg = { Httpd.default_config with queries = 24; clients = 3; workers = 3 } in
+  let spec =
+    Campaign.spec_io ~label:"httpd+faults"
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      (fun i world ->
+        World.set_faults world
+          (Fault.uniform ~seed:(Int64.of_int ((i * 31) + 5)) ~p:0.05 ());
+        Httpd.setup_world cfg world;
+        fun () -> Httpd.program ~cfg ())
+  in
+  check_campaign_deterministic "httpd+faults" spec 8
+
+let test_observer_order_and_count () =
+  let seen = ref [] in
+  let obs = Campaign.observer (fun i _r -> seen := i :: !seen) in
+  let report = Campaign.run fig1_spec ~n:12 ~jobs:3 [ obs ] in
+  Alcotest.(check (list int))
+    "observer sees every run in ascending index order"
+    (List.init 12 Fun.id)
+    (List.rev !seen);
+  Alcotest.(check int) "n" 12 report.Campaign.n
+
+let test_runner_compat_across_jobs () =
+  let a1 = Runner.run_many ~jobs:1 fig1_spec ~n:20 in
+  let a3 = Runner.run_many ~jobs:3 fig1_spec ~n:20 in
+  Alcotest.(check (float 0.0)) "race_rate" a1.Runner.race_rate a3.Runner.race_rate;
+  Alcotest.(check (float 0.0)) "mean_ticks" a1.Runner.mean_ticks a3.Runner.mean_ticks;
+  Alcotest.(check int) "completed" a1.Runner.completed a3.Runner.completed;
+  Alcotest.(check bool) "outcome histograms" true (a1.Runner.outcomes = a3.Runner.outcomes)
+
+let test_faultsweep_deterministic_across_jobs () =
+  let rows1 = T11r_harness.Faultsweep.sweep ~smoke:true ~jobs:1 () in
+  let rows2 = T11r_harness.Faultsweep.sweep ~smoke:true ~jobs:2 () in
+  Alcotest.(check bool) "smoke rows identical at -j1 and -j2" true (rows1 = rows2)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = Array.init" `Quick test_map_matches_array_init;
+          Alcotest.test_case "error reports lowest index" `Quick
+            test_map_error_lowest_index;
+          qtest qcheck_fold_indices_matches_sequential;
+          qtest qcheck_fold_indices_ordered;
+          Alcotest.test_case "fresh_dir unique under domains" `Quick
+            test_fresh_dir_concurrent_unique;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "fig1: -j4 = -j1" `Quick
+            test_fig1_deterministic_across_jobs;
+          Alcotest.test_case "httpd+faults: -j4 = -j1" `Quick
+            test_httpd_faults_deterministic_across_jobs;
+          Alcotest.test_case "observer order" `Quick test_observer_order_and_count;
+          Alcotest.test_case "run_many jobs compat" `Quick
+            test_runner_compat_across_jobs;
+          Alcotest.test_case "faultsweep rows jobs-stable" `Quick
+            test_faultsweep_deterministic_across_jobs;
+        ] );
+    ]

@@ -274,13 +274,13 @@ let test_every_workload_runs_under_queue () =
   List.iter
     (fun (w : T11r_harness.Workloads.t) ->
       let world = T11r_env.World.create ~seed:5L () in
-      w.w_setup world;
+      let build = w.w_instance world in
       let conf =
         Conf.with_policy
           (Conf.with_seeds (Conf.tsan11rec ~strategy:Conf.Queue ()) 1L 2L)
           w.w_policy
       in
-      let r = Tsan11rec.Interp.run ~world conf (w.w_build ()) in
+      let r = Tsan11rec.Interp.run ~world conf (build ()) in
       match r.Tsan11rec.Interp.outcome with
       | Tsan11rec.Interp.Completed | Tsan11rec.Interp.Crashed _ -> ()
       | o ->
