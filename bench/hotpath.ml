@@ -1,0 +1,277 @@
+(* Hot-path microbenchmarks: per-operation cost (ns and allocated
+   minor-heap words) of the clock / store-window / detector
+   representations, plus whole-run campaign throughput on fig1 and
+   mcs-lock. Writes machine-readable BENCH_hotpath.json so the perf
+   trajectory is tracked PR over PR, and *fails* (exit 1) if any
+   per-op allocation exceeds its committed words/op budget — words
+   per op is machine-independent, so the budget is CI-enforceable
+   where wall-clock is not.
+
+     dune exec bench/main.exe -- ops [--smoke] [--jobs N]
+
+   The baseline numbers below were measured on the tree as of the
+   previous PR (before the allocation-free hot-path work), same
+   machine and method, and are committed so every later run reports
+   its speedup against the same fixed reference. *)
+
+module Conf = Tsan11rec.Conf
+module Campaign = T11r_harness.Campaign
+module Runner = T11r_harness.Runner
+module Atomics = T11r_mem.Atomics
+module Memord = T11r_mem.Memord
+module Tstate = T11r_mem.Tstate
+module Detector = T11r_race.Detector
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: the pre-optimisation tree (PR 2 head).                     *)
+
+(* op -> (ns/op, words/op) *)
+let baseline_ops =
+  [
+    ("store_relaxed", (145.7, 29.0));
+    ("store_release", (125.6, 29.0));
+    ("load_relaxed", (115.4, 14.0));
+    ("load_acquire", (118.0, 14.0));
+    ("rmw_acq_rel", (237.2, 43.0));
+    ("fence_seq_cst", (164.6, 23.0));
+    ("det_read", (40.5, 2.0));
+    ("det_write", (24.5, 17.0));
+  ]
+
+(* campaign label -> single-run throughput (runs/s, jobs=1) *)
+let baseline_runs = [ ("fig1", 65_148.0); ("mcs-lock", 58_458.0) ]
+
+(* Committed words/op budgets: CI fails when exceeded. These are set
+   with ~2x slack over the optimised steady-state numbers so noise
+   and minor drift pass, but a representation regression (say, a
+   reintroduced per-op array copy) trips them. *)
+let budgets =
+  [
+    ("store_relaxed", 2);
+    ("store_release", 4);
+    ("load_relaxed", 2);
+    ("load_acquire", 2);
+    ("rmw_acq_rel", 6);
+    ("fence_seq_cst", 10);
+    ("det_read", 1);
+    ("det_write", 1);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let measure ~iters f =
+  for _ = 1 to 2_000 do
+    f ()
+  done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  ( (t1 -. t0) *. 1e9 /. float_of_int iters,
+    (w1 -. w0) /. float_of_int iters )
+
+type op_row = {
+  op : string;
+  ns : float;
+  words : float;
+  budget : int;
+  within : bool;
+}
+
+(* One writer and one (unsynchronised) reader over a single location,
+   the steady state every campaign spends its time in. Fresh state per
+   benchmark so floors/window contents do not leak across rows. *)
+let op_benches ~iters =
+  let bench name f =
+    let ns, words = measure ~iters f in
+    let budget = List.assoc name budgets in
+    { op = name; ns; words; budget; within = words <= float_of_int budget }
+  in
+  let fresh () =
+    let mem = Atomics.create ~max_history:8 () in
+    let loc = Atomics.fresh_loc mem ~name:"bench" ~init:0 in
+    let writer = Tstate.create ~tid:0 in
+    let reader = Tstate.create ~tid:1 in
+    (mem, loc, writer, reader)
+  in
+  let first = fun _n -> 0 in
+  [
+    (let mem, loc, writer, _ = fresh () in
+     bench "store_relaxed" (fun () ->
+         Atomics.store mem loc writer Memord.Relaxed 1));
+    (let mem, loc, writer, _ = fresh () in
+     bench "store_release" (fun () ->
+         Atomics.store mem loc writer Memord.Release 1));
+    (let mem, loc, writer, reader = fresh () in
+     Atomics.store mem loc writer Memord.Relaxed 1;
+     bench "load_relaxed" (fun () ->
+         ignore (Atomics.load mem loc reader Memord.Relaxed ~choose:first)));
+    (let mem, loc, writer, reader = fresh () in
+     Atomics.store mem loc writer Memord.Release 1;
+     bench "load_acquire" (fun () ->
+         ignore (Atomics.load mem loc reader Memord.Acquire ~choose:first)));
+    (let mem, loc, writer, _ = fresh () in
+     bench "rmw_acq_rel" (fun () ->
+         ignore (Atomics.rmw mem loc writer Memord.Acq_rel (fun v -> v + 1))));
+    (let mem, _, writer, _ = fresh () in
+     bench "fence_seq_cst" (fun () -> Atomics.fence mem writer Memord.Seq_cst));
+    (let det = Detector.create () in
+     let var = Detector.fresh_var det ~name:"bench" in
+     let st = Tstate.create ~tid:0 in
+     Detector.write det var ~st;
+     bench "det_read" (fun () -> Detector.read det var ~st));
+    (let det = Detector.create () in
+     let var = Detector.fresh_var det ~name:"bench" in
+     let st = Tstate.create ~tid:0 in
+     bench "det_write" (fun () -> Detector.write det var ~st));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+type run_row = {
+  label : string;
+  runs : int;
+  runs_per_s : float;
+  base_runs_per_s : float;
+  speedup : float;
+  jobs_identical : bool;
+}
+
+let campaign_bench ~smoke ~par_jobs (entry : T11r_litmus.Registry.entry) ~n =
+  let n = if smoke then max 50 (n / 10) else n in
+  let spec =
+    Runner.spec ~label:entry.T11r_litmus.Registry.name
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      entry.T11r_litmus.Registry.build
+  in
+  let seq = Campaign.run spec ~n ~jobs:1 [] in
+  (* The acceptance bar also wants the aggregate unchanged at every
+     worker count; check a few besides 1. *)
+  let jobs_identical =
+    List.for_all
+      (fun j -> Campaign.equal seq (Campaign.run spec ~n ~jobs:j []))
+      (List.sort_uniq compare [ 2; 3; par_jobs ])
+  in
+  let base =
+    match List.assoc_opt spec.Runner.label baseline_runs with
+    | Some r -> r
+    | None -> 0.0
+  in
+  let rps = Campaign.runs_per_sec seq in
+  {
+    label = spec.Runner.label;
+    runs = n;
+    runs_per_s = rps;
+    base_runs_per_s = base;
+    speedup = (if base > 0.0 then rps /. base else 0.0);
+    jobs_identical;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let json_of_ops rows =
+  String.concat ",\n"
+    (List.map
+       (fun r ->
+         let bns, bw =
+           match List.assoc_opt r.op baseline_ops with
+           | Some (ns, w) -> (ns, w)
+           | None -> (0.0, 0.0)
+         in
+         Printf.sprintf
+           "    {\"op\": \"%s\", \"ns_per_op\": %.1f, \"words_per_op\": %.2f, \
+            \"budget_words\": %d, \"within_budget\": %b, \
+            \"baseline_ns_per_op\": %.1f, \"baseline_words_per_op\": %.2f}"
+           r.op r.ns r.words r.budget r.within bns bw)
+       rows)
+
+let json_of_runs rows =
+  String.concat ",\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf
+           "    {\"label\": \"%s\", \"runs\": %d, \"runs_per_s\": %.1f, \
+            \"baseline_runs_per_s\": %.1f, \"speedup_vs_baseline\": %.3f, \
+            \"aggregates_identical_across_jobs\": %b}"
+           r.label r.runs r.runs_per_s r.base_runs_per_s r.speedup
+           r.jobs_identical)
+       rows)
+
+let run ~smoke ~jobs =
+  let par_jobs = if jobs > 1 then jobs else 4 in
+  let iters = if smoke then 200_000 else 2_000_000 in
+  let ops = op_benches ~iters in
+  let t = T11r_util.Table.create ~title:"Per-operation hot-path cost"
+      ~headers:[ "op"; "ns/op"; "words/op"; "budget"; "ok?"; "baseline ns" ]
+  in
+  List.iter
+    (fun r ->
+      let bns =
+        match List.assoc_opt r.op baseline_ops with
+        | Some (ns, _) -> Printf.sprintf "%.0f" ns
+        | None -> "-"
+      in
+      T11r_util.Table.add_row t
+        [
+          r.op;
+          Printf.sprintf "%.1f" r.ns;
+          Printf.sprintf "%.2f" r.words;
+          string_of_int r.budget;
+          (if r.within then "yes" else "OVER");
+          bns;
+        ])
+    ops;
+  T11r_util.Table.print t;
+  let fig1 =
+    campaign_bench ~smoke ~par_jobs T11r_litmus.Registry.fig1 ~n:20_000
+  in
+  let mcs =
+    campaign_bench ~smoke ~par_jobs
+      (Option.get (T11r_litmus.Registry.find "mcs-lock"))
+      ~n:4_000
+  in
+  let runs = [ fig1; mcs ] in
+  let t2 =
+    T11r_util.Table.create ~title:"Single-run campaign throughput (jobs=1)"
+      ~headers:[ "campaign"; "runs"; "runs/s"; "baseline"; "speedup"; "jobs ok?" ]
+  in
+  List.iter
+    (fun r ->
+      T11r_util.Table.add_row t2
+        [
+          r.label;
+          string_of_int r.runs;
+          Printf.sprintf "%.0f" r.runs_per_s;
+          Printf.sprintf "%.0f" r.base_runs_per_s;
+          Printf.sprintf "%.2fx" r.speedup;
+          (if r.jobs_identical then "yes" else "NO");
+        ])
+    runs;
+  T11r_util.Table.print t2;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"tsan11rec/hotpath-bench/v1\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"iters_per_op\": %d,\n\
+      \  \"ops\": [\n%s\n  ],\n\
+      \  \"runs\": [\n%s\n  ]\n}\n"
+      smoke iters (json_of_ops ops) (json_of_runs runs)
+  in
+  let oc = open_out "BENCH_hotpath.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_hotpath.json@.";
+  let over = List.filter (fun r -> not r.within) ops in
+  if over <> [] then begin
+    List.iter
+      (fun r ->
+        Fmt.epr "ops: %s allocates %.2f words/op, budget %d@." r.op r.words
+          r.budget)
+      over;
+    exit 1
+  end

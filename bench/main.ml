@@ -840,6 +840,7 @@ let experiments =
     ("micro", micro);
     ("faults", faults);
     ("campaign", campaign);
+    ("ops", fun () -> Hotpath.run ~smoke:!smoke ~jobs:!jobs);
   ]
 
 let () =

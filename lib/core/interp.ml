@@ -101,8 +101,10 @@ type ctx = {
   det : Detector.t;
   lockorder : Lockorder.t;
   rng : Prng.t;
-  threads : (int, thread) Hashtbl.t;
-  mutable order : int list;  (* creation order, newest first *)
+  choose : int -> int;  (* scheduler PRNG draw, shared with the memory model *)
+  mutable tvec : thread option array;  (* index = tid; dense, threads never leave *)
+  mutable ready_scratch : thread option array;  (* cells shared with tvec *)
+  mutable ready_n : int;
   mutable next_tid : int;
   mutable next_obj : int;
   mutexes : (int, mstate) Hashtbl.t;
@@ -136,14 +138,45 @@ type ctx = {
   mutable desyncs : divergence list;  (* first 64, reversed *)
 }
 
-let threads_in_order ctx = List.rev_map (Hashtbl.find ctx.threads) ctx.order
+let thread_opt ctx tid =
+  if tid >= 0 && tid < ctx.next_tid then ctx.tvec.(tid) else None
+
+(* Creation order = ascending tid (tids are assigned sequentially). *)
+let threads_in_order ctx =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (match ctx.tvec.(i) with Some t -> t :: acc | None -> acc)
+  in
+  go (ctx.next_tid - 1) []
 
 let alive ctx =
   List.filter
     (fun t -> match t.status with Done | Dead _ -> false | _ -> true)
     (threads_in_order ctx)
 
-let ready ctx = List.filter (fun t -> t.status = Ready) (threads_in_order ctx)
+(* Refresh the scratch array of runnable threads (ascending tid — the
+   same order the old ready-list was built in). Reuses the [Some] cells
+   already in [tvec], so a tick allocates nothing here. The scratch is
+   a snapshot: replayed async wakeups during the pick intentionally do
+   not refresh it (matching the recorder, which drew from the pre-wakeup
+   enabled set). *)
+let fill_ready ctx =
+  if Array.length ctx.ready_scratch < ctx.next_tid then
+    ctx.ready_scratch <- Array.make (max 8 (2 * ctx.next_tid)) None;
+  let n = ref 0 in
+  for tid = 0 to ctx.next_tid - 1 do
+    match ctx.tvec.(tid) with
+    | Some t when t.status = Ready ->
+        ctx.ready_scratch.(!n) <- ctx.tvec.(tid);
+        incr n
+    | _ -> ()
+  done;
+  ctx.ready_n <- !n
+
+let rget ctx i =
+  match ctx.ready_scratch.(i) with Some t -> t | None -> assert false
 let is_replay ctx = ctx.replay <> None
 let is_record ctx = match ctx.conf.mode with Conf.Record _ -> true | _ -> false
 let draw ctx n = if n <= 0 then 0 else Prng.int ctx.rng n
@@ -200,14 +233,16 @@ let crash ctx t msg =
   if ctx.finished = None then ctx.finished <- Some (Crashed (t.tid, msg))
 
 let wake_joiners ctx t ~at =
-  Hashtbl.iter
-    (fun _ w ->
-      match w.status with
-      | Disabled (On_join tid) when tid = t.tid ->
-          w.status <- Ready;
-          w.arrival <- max w.arrival at
-      | _ -> ())
-    ctx.threads
+  for i = 0 to ctx.next_tid - 1 do
+    match ctx.tvec.(i) with
+    | Some w -> (
+        match w.status with
+        | Disabled (On_join tid) when tid = t.tid ->
+            w.status <- Ready;
+            w.arrival <- max w.arrival at
+        | _ -> ())
+    | None -> ()
+  done
 
 let fiber_handler ctx t ~on_return =
   {
@@ -335,8 +370,12 @@ let new_thread ctx ~name ~parent_st ~at body =
     }
   in
   t.priority <- draw ctx 1_000_000;
-  Hashtbl.replace ctx.threads tid t;
-  ctx.order <- tid :: ctx.order;
+  if tid >= Array.length ctx.tvec then begin
+    let a = Array.make (max 8 (2 * Array.length ctx.tvec)) None in
+    Array.blit ctx.tvec 0 a 0 (Array.length ctx.tvec);
+    ctx.tvec <- a
+  end;
+  ctx.tvec.(tid) <- Some t;
   let on_return () =
     t.status <- Done;
     t.pending <- None;
@@ -412,7 +451,7 @@ let replay_signals_after_cs ctx ~tickno ~tid =
     ctx.rep_signals <- rest;
     List.iter
       (fun (s : Demo.signal_entry) ->
-        match Hashtbl.find_opt ctx.threads s.s_tid with
+        match thread_opt ctx s.s_tid with
         | Some t -> deliver_signal ctx t s.s_signo
         | None ->
             (* Resync: drop the undeliverable signal. *)
@@ -433,7 +472,7 @@ let replay_initial_signals ctx =
     ctx.rep_signals <- rest;
     List.iter
       (fun (s : Demo.signal_entry) ->
-        match Hashtbl.find_opt ctx.threads s.s_tid with
+        match thread_opt ctx s.s_tid with
         | Some t -> deliver_signal ctx t s.s_signo
         | None ->
             diverge ctx ~tid:s.s_tid ~site:"SIGNAL"
@@ -464,7 +503,7 @@ let replay_asyncs_for_tick ctx =
           match a.a_kind with
           | Demo.Reschedule -> incr rescheds
           | Demo.Signal_wakeup tid -> (
-              match Hashtbl.find_opt ctx.threads tid with
+              match thread_opt ctx tid with
               | Some t -> (
                   match t.status with
                   | Disabled _ ->
@@ -479,20 +518,20 @@ let replay_asyncs_for_tick ctx =
         mine;
       !rescheds
 
-let pick_random ctx enabled =
-  let arr = Array.of_list enabled in
+let pick_random ctx =
+  let n = ctx.ready_n in
   let resched_us = ctx.conf.resched_ms * 1000 in
   if is_replay ctx then begin
     let rescheds = replay_asyncs_for_tick ctx in
     for _ = 1 to rescheds do
-      ignore (draw ctx (Array.length arr));
+      ignore (draw ctx n);
       ctx.gclock <- ctx.gclock + resched_us
     done;
-    arr.(draw ctx (Array.length arr))
+    rget ctx (draw ctx n)
   end
   else begin
     let rec go budget =
-      let t = arr.(draw ctx (Array.length arr)) in
+      let t = rget ctx (draw ctx n) in
       if budget > 0 && resched_us > 0 && t.arrival > ctx.gclock + resched_us
       then begin
         record_async ctx Demo.Reschedule;
@@ -504,48 +543,49 @@ let pick_random ctx enabled =
     go 64
   end
 
-let pick_pct ctx enabled =
+let pick_pct ctx =
   (* PCT-flavoured strategy (the paper's future work): highest priority
      runs; with small probability the chosen thread's priority drops.
      Two draws per tick keep the PRNG stream schedule-independent. *)
   ignore (replay_asyncs_for_tick ctx);
-  let best =
-    List.fold_left
-      (fun acc t ->
-        match acc with
-        | None -> Some t
-        | Some b -> if t.priority > b.priority then Some t else Some b)
-      None enabled
-  in
-  let t = Option.get best in
+  let best = ref (rget ctx 0) in
+  for i = 1 to ctx.ready_n - 1 do
+    let t = rget ctx i in
+    if t.priority > !best.priority then best := t
+  done;
+  let t = !best in
   let u = draw ctx 1000 in
   let v = draw ctx 1_000_000 in
   if u < 25 then t.priority <- -v;
   t
 
-let fifo_min ts =
-  List.fold_left
-    (fun acc t ->
-      match acc with
-      | None -> Some t
-      | Some b -> if (t.arrival, t.tid) < (b.arrival, b.tid) then Some t else Some b)
-    None ts
+(* Index in the scratch of the (arrival, tid)-minimal runnable thread,
+   optionally restricted to already-arrived threads; -1 if none. The
+   scratch is tid-ascending, so keeping the first of equal arrivals
+   reproduces the old list-fold's tie-break. *)
+let fifo_best ctx ~arrived_only =
+  let best = ref (-1) in
+  for i = 0 to ctx.ready_n - 1 do
+    let t = rget ctx i in
+    if (not arrived_only) || t.arrival <= ctx.gclock then
+      if !best < 0 || t.arrival < (rget ctx !best).arrival then best := i
+  done;
+  !best
 
 (* The free-mode FIFO pick, also the Resync fallback when the QUEUE
    stream no longer matches the run. *)
-let pick_fifo ctx enabled =
-  let arrived = List.filter (fun t -> t.arrival <= ctx.gclock) enabled in
-  match fifo_min arrived with
-  | Some t -> t
-  | None ->
+let pick_fifo ctx =
+  match fifo_best ctx ~arrived_only:true with
+  | i when i >= 0 -> rget ctx i
+  | _ ->
       (* Idle until the first thread finishes its invisible region.
          Advance by the un-jittered clock so recorded timings are
          reproducible on replay. *)
-      let t = Option.get (fifo_min enabled) in
+      let t = rget ctx (fifo_best ctx ~arrived_only:false) in
       ctx.gclock <- max ctx.gclock t.ltime;
       t
 
-let pick_queue ctx enabled =
+let pick_queue ctx =
   match ctx.replay with
   | Some _ -> (
       ignore (replay_asyncs_for_tick ctx);
@@ -558,38 +598,39 @@ let pick_queue ctx enabled =
       | None ->
           diverge ctx ~tid:(-1) ~site:"QUEUE"
             ~expected:"a thread scheduled for this tick" ~actual:"none";
-          pick_fifo ctx enabled
+          pick_fifo ctx
       | Some tid -> (
-          match Hashtbl.find_opt ctx.threads tid with
+          match thread_opt ctx tid with
           | None ->
               diverge ctx ~tid ~site:"QUEUE"
                 ~expected:(Printf.sprintf "thread %d to schedule" tid)
                 ~actual:"no such thread";
-              pick_fifo ctx enabled
+              pick_fifo ctx
           | Some t ->
               if t.status <> Ready then begin
                 diverge ctx ~tid ~site:"QUEUE"
                   ~expected:(Printf.sprintf "thread %d enabled" tid)
                   ~actual:"thread is blocked or gone";
-                pick_fifo ctx enabled
+                pick_fifo ctx
               end
               else t))
-  | None -> pick_fifo ctx enabled
+  | None -> pick_fifo ctx
 
 (* Delay bounding (Emmi et al.): follow the deterministic FCFS order,
    but up to [d] times take the second-in-line instead of the head.
    The resulting schedule depends on physical arrival order, so — like
    the queue strategy — it is recorded in the QUEUE file and enforced
    on replay. *)
-let pick_delay_bounded ctx enabled =
+let pick_delay_bounded ctx =
   match ctx.replay with
   | Some _ ->
-      let t = pick_queue ctx enabled in
+      let t = pick_queue ctx in
       (* Mirror the recorder's delay draw so the PRNG stream (which the
          memory model also reads) stays aligned. *)
-      if List.length enabled >= 2 then ignore (draw ctx 1000);
+      if ctx.ready_n >= 2 then ignore (draw ctx 1000);
       t
   | None -> (
+      let enabled = List.init ctx.ready_n (rget ctx) in
       let sorted =
         List.sort
           (fun a b -> compare (a.arrival, a.tid) (b.arrival, b.tid))
@@ -616,49 +657,63 @@ let pick_delay_bounded ctx enabled =
    without preemption; switching at a blocking point is free, but at
    most [b] switches may happen while the current thread could still
    run. Purely PRNG-driven, so the seeds alone replay it. *)
-let pick_preempt_bounded ctx enabled =
+let pick_preempt_bounded ctx =
   ignore (replay_asyncs_for_tick ctx);
+  let cur = ref None in
+  (let i = ref 0 in
+   while !cur = None && !i < ctx.ready_n do
+     let t = rget ctx !i in
+     if t.tid = ctx.last_sched then cur := Some t;
+     incr i
+   done);
   let t =
-    match List.find_opt (fun t -> t.tid = ctx.last_sched) enabled with
+    match !cur with
     | Some cur ->
         let u = draw ctx 1000 in
         if ctx.strat_budget > 0 && u < 200 then begin
-          match List.filter (fun x -> x.tid <> cur.tid) enabled with
+          match
+            List.filter
+              (fun x -> x.tid <> cur.tid)
+              (List.init ctx.ready_n (rget ctx))
+          with
           | [] -> cur
           | others ->
               ctx.strat_budget <- ctx.strat_budget - 1;
               List.nth others (draw ctx (List.length others))
         end
         else cur
-    | None -> List.nth enabled (draw ctx (List.length enabled))
+    | None -> rget ctx (draw ctx ctx.ready_n)
   in
   ctx.gclock <- max ctx.gclock t.ltime;
   t
 
 (* Guided picks for systematic exploration: deterministic choice by
    index in tid order, logging the fan-out at every scheduling point. *)
-let pick_guided ctx ~prefix ~observed enabled =
-  let sorted = List.sort (fun a b -> compare a.tid b.tid) enabled in
-  let n = List.length sorted in
+let pick_guided ctx ~prefix ~observed =
+  (* the scratch is already sorted by tid *)
+  let n = ctx.ready_n in
   observed := n :: !observed;
   let idx =
     if ctx.tick < Array.length prefix then min prefix.(ctx.tick) (n - 1) else 0
   in
-  let t = List.nth sorted idx in
+  let t = rget ctx idx in
   ctx.gclock <- max ctx.gclock t.ltime;
   t
 
+(* Pick among the threads in the ready scratch (the caller has just
+   called [fill_ready] and found it non-empty). *)
 let pick_thread ctx =
-  let enabled = ready ctx in
   match ctx.conf.sched with
-  | Conf.Os_model -> Option.get (fifo_min enabled)
-  | Conf.Controlled Conf.Random -> pick_random ctx enabled
-  | Conf.Controlled (Conf.Pct _) -> pick_pct ctx enabled
-  | Conf.Controlled Conf.Queue -> pick_queue ctx enabled
-  | Conf.Controlled (Conf.Delay_bounded _) -> pick_delay_bounded ctx enabled
-  | Conf.Controlled (Conf.Preempt_bounded _) -> pick_preempt_bounded ctx enabled
+  | Conf.Os_model ->
+      let t = rget ctx (fifo_best ctx ~arrived_only:false) in
+      t
+  | Conf.Controlled Conf.Random -> pick_random ctx
+  | Conf.Controlled (Conf.Pct _) -> pick_pct ctx
+  | Conf.Controlled Conf.Queue -> pick_queue ctx
+  | Conf.Controlled (Conf.Delay_bounded _) -> pick_delay_bounded ctx
+  | Conf.Controlled (Conf.Preempt_bounded _) -> pick_preempt_bounded ctx
   | Conf.Controlled (Conf.Guided { prefix; observed }) ->
-      pick_guided ctx ~prefix ~observed enabled
+      pick_guided ctx ~prefix ~observed
 
 (* ------------------------------------------------------------------ *)
 (* Syscalls                                                             *)
@@ -806,7 +861,7 @@ let release_mutex ctx t (m : Api.mutex) ~at =
   let ms = mstate ctx m in
   ms.owner <- None;
   if ctx.conf.race_detection then begin
-    ms.m_clock <- Vclock.join ms.m_clock t.tst.Tstate.clock;
+    ms.m_clock <- Vclock.join ms.m_clock (Tstate.clock t.tst);
     Tstate.tick t.tst;
     Lockorder.released ctx.lockorder ~tid:t.tid ~lock:m.Api.mu_id
   end;
@@ -860,14 +915,16 @@ let rw_acquire_write ctx t (l : Api.rwlock) rw =
   end
 
 let rw_wake_all ctx lid ~at =
-  Hashtbl.iter
-    (fun _ w ->
-      match w.status with
-      | Disabled (On_rwlock l) when l = lid ->
-          w.status <- Ready;
-          w.arrival <- max w.arrival at
-      | _ -> ())
-    ctx.threads
+  for i = 0 to ctx.next_tid - 1 do
+    match ctx.tvec.(i) with
+    | Some w -> (
+        match w.status with
+        | Disabled (On_rwlock l) when l = lid ->
+            w.status <- Ready;
+            w.arrival <- max w.arrival at
+        | _ -> ())
+    | None -> ()
+  done
 
 let rw_unlock ctx t (l : Api.rwlock) ~at =
   let rw = rwstate ctx l in
@@ -875,7 +932,7 @@ let rw_unlock ctx t (l : Api.rwlock) ~at =
   | Some tid when tid = t.tid -> rw.rw_writer <- None
   | _ -> rw.rw_readers <- List.filter (fun tid -> tid <> t.tid) rw.rw_readers);
   if ctx.conf.race_detection then begin
-    rw.rw_clock <- Vclock.join rw.rw_clock t.tst.Tstate.clock;
+    rw.rw_clock <- Vclock.join rw.rw_clock (Tstate.clock t.tst);
     Tstate.tick t.tst;
     Lockorder.released ctx.lockorder ~tid:t.tid ~lock:l.Api.rw_id
   end;
@@ -884,15 +941,15 @@ let rw_unlock ctx t (l : Api.rwlock) ~at =
 (* ------------------------------------------------------------------ *)
 (* Critical sections                                                    *)
 
-let choose_fn ctx n = draw ctx n
-
 let note_cs ctx t label fin =
   ctx.trace <- (ctx.tick, t.tid, label) :: ctx.trace;
   if is_record ctx then ctx.rec_sched <- (ctx.tick, t.tid) :: ctx.rec_sched;
   t.last_tick <- ctx.tick;
   ctx.makespan <- max ctx.makespan fin
 
-(* Advance clocks for one critical section; returns (start, fin). *)
+(* Advance clocks for one critical section; returns its finish time.
+   (The start time is only needed by the syscall path — see
+   [cs_timing_syscall] — so the common path returns a bare int.) *)
 let cs_timing ?(syscall = false) ctx t ~recorded =
   let conf = ctx.conf in
   let base = if syscall then conf.vis_cost_syscall else conf.vis_cost in
@@ -909,7 +966,14 @@ let cs_timing ?(syscall = false) ctx t ~recorded =
   else ctx.gclock <- max ctx.gclock fin;
   t.ltime <- fin;
   t.invis_acc <- 0;
-  (start, fin)
+  fin
+
+let cs_timing_syscall ctx t ~recorded =
+  let fin = cs_timing ~syscall:true ctx t ~recorded in
+  let cost =
+    ctx.conf.vis_cost_syscall + if recorded then ctx.conf.record_cost else 0
+  in
+  (fin - cost, fin)
 
 (* After a thread leaves a critical section in queue replay, it learns
    the tick of its next scheduling from the recorded list (§4.2). *)
@@ -930,7 +994,7 @@ let consume_queue_entry ctx t =
 let exec_signal_entry ctx t =
   let signo = List.hd t.sigq in
   t.sigq <- List.tl t.sigq;
-  let _, fin = cs_timing ctx t ~recorded:false in
+  let fin = cs_timing ctx t ~recorded:false in
   note_cs ctx t (Printf.sprintf "sig_entry:%d" signo) fin;
   (match t.pending with
   | Some p ->
@@ -959,90 +1023,90 @@ let exec_signal_entry ctx t =
       | [] -> ()));
   pump ctx t
 
+(* Complete a critical section: log it, resume the thread with the
+   response, and run its next invisible region. *)
+let finish_cs : type a.
+    ctx -> thread -> (a, unit) continuation -> string -> int -> a -> unit =
+ fun ctx t k label fin v ->
+  note_cs ctx t label fin;
+  t.pending <- None;
+  continue k v;
+  pump ctx t
+
+(* Relock stage of a conditional wait (Fig. 5): one trylock per
+   critical section. *)
+let lock_attempt ctx t (k : (Api.timeout_result, unit) continuation) cw fin =
+  let ms = Hashtbl.find ctx.mutexes cw.cw_mutex in
+  if ms.owner = None then begin
+    ms.owner <- Some t.tid;
+    if ctx.conf.race_detection then begin
+      Tstate.acquire t.tst ms.m_clock;
+      Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:cw.cw_mutex
+        ~name:"cond-mutex"
+    end;
+    let result = cw.cw_result in
+    t.cwait <- None;
+    finish_cs ctx t k "cond_relock" (max fin t.ltime) result
+  end
+  else begin
+    note_cs ctx t "cond_relock_fail" fin;
+    t.status <- Disabled (On_mutex cw.cw_mutex);
+    t.disabled_at <- ctx.tick
+  end
+
 (* Execute one critical section for thread [t]. *)
 let exec_cs ctx t =
   if t.sigq <> [] then exec_signal_entry ctx t
   else begin
     let prev_cur = ctx.cur in
     ctx.cur <- Some t;
-    (* Complete a critical section: log it, resume the thread with the
-       response, and run its next invisible region. *)
-    let finish : type a. (a, unit) continuation -> string -> int -> a -> unit
-        =
-     fun k label fin v ->
-      note_cs ctx t label fin;
-      t.pending <- None;
-      continue k v;
-      pump ctx t
-    in
-    let lock_attempt (k : (Api.timeout_result, unit) continuation) cw fin =
-      (* Relock stage of a conditional wait (Fig. 5): one trylock per
-         critical section. *)
-      let ms = Hashtbl.find ctx.mutexes cw.cw_mutex in
-      if ms.owner = None then begin
-        ms.owner <- Some t.tid;
-        if ctx.conf.race_detection then begin
-          Tstate.acquire t.tst ms.m_clock;
-          Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:cw.cw_mutex
-            ~name:"cond-mutex"
-        end;
-        let result = cw.cw_result in
-        t.cwait <- None;
-        finish k "cond_relock" (max fin t.ltime) result
-      end
-      else begin
-        note_cs ctx t "cond_relock_fail" fin;
-        t.status <- Disabled (On_mutex cw.cw_mutex);
-        t.disabled_at <- ctx.tick
-      end
-    in
-    Fun.protect
-      ~finally:(fun () -> ctx.cur <- prev_cur)
-      (fun () ->
-        match t.pending with
+    (* No Fun.protect here: the abort exceptions (Hard, Diagnosed,
+       Unsupported_run) end the run outright, so a stale [cur] can't be
+       observed; the happy path restores it below. *)
+    (match t.pending with
         | None ->
             hard ctx (Printf.sprintf "thread %d scheduled with no request" t.tid)
         | Some (P ((Api.A_load (a, mo)) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let v =
-              Atomics.load ctx.mem a.Api.a_loc t.tst mo ~choose:(choose_fn ctx)
+              Atomics.load ctx.mem a.Api.a_loc t.tst mo ~choose:ctx.choose
             in
-            finish k (Api.req_label r) fin v
+            finish_cs ctx t k (Api.req_label r) fin v
         | Some (P ((Api.A_store (a, mo, v)) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             Atomics.store ctx.mem a.Api.a_loc t.tst mo v;
-            finish k (Api.req_label r) fin ()
+            finish_cs ctx t k (Api.req_label r) fin ()
         | Some (P ((Api.A_rmw (a, mo, f)) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let old = Atomics.rmw ctx.mem a.Api.a_loc t.tst mo f in
-            finish k (Api.req_label r) fin old
+            finish_cs ctx t k (Api.req_label r) fin old
         | Some (P ((Api.A_cas (a, succ, fail_, expected, desired)) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let res =
               Atomics.cas ctx.mem a.Api.a_loc t.tst ~success:succ
-                ~failure:fail_ ~expected ~desired ~choose:(choose_fn ctx)
+                ~failure:fail_ ~expected ~desired ~choose:ctx.choose
             in
-            finish k (Api.req_label r) fin res
+            finish_cs ctx t k (Api.req_label r) fin res
         | Some (P ((Api.Fence mo) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             Atomics.fence ctx.mem t.tst mo;
-            finish k (Api.req_label r) fin ()
+            finish_cs ctx t k (Api.req_label r) fin ()
         | Some (P ((Api.Mutex_trylock m) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let ms = mstate ctx m in
             if ms.owner = None then begin
               acquire_mutex ctx t m;
-              finish k (Api.req_label r) fin true
+              finish_cs ctx t k (Api.req_label r) fin true
             end
-            else finish k (Api.req_label r) fin false
+            else finish_cs ctx t k (Api.req_label r) fin false
         | Some (P ((Api.Mutex_lock m) as r, k)) ->
             (* Fig. 4: a trylock loop; each failed attempt is its own
                critical section and disables the thread. *)
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let ms = mstate ctx m in
             if ms.owner = None then begin
               acquire_mutex ctx t m;
-              finish k (Api.req_label r) fin ()
+              finish_cs ctx t k (Api.req_label r) fin ()
             end
             else begin
               note_cs ctx t "mutex_lock_fail" fin;
@@ -1050,15 +1114,15 @@ let exec_cs ctx t =
               t.disabled_at <- ctx.tick
             end
         | Some (P ((Api.Mutex_unlock m) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             release_mutex ctx t m ~at:fin;
-            finish k (Api.req_label r) fin ()
+            finish_cs ctx t k (Api.req_label r) fin ()
         | Some (P ((Api.Rw_rdlock l) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let rw = rwstate ctx l in
             if rw_can_read rw then begin
               rw_acquire_read ctx t l rw;
-              finish k (Api.req_label r) fin ()
+              finish_cs ctx t k (Api.req_label r) fin ()
             end
             else begin
               note_cs ctx t "rw_rdlock_fail" fin;
@@ -1066,11 +1130,11 @@ let exec_cs ctx t =
               t.disabled_at <- ctx.tick
             end
         | Some (P ((Api.Rw_wrlock l) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let rw = rwstate ctx l in
             if rw_can_write rw then begin
               rw_acquire_write ctx t l rw;
-              finish k (Api.req_label r) fin ()
+              finish_cs ctx t k (Api.req_label r) fin ()
             end
             else begin
               note_cs ctx t "rw_wrlock_fail" fin;
@@ -1078,31 +1142,31 @@ let exec_cs ctx t =
               t.disabled_at <- ctx.tick
             end
         | Some (P ((Api.Rw_tryrdlock l) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let rw = rwstate ctx l in
             if rw_can_read rw then begin
               rw_acquire_read ctx t l rw;
-              finish k (Api.req_label r) fin true
+              finish_cs ctx t k (Api.req_label r) fin true
             end
-            else finish k (Api.req_label r) fin false
+            else finish_cs ctx t k (Api.req_label r) fin false
         | Some (P ((Api.Rw_trywrlock l) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let rw = rwstate ctx l in
             if rw_can_write rw then begin
               rw_acquire_write ctx t l rw;
-              finish k (Api.req_label r) fin true
+              finish_cs ctx t k (Api.req_label r) fin true
             end
-            else finish k (Api.req_label r) fin false
+            else finish_cs ctx t k (Api.req_label r) fin false
         | Some (P ((Api.Rw_unlock l) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             rw_unlock ctx t l ~at:fin;
-            finish k (Api.req_label r) fin ()
+            finish_cs ctx t k (Api.req_label r) fin ()
         | Some (P ((Api.Cond_wait (c, m, timeout_ms)) as r, k)) -> (
             match t.cwait with
             | None ->
                 (* Fig. 5, first critical section: mark waiting, unlock
                    the mutex, then (in later CSs) reacquire. *)
-                let _, fin = cs_timing ctx t ~recorded:false in
+                let fin = cs_timing ctx t ~recorded:false in
                 note_cs ctx t (Api.req_label r) fin;
                 let cw =
                   {
@@ -1127,7 +1191,7 @@ let exec_cs ctx t =
                     t.arrival <-
                       (match cw.cw_expiry with Some e -> e | None -> t.ltime))
             | Some cw ->
-                let _, fin = cs_timing ctx t ~recorded:false in
+                let fin = cs_timing ctx t ~recorded:false in
                 (if cw.cw_stage = Cw_waiting then begin
                    (* Scheduled while still waiting: the timer fired. *)
                    cw.cw_stage <- Cw_relock;
@@ -1136,12 +1200,12 @@ let exec_cs ctx t =
                    | Some e -> t.ltime <- max t.ltime e
                    | None -> ()
                  end);
-                lock_attempt k cw fin)
+                lock_attempt ctx t k cw fin)
         | Some (P ((Api.Cond_signal c) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let cs = cstate ctx c in
             if ctx.conf.race_detection then begin
-              cs.c_clock <- Vclock.join cs.c_clock t.tst.Tstate.clock;
+              cs.c_clock <- Vclock.join cs.c_clock (Tstate.clock t.tst);
               Tstate.tick t.tst
             end;
             (match cond_waiters ctx c.Api.cv_id with
@@ -1166,21 +1230,21 @@ let exec_cs ctx t =
                   | _ -> List.nth ws (draw ctx (List.length ws))
                 in
                 wake_cond_waiter ctx w ~at:fin ~signaller_clock:cs.c_clock);
-            finish k (Api.req_label r) fin ()
+            finish_cs ctx t k (Api.req_label r) fin ()
         | Some (P ((Api.Cond_broadcast c) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             let cs = cstate ctx c in
             if ctx.conf.race_detection then begin
-              cs.c_clock <- Vclock.join cs.c_clock t.tst.Tstate.clock;
+              cs.c_clock <- Vclock.join cs.c_clock (Tstate.clock t.tst);
               Tstate.tick t.tst
             end;
             List.iter
               (fun w ->
                 wake_cond_waiter ctx w ~at:fin ~signaller_clock:cs.c_clock)
               (cond_waiters ctx c.Api.cv_id);
-            finish k (Api.req_label r) fin ()
+            finish_cs ctx t k (Api.req_label r) fin ()
         | Some (P ((Api.Spawn (name, body)) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             note_cs ctx t (Api.req_label r) fin;
             let child =
               new_thread ctx ~name ~parent_st:(Some t.tst) ~at:fin body
@@ -1189,16 +1253,16 @@ let exec_cs ctx t =
             continue k child.tid;
             pump ctx t
         | Some (P ((Api.Join target) as r, k)) -> (
-            let _, fin = cs_timing ctx t ~recorded:false in
-            match Hashtbl.find_opt ctx.threads target with
-            | None -> finish k (Api.req_label r) fin ()
+            let fin = cs_timing ctx t ~recorded:false in
+            match thread_opt ctx target with
+            | None -> finish_cs ctx t k (Api.req_label r) fin ()
             | Some child -> (
                 match child.status with
                 | Done | Dead _ ->
                     if ctx.conf.race_detection then
-                      Tstate.acquire t.tst child.tst.Tstate.clock;
+                      Tstate.acquire t.tst (Tstate.clock child.tst);
                     t.ltime <- max t.ltime child.ltime;
-                    finish k (Api.req_label r) (max fin child.ltime) ()
+                    finish_cs ctx t k (Api.req_label r) (max fin child.ltime) ()
                 | _ ->
                     note_cs ctx t "join_wait" fin;
                     t.status <- Disabled (On_join target);
@@ -1210,16 +1274,16 @@ let exec_cs ctx t =
                 req
               && ctx.conf.mode <> Conf.Free
             in
-            let start, fin = cs_timing ~syscall:true ctx t ~recorded in
+            let start, fin = cs_timing_syscall ctx t ~recorded in
             let res = exec_syscall ctx t ~now:start req in
             (* Blocking time accrues outside the critical section (§4.4:
                only the SYSCALL-file interaction is inside it). *)
             t.ltime <- fin + res.Syscall.elapsed;
-            finish k (Api.req_label r) fin res
+            finish_cs ctx t k (Api.req_label r) fin res
         | Some (P ((Api.Set_signal_handler (signo, f)) as r, k)) ->
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             Hashtbl.replace ctx.handlers signo f;
-            finish k (Api.req_label r) fin ()
+            finish_cs ctx t k (Api.req_label r) fin ()
         | Some (P ((Api.Raise_sync signo) as r, k)) -> (
             (* Synchronous signal: the handler runs right here, at this
                program point, in both record and replay — nothing is
@@ -1228,7 +1292,7 @@ let exec_cs ctx t =
                op; the handler's own visible ops become further critical
                sections, and when its fiber returns the raising thread
                resumes just after the raise. *)
-            let _, fin = cs_timing ctx t ~recorded:false in
+            let fin = cs_timing ctx t ~recorded:false in
             note_cs ctx t (Api.req_label r) fin;
             t.pending <- None;
             match Hashtbl.find_opt ctx.handlers signo with
@@ -1249,7 +1313,8 @@ let exec_cs ctx t =
                  | Api.Var_store _ | Api.Work _ | Api.Work_mem _ | Api.Sleep _
                  | Api.Self | Api.Now | Api.Alloc _ ),
                  _ )) ->
-            assert false)
+            assert false);
+    ctx.cur <- prev_cur
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1340,8 +1405,10 @@ let make_ctx conf world program_seeds_override =
          d);
       lockorder = Lockorder.create ();
       rng;
-      threads = Hashtbl.create 8;
-      order = [];
+      choose = (fun n -> if n <= 0 then 0 else Prng.int rng n);
+      tvec = Array.make 8 None;
+      ready_scratch = Array.make 8 None;
+      ready_n = 0;
       next_tid = 0;
       next_obj = 0;
       mutexes = Hashtbl.create 8;
@@ -1527,7 +1594,13 @@ let run ?world conf (program : Api.program) =
       | None -> false
     in
     let thread_time =
-      Hashtbl.fold (fun _ t acc -> max acc t.ltime) ctx.threads 0
+      let m = ref 0 in
+      for i = 0 to ctx.next_tid - 1 do
+        match ctx.tvec.(i) with
+        | Some t -> if t.ltime > !m then m := t.ltime
+        | None -> ()
+      done;
+      !m
     in
     {
       outcome;
@@ -1565,51 +1638,53 @@ let run ?world conf (program : Api.program) =
             (match ctx.conf.sched with
             | Conf.Controlled Conf.Queue when is_replay ctx -> ()
             | _ -> ());
-            match ready ctx with
-            | [] -> (
-                if is_replay ctx then begin
-                  (* Only recorded wakeups can unblock us now. *)
-                  let n = replay_asyncs_for_tick ctx in
-                  ignore n;
-                  match ready ctx with
-                  | [] ->
-                      let blocked =
-                        List.filter_map
-                          (fun t ->
-                            match t.status with
-                            | Disabled _ -> Some t.tid
-                            | _ -> None)
-                          (threads_in_order ctx)
-                      in
-                      if blocked = [] then Completed else Deadlock blocked
-                  | _ -> loop ()
-                end
+            fill_ready ctx;
+            if ctx.ready_n = 0 then begin
+              if is_replay ctx then begin
+                (* Only recorded wakeups can unblock us now. *)
+                let n = replay_asyncs_for_tick ctx in
+                ignore n;
+                fill_ready ctx;
+                if ctx.ready_n > 0 then loop ()
                 else
-                  match World.peek_signal ctx.world with
-                  | Some (at, _) when alive ctx <> [] ->
-                      ctx.gclock <- max ctx.gclock at;
-                      poll_env_signals ctx;
-                      loop ()
-                  | _ ->
-                      let blocked =
-                        List.filter_map
-                          (fun t ->
-                            match t.status with
-                            | Disabled _ -> Some t.tid
-                            | _ -> None)
-                          (threads_in_order ctx)
-                      in
-                      if blocked = [] then Completed else Deadlock blocked)
-            | _ ->
-                let t = pick_thread ctx in
-                ctx.last_sched <- t.tid;
-                let tickno = ctx.tick in
-                exec_cs ctx t;
-                consume_queue_entry ctx t;
-                ctx.tick <- tickno + 1;
-                replay_signals_after_cs ctx ~tickno ~tid:t.tid;
-                poll_env_signals ctx;
-                loop ()
+                  let blocked =
+                    List.filter_map
+                      (fun t ->
+                        match t.status with
+                        | Disabled _ -> Some t.tid
+                        | _ -> None)
+                      (threads_in_order ctx)
+                  in
+                  if blocked = [] then Completed else Deadlock blocked
+              end
+              else
+                match World.peek_signal ctx.world with
+                | Some (at, _) when alive ctx <> [] ->
+                    ctx.gclock <- max ctx.gclock at;
+                    poll_env_signals ctx;
+                    loop ()
+                | _ ->
+                    let blocked =
+                      List.filter_map
+                        (fun t ->
+                          match t.status with
+                          | Disabled _ -> Some t.tid
+                          | _ -> None)
+                        (threads_in_order ctx)
+                    in
+                    if blocked = [] then Completed else Deadlock blocked
+            end
+            else begin
+              let t = pick_thread ctx in
+              ctx.last_sched <- t.tid;
+              let tickno = ctx.tick in
+              exec_cs ctx t;
+              consume_queue_entry ctx t;
+              ctx.tick <- tickno + 1;
+              replay_signals_after_cs ctx ~tickno ~tid:t.tid;
+              poll_env_signals ctx;
+              loop ()
+            end
           end
     in
     finish (loop ())

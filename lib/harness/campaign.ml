@@ -179,6 +179,10 @@ let fingerprint r =
 
 let equal a b = fingerprint a = fingerprint b
 
+(* Marshal is stable for the pure data in a fingerprint (no closures,
+   no custom blocks), so the digest is comparable across builds. *)
+let digest r = Digest.to_hex (Digest.string (Marshal.to_string (fingerprint r) []))
+
 let runs_per_sec r =
   if r.wall_s <= 0.0 then 0.0 else float_of_int r.n /. r.wall_s
 

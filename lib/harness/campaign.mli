@@ -96,6 +96,11 @@ val equal : report -> report -> bool
 val runs_per_sec : report -> float
 (** Campaign throughput in real time: [n / wall_s]. *)
 
+val digest : report -> string
+(** Hex digest of everything {!equal} compares — a compact fingerprint
+    for cross-build regression fixtures: two reports are [equal] iff
+    their digests match (up to hash collision). *)
+
 val schedule_key : Tsan11rec.Interp.result -> (int * string) list
 (** The (tid, op) projection of a run's trace used for
     distinct-schedule counting. *)

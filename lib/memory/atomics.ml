@@ -1,150 +1,204 @@
 open T11r_util
 
+(* Store slots are mutable and live in a fixed-capacity ring per
+   location: appending a store past the history bound recycles the
+   oldest slot in place instead of rebuilding the array (the old
+   representation paid an Array.append per store). Slot fields are only
+   meaningful while the slot is live; [rel_clock] always holds an
+   immutable snapshot, never a view of a clock that can still mutate. *)
 type store = {
-  value : int;
-  s_tid : int;
-  epoch : int;  (* writer's clock component at the time of the store *)
-  rel_clock : Vclock.t;  (* empty if the store publishes nothing *)
-  mutable index : int;  (* absolute modification-order index *)
+  mutable value : int;
+  mutable s_tid : int; (* -1 for the initial store *)
+  mutable epoch : int; (* writer's clock component at the time of the store *)
+  mutable rel_clock : Vclock.t; (* empty if the store publishes nothing *)
+  mutable index : int; (* absolute modification-order index *)
 }
 
 type loc = {
   id : int;
   name : string;
-  mutable stores : store array;  (* window of recent stores, oldest first *)
-  mutable base : int;  (* absolute index of stores.(0) *)
-  mutable floors : (int, int) Hashtbl.t;  (* tid -> min admissible abs index *)
-  mutable last_sc : int;  (* abs index of last seq-cst store, -1 if none *)
+  ring : store array; (* capacity = max_history; [dummy] until used *)
+  mutable len : int; (* live stores *)
+  mutable start : int; (* ring slot of the oldest live store *)
+  mutable base : int; (* absolute index of the oldest live store *)
+  mutable floors : int array; (* tid -> min admissible abs index *)
+  mutable last_sc : int; (* abs index of last seq-cst store, -1 if none *)
 }
 
 type t = {
   max_history : int;
   mutable next_loc : int;
-  mutable sc_clock : Vclock.t;  (* global clock threaded through SC fences *)
+  mutable sc_clock : Vclock.t; (* global clock threaded through SC fences *)
 }
 
 let create ?(max_history = 8) () =
   if max_history < 1 then invalid_arg "Atomics.create: max_history < 1";
   { max_history; next_loc = 0; sc_clock = Vclock.empty }
 
+(* Shared placeholder for not-yet-used ring slots; never mutated (a
+   slot is replaced by a fresh record before its first write). *)
+let dummy =
+  { value = 0; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = -1 }
+
 let fresh_loc t ~name ~init =
   let id = t.next_loc in
   t.next_loc <- id + 1;
-  {
-    id;
-    name;
-    stores = [| { value = init; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = 0 } |];
-    base = 0;
-    floors = Hashtbl.create 4;
-    last_sc = -1;
-  }
+  let ring = Array.make t.max_history dummy in
+  ring.(0) <-
+    { value = init; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = 0 };
+  { id; name; ring; len = 1; start = 0; base = 0; floors = [||]; last_sc = -1 }
 
 let loc_name l = l.name
 let loc_id l = l.id
 
-let newest l = l.stores.(Array.length l.stores - 1)
-let newest_index l = l.base + Array.length l.stores - 1
+let newest l =
+  let cap = Array.length l.ring in
+  let i = l.start + l.len - 1 in
+  l.ring.(if i >= cap then i - cap else i)
 
-let floor_of l tid =
-  match Hashtbl.find_opt l.floors tid with Some i -> i | None -> 0
+let newest_index l = l.base + l.len - 1
+
+(* Slot holding absolute modification-order index [abs]. *)
+let slot_abs l abs =
+  let cap = Array.length l.ring in
+  let i = l.start + (abs - l.base) in
+  l.ring.(if i >= cap then i - cap else i)
+
+let floor_of l tid = if tid < Array.length l.floors then l.floors.(tid) else 0
 
 let raise_floor l tid idx =
-  if idx > floor_of l tid then Hashtbl.replace l.floors tid idx
+  let n = Array.length l.floors in
+  if tid >= n then begin
+    let a = Array.make (max 4 (tid + 1)) 0 in
+    Array.blit l.floors 0 a 0 n;
+    l.floors <- a
+  end;
+  if idx > l.floors.(tid) then l.floors.(tid) <- idx
 
-let append t l s =
-  let n = Array.length l.stores in
-  s.index <- l.base + n;
-  if n >= t.max_history then begin
-    (* Evict the oldest store; floors below the new base are clamped
-       implicitly because admissibility already bounds by the window. *)
-    let drop = n - t.max_history + 1 in
-    l.stores <- Array.append (Array.sub l.stores drop (n - drop)) [| s |];
-    l.base <- l.base + drop
-  end
-  else l.stores <- Array.append l.stores [| s |]
+(* Recycle (or claim) a ring slot for a new newest store and return it.
+   Callers that still need the about-to-be-evicted oldest store must
+   read it before calling this (RMW does). *)
+let append l ~value ~s_tid ~epoch ~rel_clock =
+  let cap = Array.length l.ring in
+  let s =
+    if l.len < cap then begin
+      let i = l.start + l.len in
+      let i = if i >= cap then i - cap else i in
+      let s =
+        if l.ring.(i) == dummy then begin
+          let s =
+            {
+              value = 0;
+              s_tid = -1;
+              epoch = 0;
+              rel_clock = Vclock.empty;
+              index = -1;
+            }
+          in
+          l.ring.(i) <- s;
+          s
+        end
+        else l.ring.(i)
+      in
+      l.len <- l.len + 1;
+      s
+    end
+    else begin
+      (* evict the oldest: its slot becomes the newest *)
+      let s = l.ring.(l.start) in
+      l.start <- (if l.start + 1 >= cap then 0 else l.start + 1);
+      l.base <- l.base + 1;
+      s
+    end
+  in
+  s.value <- value;
+  s.s_tid <- s_tid;
+  s.epoch <- epoch;
+  s.rel_clock <- rel_clock;
+  s.index <- l.base + l.len - 1;
+  s
 
-(* Lower bound (absolute index) of the admissible window for a load. *)
 let admissible_floor l (st : Tstate.t) mo =
-  let coherence = floor_of l st.tid in
-  (* Happens-before visibility: the largest store index already ordered
-     before the reader.  Scan newest-to-oldest; stores are timestamped
-     with the writer's epoch, so the FastTrack test applies. *)
-  let hb = ref l.base in
-  (let n = Array.length l.stores in
-   let found = ref false in
-   let i = ref (n - 1) in
-   while (not !found) && !i >= 0 do
-     let s = l.stores.(!i) in
-     if s.s_tid >= 0 && s.epoch <= Vclock.get st.clock s.s_tid then begin
-       hb := l.base + !i;
-       found := true
-     end
-     else if s.s_tid < 0 then begin
-       (* initial store: visible to everyone, floor stays at base *)
-       found := true
-     end
-     else decr i
-   done);
+  let coherence = floor_of l st.Tstate.tid in
+  let n = newest l in
+  let hb =
+    (* the overwhelmingly common case: the newest store is already
+       visible (it is the thread's own, or happens-before has caught
+       up), so no scan of older stores is needed *)
+    if n.s_tid < 0 || n.epoch <= Tstate.clock_get st n.s_tid then
+      l.base + l.len - 1
+    else begin
+      let res = ref l.base in
+      let i = ref (l.len - 2) in
+      let found = ref false in
+      while (not !found) && !i >= 0 do
+        let s = slot_abs l (l.base + !i) in
+        if s.s_tid < 0 then found := true (* initial store: floor is base *)
+        else if s.epoch <= Tstate.clock_get st s.s_tid then begin
+          res := l.base + !i;
+          found := true
+        end
+        else decr i
+      done;
+      !res
+    end
+  in
   let sc = if Memord.is_seq_cst mo then l.last_sc else -1 in
-  max l.base (max coherence (max !hb sc))
+  let f = if coherence > hb then coherence else hb in
+  let f = if sc > f then sc else f in
+  if f > l.base then f else l.base
 
-let candidate_stores l st mo =
+let candidates _t l st mo =
   let lo = admissible_floor l st mo in
   let hi = newest_index l in
-  List.init (hi - lo + 1) (fun i -> l.stores.(lo - l.base + i))
-
-let candidates _t l st mo = List.map (fun s -> s.value) (candidate_stores l st mo)
+  List.init (hi - lo + 1) (fun i -> (slot_abs l (lo + i)).value)
 
 let read_sync (st : Tstate.t) mo s =
-  if not (Vclock.equal s.rel_clock Vclock.empty) then begin
+  if not (Vclock.is_empty s.rel_clock) then begin
     if Memord.is_acquire mo then Tstate.acquire st s.rel_clock
-    else st.acq_pending <- Vclock.join st.acq_pending s.rel_clock
+    else st.Tstate.acq_pending <- Vclock.join st.Tstate.acq_pending s.rel_clock
   end
 
 let load _t l (st : Tstate.t) mo ~choose =
-  let cands = candidate_stores l st mo in
-  let n = List.length cands in
+  let lo = admissible_floor l st mo in
+  let n = newest_index l - lo + 1 in
   let k = choose n in
   if k < 0 || k >= n then invalid_arg "Atomics.load: choose out of range";
-  let s = List.nth cands k in
-  raise_floor l st.tid s.index;
+  let s = slot_abs l (lo + k) in
+  let v = s.value in
+  raise_floor l st.Tstate.tid s.index;
   read_sync st mo s;
   Tstate.tick st;
-  s.value
+  v
 
 let release_clock_for (st : Tstate.t) mo =
-  if Memord.is_release mo then st.clock
-  else if not (Vclock.equal st.rel_fence Vclock.empty) then st.rel_fence
+  if Memord.is_release mo then Tstate.clock st
+  else if not (Vclock.is_empty st.Tstate.rel_fence) then st.Tstate.rel_fence
   else Vclock.empty
 
-let store t l (st : Tstate.t) mo v =
+let store _t l (st : Tstate.t) mo v =
   let s =
-    {
-      value = v;
-      s_tid = st.tid;
-      epoch = Tstate.epoch st;
-      rel_clock = release_clock_for st mo;
-      index = 0;
-    }
+    append l ~value:v ~s_tid:st.Tstate.tid ~epoch:(Tstate.epoch st)
+      ~rel_clock:(release_clock_for st mo)
   in
-  append t l s;
-  raise_floor l st.tid s.index;
+  raise_floor l st.Tstate.tid s.index;
   if Memord.is_seq_cst mo then l.last_sc <- s.index;
   Tstate.tick st
 
-let rmw t l (st : Tstate.t) mo f =
+let rmw _t l (st : Tstate.t) mo f =
+  (* read everything out of the newest slot BEFORE appending: with
+     max_history = 1 the append recycles that very slot *)
   let old_s = newest l in
   let old = old_s.value in
   read_sync st mo old_s;
-  (* Release-sequence continuation: even a relaxed RMW carries forward
-     the release clock of the store it supersedes. *)
   let own = release_clock_for st mo in
   let rel = Vclock.join own old_s.rel_clock in
+  let nv = f old in
   let s =
-    { value = f old; s_tid = st.tid; epoch = Tstate.epoch st; rel_clock = rel; index = 0 }
+    append l ~value:nv ~s_tid:st.Tstate.tid ~epoch:(Tstate.epoch st)
+      ~rel_clock:rel
   in
-  append t l s;
-  raise_floor l st.tid s.index;
+  raise_floor l st.Tstate.tid s.index;
   if Memord.is_seq_cst mo then l.last_sc <- s.index;
   Tstate.tick st;
   old
@@ -164,20 +218,21 @@ let fence t (st : Tstate.t) (mo : Memord.t) =
   (match mo with
   | Relaxed -> ()
   | Consume | Acquire ->
-      Tstate.acquire st st.acq_pending;
-      st.acq_pending <- Vclock.empty
-  | Release -> st.rel_fence <- st.clock
+      Tstate.acquire st st.Tstate.acq_pending;
+      st.Tstate.acq_pending <- Vclock.empty
+  | Release -> st.Tstate.rel_fence <- Tstate.clock st
   | Acq_rel ->
-      Tstate.acquire st st.acq_pending;
-      st.acq_pending <- Vclock.empty;
-      st.rel_fence <- st.clock
+      Tstate.acquire st st.Tstate.acq_pending;
+      st.Tstate.acq_pending <- Vclock.empty;
+      st.Tstate.rel_fence <- Tstate.clock st
   | Seq_cst ->
-      Tstate.acquire st st.acq_pending;
-      st.acq_pending <- Vclock.empty;
+      Tstate.acquire st st.Tstate.acq_pending;
+      st.Tstate.acq_pending <- Vclock.empty;
       Tstate.acquire st t.sc_clock;
-      st.rel_fence <- st.clock;
-      t.sc_clock <- Vclock.join t.sc_clock st.clock);
+      let c = Tstate.clock st in
+      st.Tstate.rel_fence <- c;
+      t.sc_clock <- Vclock.join t.sc_clock c);
   Tstate.tick st
 
 let newest_value _t l = (newest l).value
-let history_length _t l = Array.length l.stores
+let history_length _t l = l.len

@@ -2,28 +2,62 @@ open T11r_util
 
 type t = {
   tid : int;
-  mutable clock : Vclock.t;
+  mut : Vclock.Mut.mut;
+  mutable snap : Vclock.t;
+  mutable snap_ok : bool;
+  mutable ep : int;
   mutable acq_pending : Vclock.t;
   mutable rel_fence : Vclock.t;
 }
 
 let create ~tid =
+  let mut = Vclock.Mut.create () in
+  Vclock.Mut.incr mut tid;
   {
     tid;
-    clock = Vclock.tick Vclock.empty tid;
+    mut;
+    snap = Vclock.empty;
+    snap_ok = false;
+    ep = 1;
     acq_pending = Vclock.empty;
     rel_fence = Vclock.empty;
   }
 
-let epoch t = Vclock.get t.clock t.tid
-let tick t = t.clock <- Vclock.tick t.clock t.tid
-let acquire t c = t.clock <- Vclock.join t.clock c
+let epoch t = t.ep
+let clock_get t tid = Vclock.Mut.get t.mut tid
+
+let clock t =
+  if t.snap_ok then t.snap
+  else begin
+    let s = Vclock.Mut.snapshot t.mut in
+    t.snap <- s;
+    t.snap_ok <- true;
+    s
+  end
+
+let tick t =
+  Vclock.Mut.incr t.mut t.tid;
+  t.ep <- t.ep + 1;
+  t.snap_ok <- false
+
+let acquire t c =
+  if Vclock.Mut.join_imm t.mut c then begin
+    t.snap_ok <- false;
+    (* a foreign clock can in principle carry our own component, so
+       refresh the cached epoch from the mut *)
+    t.ep <- Vclock.Mut.get t.mut t.tid
+  end
 
 let fork ~parent ~tid =
+  let mut = Vclock.Mut.of_imm (clock parent) in
+  Vclock.Mut.incr mut tid;
   let child =
     {
       tid;
-      clock = Vclock.tick (Vclock.join parent.clock Vclock.empty) tid;
+      mut;
+      snap = Vclock.empty;
+      snap_ok = false;
+      ep = Vclock.Mut.get mut tid;
       acq_pending = Vclock.empty;
       rel_fence = Vclock.empty;
     }

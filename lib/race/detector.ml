@@ -1,16 +1,26 @@
-open T11r_util
 module Tstate = T11r_mem.Tstate
+
+(* Shadow state is packed for the hot path: the last write is a single
+   immediate int [epoch lsl tid_bits lor tid] (-1 when there has been
+   no write yet), and the reads-since-last-write clock is a plain int
+   array indexed by tid, cleared with Array.fill on the next write.
+   Neither a read nor a write of an already-sized var allocates. *)
+
+let tid_bits = 20
+let tid_mask = (1 lsl tid_bits) - 1
 
 type var = {
   id : int;
   name : string;
-  mutable last_write : (int * int) option;  (* tid, epoch *)
-  mutable reads : Vclock.t;  (* per-thread epoch of reads since last write *)
+  mutable w_packed : int; (* epoch lsl tid_bits lor tid; -1 = no write *)
+  mutable reads : int array; (* tid -> epoch of read since last write *)
+  mutable nreads : int; (* live prefix of [reads] (rest is zero) *)
 }
 
 type t = {
   mutable next_var : int;
   mutable reports_rev : Report.t list;
+  mutable n_reports : int;
   seen : (string * Report.kind * int * int, unit) Hashtbl.t;
   mutable callbacks : (Report.t -> unit) list;
   mutable suppressions : string list;
@@ -21,6 +31,7 @@ let create () =
   {
     next_var = 0;
     reports_rev = [];
+    n_reports = 0;
     seen = Hashtbl.create 16;
     callbacks = [];
     suppressions = [];
@@ -45,7 +56,7 @@ let suppressed t var =
 let fresh_var t ~name =
   let id = t.next_var in
   t.next_var <- id + 1;
-  { id; name; last_write = None; reads = Vclock.empty }
+  { id; name; w_packed = -1; reads = [||]; nreads = 0 }
 
 let var_name v = v.name
 
@@ -56,38 +67,74 @@ let emit t (r : Report.t) =
     if not (Hashtbl.mem t.seen key) then begin
       Hashtbl.replace t.seen key ();
       t.reports_rev <- r :: t.reports_rev;
+      t.n_reports <- t.n_reports + 1;
       List.iter (fun f -> f r) t.callbacks
     end
 
-let write_unordered (st : Tstate.t) = function
-  | None -> None
-  | Some (wtid, wepoch) ->
-      if wtid <> st.tid && wepoch > Vclock.get st.clock wtid then Some wtid
-      else None
+(* -1 if the last write is ordered before [st] (or there is none),
+   otherwise the racing writer's tid. *)
+let write_unordered (st : Tstate.t) packed =
+  if packed < 0 then -1
+  else
+    let wtid = packed land tid_mask in
+    if wtid <> st.Tstate.tid && packed asr tid_bits > Tstate.clock_get st wtid
+    then wtid
+    else -1
 
-let read t v ~st =
-  (match write_unordered st v.last_write with
-  | Some wtid ->
-      emit t { var = v.name; kind = Write_read; first_tid = wtid; second_tid = st.tid }
-  | None -> ());
-  v.reads <- Vclock.set v.reads st.tid (Tstate.epoch st)
+let ensure_reads v tid =
+  let n = Array.length v.reads in
+  if tid >= n then begin
+    let a = Array.make (max 4 (tid + 1)) 0 in
+    Array.blit v.reads 0 a 0 n;
+    v.reads <- a
+  end;
+  if tid >= v.nreads then v.nreads <- tid + 1
 
-let write t v ~st =
-  (match write_unordered st v.last_write with
-  | Some wtid ->
-      emit t { var = v.name; kind = Write_write; first_tid = wtid; second_tid = st.tid }
-  | None -> ());
+let read t v ~(st : Tstate.t) =
+  let wtid = write_unordered st v.w_packed in
+  if wtid >= 0 then
+    emit t
+      {
+        var = v.name;
+        kind = Write_read;
+        first_tid = wtid;
+        second_tid = st.Tstate.tid;
+      };
+  ensure_reads v st.Tstate.tid;
+  v.reads.(st.Tstate.tid) <- Tstate.epoch st
+
+let write t v ~(st : Tstate.t) =
+  let wtid = write_unordered st v.w_packed in
+  if wtid >= 0 then
+    emit t
+      {
+        var = v.name;
+        kind = Write_write;
+        first_tid = wtid;
+        second_tid = st.Tstate.tid;
+      };
   (* Any read since the last write that is not ordered before this write
-     races with it. *)
-  List.iteri
-    (fun rtid repoch ->
-      if repoch > 0 && rtid <> st.tid && repoch > Vclock.get st.clock rtid then
-        emit t { var = v.name; kind = Read_write; first_tid = rtid; second_tid = st.tid })
-    (Vclock.to_list v.reads);
-  v.last_write <- Some (st.tid, Tstate.epoch st);
-  v.reads <- Vclock.empty
+     races with it. Ascending tid = the report order of the old
+     Vclock-based representation. *)
+  for rtid = 0 to v.nreads - 1 do
+    let repoch = v.reads.(rtid) in
+    if repoch > 0 && rtid <> st.Tstate.tid && repoch > Tstate.clock_get st rtid
+    then
+      emit t
+        {
+          var = v.name;
+          kind = Read_write;
+          first_tid = rtid;
+          second_tid = st.Tstate.tid;
+        }
+  done;
+  v.w_packed <- (Tstate.epoch st lsl tid_bits) lor st.Tstate.tid;
+  if v.nreads > 0 then begin
+    Array.fill v.reads 0 v.nreads 0;
+    v.nreads <- 0
+  end
 
 let reports t = List.rev t.reports_rev
-let report_count t = List.length t.reports_rev
-let racy t = t.reports_rev <> []
+let report_count t = t.n_reports
+let racy t = t.n_reports > 0
 let on_report t f = t.callbacks <- f :: t.callbacks

@@ -1,8 +1,10 @@
+(* State lives in a 32-byte buffer read and written with the unboxed
+   Bytes int64 primitives: mutable int64 record fields would box a
+   fresh Int64 on every store, and the scheduler draws once or twice
+   per tick. The arithmetic below is exactly xoshiro256** — keep the
+   operation order as is, or every recorded demo stops replaying. *)
 type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
+  st : Bytes.t; (* s0 at 0, s1 at 8, s2 at 16, s3 at 24; native endian *)
   seed1 : int64;
   seed2 : int64;
   mutable draws : int;
@@ -29,7 +31,12 @@ let create ~seed1 ~seed2 =
   let s3 = splitmix_next st in
   (* xoshiro must not start from the all-zero state. *)
   let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
-  { s0; s1; s2; s3; seed1; seed2; draws = 0 }
+  let st = Bytes.create 32 in
+  Bytes.set_int64_ne st 0 s0;
+  Bytes.set_int64_ne st 8 s1;
+  Bytes.set_int64_ne st 16 s2;
+  Bytes.set_int64_ne st 24 s3;
+  { st; seed1; seed2; draws = 0 }
 
 let of_time () =
   let t = Unix.gettimeofday () in
@@ -42,14 +49,22 @@ let draws t = t.draws
 
 let bits64 t =
   let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = Bytes.get_int64_ne t.st 0 in
+  let s1 = Bytes.get_int64_ne t.st 8 in
+  let s2 = Bytes.get_int64_ne t.st 16 in
+  let s3 = Bytes.get_int64_ne t.st 24 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  Bytes.set_int64_ne t.st 0 s0;
+  Bytes.set_int64_ne t.st 8 s1;
+  Bytes.set_int64_ne t.st 16 s2;
+  Bytes.set_int64_ne t.st 24 s3;
   t.draws <- t.draws + 1;
   result
 
@@ -76,4 +91,4 @@ let pick_list t l =
   | [] -> invalid_arg "Prng.pick_list: empty list"
   | _ -> List.nth l (int t (List.length l))
 
-let copy t = { t with draws = t.draws }
+let copy t = { t with st = Bytes.copy t.st }

@@ -1,0 +1,324 @@
+(* The REFERENCE model for the differential tests: the straightforward
+   pre-optimisation implementations of Vclock, Tstate, Atomics and
+   Detector, copied verbatim from lib/ before the allocation-free
+   representation rewrite (always-normalised clocks, mutable thread
+   clocks, ring-buffer store windows, packed detector shadow words).
+
+   test_diff.ml drives random operation sequences through both this
+   model and the optimised lib/ implementations and asserts identical
+   observable behaviour. Keep this file dumb and obviously correct —
+   its value is that it never shares representation tricks with the
+   code under test. *)
+
+module Memord = T11r_mem.Memord
+module Report = T11r_race.Report
+
+module Vclock = struct
+  type t = int array
+
+  let empty = [||]
+
+  let normalise a =
+    let n = ref (Array.length a) in
+    while !n > 0 && a.(!n - 1) = 0 do
+      decr n
+    done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let get c tid = if tid < Array.length c then c.(tid) else 0
+
+  let set c tid v =
+    let n = max (Array.length c) (tid + 1) in
+    let a = Array.make n 0 in
+    Array.blit c 0 a 0 (Array.length c);
+    a.(tid) <- v;
+    normalise a
+
+  let tick c tid = set c tid (get c tid + 1)
+
+  let join a b =
+    let n = max (Array.length a) (Array.length b) in
+    normalise (Array.init n (fun i -> max (get a i) (get b i)))
+
+  let leq a b =
+    let ok = ref true in
+    for i = 0 to Array.length a - 1 do
+      if a.(i) > get b i then ok := false
+    done;
+    !ok
+
+  let equal a b = normalise a = normalise b
+  let lt a b = leq a b && not (equal a b)
+  let concurrent a b = (not (leq a b)) && not (leq b a)
+  let size c = Array.length (normalise c)
+  let to_list c = Array.to_list (normalise c)
+  let of_list l = normalise (Array.of_list l)
+end
+
+module Tstate = struct
+  type t = {
+    tid : int;
+    mutable clock : Vclock.t;
+    mutable acq_pending : Vclock.t;
+    mutable rel_fence : Vclock.t;
+  }
+
+  let create ~tid =
+    {
+      tid;
+      clock = Vclock.tick Vclock.empty tid;
+      acq_pending = Vclock.empty;
+      rel_fence = Vclock.empty;
+    }
+
+  let epoch t = Vclock.get t.clock t.tid
+  let tick t = t.clock <- Vclock.tick t.clock t.tid
+  let acquire t c = t.clock <- Vclock.join t.clock c
+
+  let fork ~parent ~tid =
+    let child =
+      {
+        tid;
+        clock = Vclock.tick (Vclock.join parent.clock Vclock.empty) tid;
+        acq_pending = Vclock.empty;
+        rel_fence = Vclock.empty;
+      }
+    in
+    tick parent;
+    child
+end
+
+module Atomics = struct
+  type store = {
+    value : int;
+    s_tid : int;
+    epoch : int;
+    rel_clock : Vclock.t;
+    mutable index : int;
+  }
+
+  type loc = {
+    id : int;
+    name : string;
+    mutable stores : store array;
+    mutable base : int;
+    mutable floors : (int, int) Hashtbl.t;
+    mutable last_sc : int;
+  }
+
+  type t = {
+    max_history : int;
+    mutable next_loc : int;
+    mutable sc_clock : Vclock.t;
+  }
+
+  let create ?(max_history = 8) () =
+    if max_history < 1 then invalid_arg "Atomics.create: max_history < 1";
+    { max_history; next_loc = 0; sc_clock = Vclock.empty }
+
+  let fresh_loc t ~name ~init =
+    let id = t.next_loc in
+    t.next_loc <- id + 1;
+    {
+      id;
+      name;
+      stores =
+        [|
+          { value = init; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = 0 };
+        |];
+      base = 0;
+      floors = Hashtbl.create 4;
+      last_sc = -1;
+    }
+
+  let newest l = l.stores.(Array.length l.stores - 1)
+  let newest_index l = l.base + Array.length l.stores - 1
+
+  let floor_of l tid =
+    match Hashtbl.find_opt l.floors tid with Some i -> i | None -> 0
+
+  let raise_floor l tid idx =
+    if idx > floor_of l tid then Hashtbl.replace l.floors tid idx
+
+  let append t l s =
+    let n = Array.length l.stores in
+    s.index <- l.base + n;
+    if n >= t.max_history then begin
+      let drop = n - t.max_history + 1 in
+      l.stores <- Array.append (Array.sub l.stores drop (n - drop)) [| s |];
+      l.base <- l.base + drop
+    end
+    else l.stores <- Array.append l.stores [| s |]
+
+  let admissible_floor l (st : Tstate.t) mo =
+    let coherence = floor_of l st.tid in
+    let hb = ref l.base in
+    (let n = Array.length l.stores in
+     let found = ref false in
+     let i = ref (n - 1) in
+     while (not !found) && !i >= 0 do
+       let s = l.stores.(!i) in
+       if s.s_tid >= 0 && s.epoch <= Vclock.get st.clock s.s_tid then begin
+         hb := l.base + !i;
+         found := true
+       end
+       else if s.s_tid < 0 then found := true
+       else decr i
+    done);
+    let sc = if Memord.is_seq_cst mo then l.last_sc else -1 in
+    max l.base (max coherence (max !hb sc))
+
+  let candidate_stores l st mo =
+    let lo = admissible_floor l st mo in
+    let hi = newest_index l in
+    List.init (hi - lo + 1) (fun i -> l.stores.(lo - l.base + i))
+
+  let candidates _t l st mo =
+    List.map (fun s -> s.value) (candidate_stores l st mo)
+
+  let read_sync (st : Tstate.t) mo s =
+    if not (Vclock.equal s.rel_clock Vclock.empty) then begin
+      if Memord.is_acquire mo then Tstate.acquire st s.rel_clock
+      else st.acq_pending <- Vclock.join st.acq_pending s.rel_clock
+    end
+
+  let load _t l (st : Tstate.t) mo ~choose =
+    let cands = candidate_stores l st mo in
+    let n = List.length cands in
+    let k = choose n in
+    if k < 0 || k >= n then invalid_arg "Atomics.load: choose out of range";
+    let s = List.nth cands k in
+    raise_floor l st.tid s.index;
+    read_sync st mo s;
+    Tstate.tick st;
+    s.value
+
+  let release_clock_for (st : Tstate.t) mo =
+    if Memord.is_release mo then st.clock
+    else if not (Vclock.equal st.rel_fence Vclock.empty) then st.rel_fence
+    else Vclock.empty
+
+  let store t l (st : Tstate.t) mo v =
+    let s =
+      {
+        value = v;
+        s_tid = st.tid;
+        epoch = Tstate.epoch st;
+        rel_clock = release_clock_for st mo;
+        index = 0;
+      }
+    in
+    append t l s;
+    raise_floor l st.tid s.index;
+    if Memord.is_seq_cst mo then l.last_sc <- s.index;
+    Tstate.tick st
+
+  let rmw t l (st : Tstate.t) mo f =
+    let old_s = newest l in
+    let old = old_s.value in
+    read_sync st mo old_s;
+    let own = release_clock_for st mo in
+    let rel = Vclock.join own old_s.rel_clock in
+    let s =
+      { value = f old; s_tid = st.tid; epoch = Tstate.epoch st; rel_clock = rel; index = 0 }
+    in
+    append t l s;
+    raise_floor l st.tid s.index;
+    if Memord.is_seq_cst mo then l.last_sc <- s.index;
+    Tstate.tick st;
+    old
+
+  let cas t l st ~success ~failure ~expected ~desired ~choose =
+    let tail = newest l in
+    if tail.value = expected then begin
+      let old = rmw t l st success (fun _ -> desired) in
+      (true, old)
+    end
+    else begin
+      let v = load t l st failure ~choose in
+      (false, v)
+    end
+
+  let fence t (st : Tstate.t) (mo : Memord.t) =
+    (match mo with
+    | Relaxed -> ()
+    | Consume | Acquire ->
+        Tstate.acquire st st.acq_pending;
+        st.acq_pending <- Vclock.empty
+    | Release -> st.rel_fence <- st.clock
+    | Acq_rel ->
+        Tstate.acquire st st.acq_pending;
+        st.acq_pending <- Vclock.empty;
+        st.rel_fence <- st.clock
+    | Seq_cst ->
+        Tstate.acquire st st.acq_pending;
+        st.acq_pending <- Vclock.empty;
+        Tstate.acquire st t.sc_clock;
+        st.rel_fence <- st.clock;
+        t.sc_clock <- Vclock.join t.sc_clock st.clock);
+    Tstate.tick st
+
+  let newest_value _t l = (newest l).value
+  let history_length _t l = Array.length l.stores
+end
+
+module Detector = struct
+  type var = {
+    id : int;
+    name : string;
+    mutable last_write : (int * int) option;
+    mutable reads : Vclock.t;
+  }
+
+  type t = {
+    mutable next_var : int;
+    mutable reports_rev : Report.t list;
+    seen : (string * Report.kind * int * int, unit) Hashtbl.t;
+  }
+
+  let create () = { next_var = 0; reports_rev = []; seen = Hashtbl.create 16 }
+
+  let fresh_var t ~name =
+    let id = t.next_var in
+    t.next_var <- id + 1;
+    { id; name; last_write = None; reads = Vclock.empty }
+
+  let emit t (r : Report.t) =
+    let key = (r.var, r.kind, r.first_tid, r.second_tid) in
+    if not (Hashtbl.mem t.seen key) then begin
+      Hashtbl.replace t.seen key ();
+      t.reports_rev <- r :: t.reports_rev
+    end
+
+  let write_unordered (st : Tstate.t) = function
+    | None -> None
+    | Some (wtid, wepoch) ->
+        if wtid <> st.tid && wepoch > Vclock.get st.clock wtid then Some wtid
+        else None
+
+  let read t v ~(st : Tstate.t) =
+    (match write_unordered st v.last_write with
+    | Some wtid ->
+        emit t
+          { var = v.name; kind = Write_read; first_tid = wtid; second_tid = st.tid }
+    | None -> ());
+    v.reads <- Vclock.set v.reads st.tid (Tstate.epoch st)
+
+  let write t v ~(st : Tstate.t) =
+    (match write_unordered st v.last_write with
+    | Some wtid ->
+        emit t
+          { var = v.name; kind = Write_write; first_tid = wtid; second_tid = st.tid }
+    | None -> ());
+    List.iteri
+      (fun rtid repoch ->
+        if repoch > 0 && rtid <> st.tid && repoch > Vclock.get st.clock rtid
+        then
+          emit t
+            { var = v.name; kind = Read_write; first_tid = rtid; second_tid = st.tid })
+      (Vclock.to_list v.reads);
+    v.last_write <- Some (st.tid, Tstate.epoch st);
+    v.reads <- Vclock.empty
+
+  let reports t = List.rev t.reports_rev
+end

@@ -1,0 +1,385 @@
+(* Differential tests: the optimised hot-path representations in lib/
+   (normalised clocks + Vclock.Mut, ring-buffer store windows, packed
+   detector shadow words) against the straightforward pre-optimisation
+   implementations preserved in ref_model.ml. Random operation
+   sequences must produce identical observables in both models:
+
+   - Vclock: identical components and identical order/equality verdicts;
+   - Vclock.Mut: in-place updates match the immutable reference fold;
+   - Atomics: identical loaded values, candidate sets (size and
+     contents — the candidate count also fixes the PRNG draw bound, a
+     record/replay invariant), newest value, history length, and final
+     per-thread clocks and fence accumulators;
+   - Detector: identical race reports in identical order. *)
+
+module Vc = T11r_util.Vclock
+module Ts = T11r_mem.Tstate
+module At = T11r_mem.Atomics
+module Det = T11r_race.Detector
+module Memord = T11r_mem.Memord
+module R = Ref_model
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Vclock *)
+
+type vop =
+  | Vset of int * int * int
+  | Vtick of int * int
+  | Vjoin of int * int
+
+let show_vop = function
+  | Vset (s, t, v) -> Printf.sprintf "set %d %d %d" s t v
+  | Vtick (s, t) -> Printf.sprintf "tick %d %d" s t
+  | Vjoin (a, b) -> Printf.sprintf "join %d %d" a b
+
+let n_slots = 3
+
+let vop_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (oneof
+         [
+           map3
+             (fun s t v -> Vset (s, t, v))
+             (int_range 0 (n_slots - 1))
+             (int_range 0 5) (int_range 0 6);
+           map2 (fun s t -> Vtick (s, t)) (int_range 0 (n_slots - 1))
+             (int_range 0 5);
+           map2 (fun a b -> Vjoin (a, b)) (int_range 0 (n_slots - 1))
+             (int_range 0 (n_slots - 1));
+         ]))
+
+let prop_vclock_diff =
+  QCheck.Test.make ~name:"vclock ops match reference" ~count:500
+    (QCheck.make ~print:(fun l -> String.concat "; " (List.map show_vop l))
+       vop_gen) (fun ops ->
+      let opt = Array.make n_slots Vc.empty in
+      let rf = Array.make n_slots R.Vclock.empty in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Vset (s, t, v) ->
+              opt.(s) <- Vc.set opt.(s) t v;
+              rf.(s) <- R.Vclock.set rf.(s) t v
+          | Vtick (s, t) ->
+              opt.(s) <- Vc.tick opt.(s) t;
+              rf.(s) <- R.Vclock.tick rf.(s) t
+          | Vjoin (a, b) ->
+              opt.(a) <- Vc.join opt.(a) opt.(b);
+              rf.(a) <- R.Vclock.join rf.(a) rf.(b));
+          (* every slot agrees on components and on every verdict *)
+          let ok_slot i =
+            Vc.to_list opt.(i) = R.Vclock.to_list rf.(i)
+            && Vc.size opt.(i) = R.Vclock.size rf.(i)
+            && Vc.is_empty opt.(i) = (R.Vclock.to_list rf.(i) = [])
+            && List.for_all
+                 (fun t ->
+                   Vc.get opt.(i) t = R.Vclock.get rf.(i) t
+                   && Vc.leq_epoch ~tid:t
+                        ~epoch:(R.Vclock.get rf.(i) t)
+                        opt.(i))
+                 [ 0; 1; 2; 3; 4; 5; 6 ]
+          in
+          let ok_pair i j =
+            Vc.leq opt.(i) opt.(j) = R.Vclock.leq rf.(i) rf.(j)
+            && Vc.equal opt.(i) opt.(j) = R.Vclock.equal rf.(i) rf.(j)
+            && Vc.lt opt.(i) opt.(j) = R.Vclock.lt rf.(i) rf.(j)
+            && Vc.concurrent opt.(i) opt.(j)
+               = R.Vclock.concurrent rf.(i) rf.(j)
+          in
+          let all = [ 0; 1; 2 ] in
+          List.for_all ok_slot all
+          && List.for_all (fun i -> List.for_all (ok_pair i) all) all)
+        ops)
+
+type mop = Mset of int * int | Mincr of int | Mjoin of int list
+
+let show_mop = function
+  | Mset (t, v) -> Printf.sprintf "set %d %d" t v
+  | Mincr t -> Printf.sprintf "incr %d" t
+  | Mjoin l ->
+      Printf.sprintf "join [%s]" (String.concat ";" (List.map string_of_int l))
+
+let mop_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (oneof
+         [
+           map2 (fun t v -> Mset (t, v)) (int_range 0 6) (int_range 0 6);
+           map (fun t -> Mincr t) (int_range 0 6);
+           map (fun l -> Mjoin l) (list_size (int_range 0 5) (int_range 0 6));
+         ]))
+
+let prop_mut_diff =
+  QCheck.Test.make ~name:"Vclock.Mut matches immutable reference" ~count:500
+    (QCheck.make ~print:(fun l -> String.concat "; " (List.map show_mop l))
+       mop_gen) (fun ops ->
+      let m = Vc.Mut.create () in
+      let rf = ref R.Vclock.empty in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Mset (t, v) ->
+              Vc.Mut.set m t v;
+              rf := R.Vclock.set !rf t v
+          | Mincr t ->
+              Vc.Mut.incr m t;
+              rf := R.Vclock.tick !rf t
+          | Mjoin l ->
+              ignore (Vc.Mut.join_imm m (Vc.of_list l));
+              rf := R.Vclock.join !rf (R.Vclock.of_list l));
+          Vc.to_list (Vc.Mut.snapshot m) = R.Vclock.to_list !rf
+          && List.for_all
+               (fun t -> Vc.Mut.get m t = R.Vclock.get !rf t)
+               [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Atomics *)
+
+type aop =
+  | Store of int * int (* loc, value *)
+  | Load of int (* loc *)
+  | Rmw of int
+  | Cas of int * int (* loc, expected *)
+  | Fence
+
+type astep = { a_tid : int; a_sel : int; a_mo : int; a_op : aop }
+
+let mos = [| Memord.Relaxed; Consume; Acquire; Release; Acq_rel; Seq_cst |]
+
+let show_astep s =
+  let op =
+    match s.a_op with
+    | Store (l, v) -> Printf.sprintf "store l%d %d" l v
+    | Load l -> Printf.sprintf "load l%d" l
+    | Rmw l -> Printf.sprintf "rmw l%d" l
+    | Cas (l, e) -> Printf.sprintf "cas l%d exp:%d" l e
+    | Fence -> "fence"
+  in
+  Printf.sprintf "t%d sel:%d mo:%d %s" s.a_tid s.a_sel s.a_mo op
+
+let astep_gen =
+  QCheck.Gen.(
+    let* a_tid = int_range 0 2 in
+    let* a_sel = int_range 0 7 in
+    let* a_mo = int_range 0 5 in
+    let* a_op =
+      oneof
+        [
+          map2 (fun l v -> Store (l, v)) (int_range 0 1) (int_range 1 9);
+          map (fun l -> Load l) (int_range 0 1);
+          map (fun l -> Rmw l) (int_range 0 1);
+          map2 (fun l e -> Cas (l, e)) (int_range 0 1) (int_range 0 9);
+          return Fence;
+        ]
+    in
+    return { a_tid; a_sel; a_mo; a_op })
+
+let aops_gen =
+  QCheck.Gen.(
+    pair (int_range 1 8) (* max_history *)
+      (list_size (int_range 1 50) astep_gen))
+
+let show_aops (h, steps) =
+  Printf.sprintf "hist:%d [%s]" h (String.concat "; " (List.map show_astep steps))
+
+(* Run a step list in the optimised model, logging every observable
+   (loaded values, choose bounds, candidate sets, newest values,
+   history lengths, final clocks) as a flat int list. *)
+let run_opt (max_history, steps) =
+  let obs = ref [] in
+  let push x = obs := x :: !obs in
+  let mem = At.create ~max_history () in
+  let locs =
+    [| At.fresh_loc mem ~name:"x" ~init:0; At.fresh_loc mem ~name:"y" ~init:0 |]
+  in
+  let sts = Array.init 3 (fun tid -> Ts.create ~tid) in
+  List.iter
+    (fun s ->
+      let st = sts.(s.a_tid) in
+      let mo = mos.(s.a_mo) in
+      let choose n =
+        push n;
+        s.a_sel mod n
+      in
+      (match s.a_op with
+      | Store (l, v) -> At.store mem locs.(l) st mo v
+      | Load l -> push (At.load mem locs.(l) st mo ~choose)
+      | Rmw l -> push (At.rmw mem locs.(l) st mo (fun v -> v + 3))
+      | Cas (l, e) ->
+          let ok, v =
+            At.cas mem locs.(l) st ~success:mo ~failure:Memord.Relaxed
+              ~expected:e ~desired:(e + 1) ~choose
+          in
+          push (if ok then 1 else 0);
+          push v
+      | Fence -> At.fence mem st mo);
+      Array.iter
+        (fun l ->
+          push (At.newest_value mem l);
+          push (At.history_length mem l);
+          Array.iter
+            (fun st ->
+              List.iter push (At.candidates mem l st Memord.Relaxed);
+              push (-1);
+              List.iter push (At.candidates mem l st Memord.Seq_cst);
+              push (-2))
+            sts)
+        locs)
+    steps;
+  Array.iter
+    (fun st ->
+      List.iter push (Vc.to_list (Ts.clock st));
+      push (-3);
+      List.iter push (Vc.to_list st.Ts.acq_pending);
+      push (-4);
+      List.iter push (Vc.to_list st.Ts.rel_fence);
+      push (-5);
+      push (Ts.epoch st))
+    sts;
+  List.rev !obs
+
+(* Same, reference model. Keep the observable order in lock step with
+   [run_opt]. *)
+let run_ref (max_history, steps) =
+  let obs = ref [] in
+  let push x = obs := x :: !obs in
+  let mem = R.Atomics.create ~max_history () in
+  let locs =
+    [|
+      R.Atomics.fresh_loc mem ~name:"x" ~init:0;
+      R.Atomics.fresh_loc mem ~name:"y" ~init:0;
+    |]
+  in
+  let sts = Array.init 3 (fun tid -> R.Tstate.create ~tid) in
+  List.iter
+    (fun s ->
+      let st = sts.(s.a_tid) in
+      let mo = mos.(s.a_mo) in
+      let choose n =
+        push n;
+        s.a_sel mod n
+      in
+      (match s.a_op with
+      | Store (l, v) -> R.Atomics.store mem locs.(l) st mo v
+      | Load l -> push (R.Atomics.load mem locs.(l) st mo ~choose)
+      | Rmw l -> push (R.Atomics.rmw mem locs.(l) st mo (fun v -> v + 3))
+      | Cas (l, e) ->
+          let ok, v =
+            R.Atomics.cas mem locs.(l) st ~success:mo ~failure:Memord.Relaxed
+              ~expected:e ~desired:(e + 1) ~choose
+          in
+          push (if ok then 1 else 0);
+          push v
+      | Fence -> R.Atomics.fence mem st mo);
+      Array.iter
+        (fun l ->
+          push (R.Atomics.newest_value mem l);
+          push (R.Atomics.history_length mem l);
+          Array.iter
+            (fun st ->
+              List.iter push (R.Atomics.candidates mem l st Memord.Relaxed);
+              push (-1);
+              List.iter push (R.Atomics.candidates mem l st Memord.Seq_cst);
+              push (-2))
+            sts)
+        locs)
+    steps;
+  Array.iter
+    (fun st ->
+      List.iter push (R.Vclock.to_list st.R.Tstate.clock);
+      push (-3);
+      List.iter push (R.Vclock.to_list st.R.Tstate.acq_pending);
+      push (-4);
+      List.iter push (R.Vclock.to_list st.R.Tstate.rel_fence);
+      push (-5);
+      push (R.Tstate.epoch st))
+    sts;
+  List.rev !obs
+
+let prop_atomics_diff =
+  QCheck.Test.make ~name:"atomics ops match reference" ~count:400
+    (QCheck.make ~print:show_aops aops_gen) (fun ops ->
+      run_opt ops = run_ref ops)
+
+(* ------------------------------------------------------------------ *)
+(* Detector *)
+
+type dop = Dread of int | Dwrite of int | Dsync of int | Dtick
+
+type dstep = { d_tid : int; d_op : dop }
+
+let show_dstep s =
+  match s.d_op with
+  | Dread v -> Printf.sprintf "t%d read v%d" s.d_tid v
+  | Dwrite v -> Printf.sprintf "t%d write v%d" s.d_tid v
+  | Dsync src -> Printf.sprintf "t%d acquires t%d" s.d_tid src
+  | Dtick -> Printf.sprintf "t%d tick" s.d_tid
+
+let dstep_gen =
+  QCheck.Gen.(
+    let* d_tid = int_range 0 2 in
+    let* d_op =
+      oneof
+        [
+          map (fun v -> Dread v) (int_range 0 1);
+          map (fun v -> Dwrite v) (int_range 0 1);
+          map (fun src -> Dsync src) (int_range 0 2);
+          return Dtick;
+        ]
+    in
+    return { d_tid; d_op })
+
+let dops_gen = QCheck.Gen.(list_size (int_range 1 60) dstep_gen)
+
+let prop_detector_diff =
+  QCheck.Test.make ~name:"detector reports match reference" ~count:500
+    (QCheck.make
+       ~print:(fun l -> String.concat "; " (List.map show_dstep l))
+       dops_gen) (fun ops ->
+      let det = Det.create () in
+      let vars =
+        [| Det.fresh_var det ~name:"u"; Det.fresh_var det ~name:"v" |]
+      in
+      let sts = Array.init 3 (fun tid -> Ts.create ~tid) in
+      let rdet = R.Detector.create () in
+      let rvars =
+        [|
+          R.Detector.fresh_var rdet ~name:"u";
+          R.Detector.fresh_var rdet ~name:"v";
+        |]
+      in
+      let rsts = Array.init 3 (fun tid -> R.Tstate.create ~tid) in
+      List.for_all
+        (fun s ->
+          (match s.d_op with
+          | Dread v ->
+              Det.read det vars.(v) ~st:sts.(s.d_tid);
+              R.Detector.read rdet rvars.(v) ~st:rsts.(s.d_tid)
+          | Dwrite v ->
+              Det.write det vars.(v) ~st:sts.(s.d_tid);
+              R.Detector.write rdet rvars.(v) ~st:rsts.(s.d_tid)
+          | Dsync src ->
+              Ts.acquire sts.(s.d_tid) (Ts.clock sts.(src));
+              R.Tstate.acquire rsts.(s.d_tid) rsts.(src).R.Tstate.clock
+          | Dtick ->
+              Ts.tick sts.(s.d_tid);
+              R.Tstate.tick rsts.(s.d_tid));
+          Det.reports det = R.Detector.reports rdet
+          && Det.report_count det = List.length (R.Detector.reports rdet)
+          && Det.racy det = (R.Detector.reports rdet <> []))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "vclock",
+        [ qtest prop_vclock_diff; qtest prop_mut_diff ] );
+      ( "atomics", [ qtest prop_atomics_diff ] );
+      ( "detector", [ qtest prop_detector_diff ] );
+    ]

@@ -416,7 +416,7 @@ let test_no_race_when_synchronised () =
   let t2 = Tstate.create ~tid:2 in
   Detector.write det v ~st:t1;
   (* Simulate release/acquire synchronisation t1 -> t2. *)
-  Tstate.acquire t2 t1.clock;
+  Tstate.acquire t2 (Tstate.clock t1);
   Detector.write det v ~st:t2;
   check Alcotest.bool "ordered writes don't race" false (Detector.racy det)
 
@@ -561,14 +561,14 @@ let prop_clock_monotone =
       List.for_all
         (fun (tid, op) ->
           let st = states.(tid) in
-          let before = st.Tstate.clock in
+          let before = Tstate.clock st in
           (match op with
           | `Store_x | `Store_y -> Atomics.store mem x st Memord.Release 1
           | `Load_x | `Load_y ->
               ignore (Atomics.load mem x st Memord.Acquire ~choose:(fun n -> n - 1))
           | `Rmw_x -> ignore (Atomics.rmw mem x st Memord.Acq_rel (fun v -> v))
           | `Fence -> Atomics.fence mem st Memord.Seq_cst);
-          T11r_util.Vclock.leq before st.Tstate.clock)
+          T11r_util.Vclock.leq before (Tstate.clock st))
         ops)
 
 (* ------------------------------------------------------------------ *)
