@@ -21,6 +21,7 @@ module Atomics = T11r_mem.Atomics
 module Memord = T11r_mem.Memord
 module Tstate = T11r_mem.Tstate
 module Detector = T11r_race.Detector
+module Trace = T11r_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Baseline: the pre-optimisation tree (PR 2 head).                     *)
@@ -55,6 +56,11 @@ let budgets =
     ("fence_seq_cst", 10);
     ("det_read", 1);
     ("det_write", 1);
+    (* Tracing: disabled must be free (the interpreter threads a trace
+       through every run, so this is the budget that keeps observability
+       off the hot path); enabled writes into preallocated rings. *)
+    ("trace_emit_disabled", 0);
+    ("trace_emit_enabled", 0);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -128,6 +134,12 @@ let op_benches ~iters =
      let var = Detector.fresh_var det ~name:"bench" in
      let st = Tstate.create ~tid:0 in
      bench "det_write" (fun () -> Detector.write det var ~st));
+    (let tr = Trace.disabled in
+     bench "trace_emit_disabled" (fun () ->
+         Trace.emit tr Trace.Op ~tick:1 ~tid:0 ~label:"bench" ~ts:10 ~dur:2));
+    (let tr = Trace.create ~capacity:4096 () in
+     bench "trace_emit_enabled" (fun () ->
+         Trace.emit tr Trace.Op ~tick:1 ~tid:0 ~label:"bench" ~ts:10 ~dur:2));
   ]
 
 (* ------------------------------------------------------------------ *)

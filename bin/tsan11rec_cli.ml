@@ -10,6 +10,8 @@
      explore WORKLOAD  schedule-coverage report with race sightings
      check WORKLOAD    bounded systematic exploration (model checking)
      icb WORKLOAD      smallest preemption bound exposing a failure
+     trace WORKLOAD    run (or replay) with event tracing, export
+                       Chrome trace-event JSON for Perfetto
      demo-info DIR     summarise a recorded demo *)
 
 open Cmdliner
@@ -142,6 +144,7 @@ let report (r : Interp.result) =
   Fmt.pr "makespan:  %.3f ms (simulated)@."
     (float_of_int r.makespan_us /. 1000.0);
   Fmt.pr "ticks:     %d critical sections@." r.ticks;
+  Fmt.pr "metrics:   %a@." T11r_obs.Metrics.pp r.metrics;
   Fmt.pr "races:     %d distinct report(s)@." r.race_count;
   List.iter (fun rep -> Fmt.pr "  %a@." T11r_race.Report.pp rep) r.races;
   List.iter
@@ -392,6 +395,95 @@ let icb_cmd =
           that exposes a failure")
     Term.(const run $ workload_arg $ max_bound)
 
+let trace_cmd =
+  let run name strategy seed env_seed demo diff out capacity =
+    let w = lookup_workload name in
+    if diff && demo = None then begin
+      Fmt.epr "--diff needs a recording: pass --demo DIR@.";
+      exit 2
+    end;
+    let mode =
+      match demo with Some d -> Conf.Replay d | None -> Conf.Free
+    in
+    let conf, world, build =
+      prepare ~w
+        ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
+        ~seed ~env_seed ~mode ()
+    in
+    let conf =
+      { conf with Conf.trace_events = true; Conf.trace_capacity = capacity }
+    in
+    (* --diff: survive divergences (counting them) so the report covers
+       the whole run, not just the prefix before the first mismatch. *)
+    let conf =
+      if diff then { conf with Conf.on_desync = Conf.Resync } else conf
+    in
+    let r = Interp.run ~world conf (build ()) in
+    let json =
+      T11r_obs.Chrome.export ~thread_names:r.Interp.thread_names
+        ~events:r.Interp.events ()
+    in
+    let oc = open_out out in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "outcome:   %a@." Interp.pp_outcome r.outcome;
+    Fmt.pr "metrics:   %a@." T11r_obs.Metrics.pp r.Interp.metrics;
+    Fmt.pr "events:    %d captured%s -> %s (load in Perfetto or chrome://tracing)@."
+      (List.length r.Interp.events)
+      (if r.Interp.events_dropped > 0 then
+         Fmt.str " (%d older dropped: ring full, raise --capacity)"
+           r.Interp.events_dropped
+       else "")
+      out;
+    (if demo <> None then
+       match r.Interp.trace_divergence with
+       | None -> Fmt.pr "replay:    faithful (no divergence)@."
+       | Some msg ->
+           Fmt.pr "replay:    DIVERGED: %s@." msg;
+           if r.Interp.desync_count > 0 then
+             Fmt.pr "           %d divergence(s) over the whole run@."
+               r.Interp.desync_count;
+           List.iter
+             (fun d -> Fmt.pr "%a@." Interp.pp_divergence d)
+             r.Interp.divergences);
+    exit (exit_of r)
+  in
+  let demo_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "demo"; "d" ] ~docv:"DIR"
+          ~doc:"Replay this recorded demo instead of a live run.")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "With --demo: continue through divergences (resync) and print a \
+             divergence report comparing the replay against the recording.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the Chrome trace-event JSON.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Event ring-buffer capacity (oldest events drop beyond it).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run (or replay) a workload with event tracing and export a \
+          Perfetto-loadable Chrome trace")
+    Term.(
+      const run $ workload_arg $ strategy_arg $ seed_arg $ env_seed_arg
+      $ demo_opt $ diff_flag $ out_arg $ capacity_arg)
+
 let demo_info_cmd =
   let run dir =
     match Demo.load ~dir with
@@ -419,5 +511,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; record_cmd; replay_cmd; hunt_cmd; explore_cmd;
-            check_cmd; icb_cmd; demo_info_cmd;
+            check_cmd; icb_cmd; trace_cmd; demo_info_cmd;
           ]))

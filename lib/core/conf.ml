@@ -36,6 +36,8 @@ type t = {
   max_history : int;
   suppressions : string list;
   debug_trace : bool;
+  trace_events : bool;
+  trace_capacity : int;
   on_desync : desync_mode;
 }
 
@@ -71,6 +73,8 @@ let default =
     max_history = 8;
     suppressions = [];
     debug_trace = false;
+    trace_events = false;
+    trace_capacity = 65536;
     on_desync = Abort;
   }
 

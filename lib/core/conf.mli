@@ -104,9 +104,17 @@ type t = {
           '*'-terminated prefix); matching races are muted *)
   debug_trace : bool;
       (** also write a TRACE file (tick/tid/op per critical section)
-          into recorded demos, and on replay diff against it to report
-          the precise first divergence — a debugging aid beyond the
-          paper's demo format, off by default *)
+          into recorded demos — a debugging aid beyond the paper's demo
+          format, off by default. Replays always diff against a TRACE
+          file when the demo has one, whatever this flag says. *)
+  trace_events : bool;
+      (** collect a structured event stream ([T11r_obs.Trace]) during
+          the run, surfaced in [Interp.result.events] and exportable as
+          Chrome trace-event JSON. Off by default; when off the hot
+          path pays one branch and zero allocation per operation. *)
+  trace_capacity : int;
+      (** ring-buffer capacity of the event stream (default 65536
+          events); older events are overwritten beyond it *)
   on_desync : desync_mode;
       (** replay divergence handling; [Abort] by default *)
 }

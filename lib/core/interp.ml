@@ -7,6 +7,8 @@ module Tstate = T11r_mem.Tstate
 module Detector = T11r_race.Detector
 module Lockorder = T11r_race.Lockorder
 module World = T11r_env.World
+module Trace = T11r_obs.Trace
+module Metrics = T11r_obs.Metrics
 
 type outcome =
   | Completed
@@ -42,6 +44,9 @@ type result = {
   rng_draws : int;
   desync_count : int;
   divergences : divergence list;
+  metrics : Metrics.t;
+  events : Trace.event list;
+  events_dropped : int;
 }
 
 exception Hard of string
@@ -136,6 +141,12 @@ type ctx = {
   (* desync recovery *)
   mutable desync_count : int;
   mutable desyncs : divergence list;  (* first 64, reversed *)
+  (* observability *)
+  obs : Trace.t;  (* Trace.disabled unless conf.trace_events *)
+  mutable last_cs_start : int;  (* start of the current critical section *)
+  mutable waits : int;
+  mutable preemptions : int;
+  mutable faults_seen : int;  (* World.faults_injected already traced *)
 }
 
 let thread_opt ctx tid =
@@ -189,6 +200,8 @@ let hard ctx msg = raise (Hard (Printf.sprintf "tick %d: %s" ctx.tick msg))
    divergence and *returns*, so the call site applies its best-effort
    recovery (skip the recorded event, or pad with a live one). *)
 let diverge ctx ~tid ~site ~expected ~actual =
+  Trace.emit ctx.obs Trace.Desync ~tick:ctx.tick ~tid ~label:site
+    ~ts:ctx.gclock ~dur:0;
   match ctx.conf.Conf.on_desync with
   | Conf.Abort ->
       hard ctx (Printf.sprintf "%s expects %s, got %s" site expected actual)
@@ -944,8 +957,18 @@ let rw_unlock ctx t (l : Api.rwlock) ~at =
 let note_cs ctx t label fin =
   ctx.trace <- (ctx.tick, t.tid, label) :: ctx.trace;
   if is_record ctx then ctx.rec_sched <- (ctx.tick, t.tid) :: ctx.rec_sched;
+  Trace.emit ctx.obs Trace.Op ~tick:ctx.tick ~tid:t.tid ~label
+    ~ts:ctx.last_cs_start
+    ~dur:(max 0 (fin - ctx.last_cs_start));
   t.last_tick <- ctx.tick;
   ctx.makespan <- max ctx.makespan fin
+
+(* Park a thread on a contended resource — every blocking transition
+   funnels through here so the wait counter sees them all. *)
+let block ctx t reason =
+  ctx.waits <- ctx.waits + 1;
+  t.status <- Disabled reason;
+  t.disabled_at <- ctx.tick
 
 (* Advance clocks for one critical section; returns its finish time.
    (The start time is only needed by the syscall path — see
@@ -962,6 +985,7 @@ let cs_timing ?(syscall = false) ctx t ~recorded =
     else t.ltime
   in
   let fin = start + cost in
+  ctx.last_cs_start <- start;
   if conf.serialize_visible || conf.serialize_all then ctx.gclock <- fin
   else ctx.gclock <- max ctx.gclock fin;
   t.ltime <- fin;
@@ -1050,8 +1074,7 @@ let lock_attempt ctx t (k : (Api.timeout_result, unit) continuation) cw fin =
   end
   else begin
     note_cs ctx t "cond_relock_fail" fin;
-    t.status <- Disabled (On_mutex cw.cw_mutex);
-    t.disabled_at <- ctx.tick
+    block ctx t (On_mutex cw.cw_mutex)
   end
 
 (* Execute one critical section for thread [t]. *)
@@ -1068,9 +1091,14 @@ let exec_cs ctx t =
             hard ctx (Printf.sprintf "thread %d scheduled with no request" t.tid)
         | Some (P ((Api.A_load (a, mo)) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
+            let sr0 = Atomics.stale_reads ctx.mem in
             let v =
               Atomics.load ctx.mem a.Api.a_loc t.tst mo ~choose:ctx.choose
             in
+            if Trace.enabled ctx.obs && Atomics.stale_reads ctx.mem > sr0 then
+              Trace.emit ctx.obs Trace.Stale_read ~tick:ctx.tick ~tid:t.tid
+                ~label:(Atomics.loc_name a.Api.a_loc) ~ts:ctx.last_cs_start
+                ~dur:0;
             finish_cs ctx t k (Api.req_label r) fin v
         | Some (P ((Api.A_store (a, mo, v)) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
@@ -1082,10 +1110,15 @@ let exec_cs ctx t =
             finish_cs ctx t k (Api.req_label r) fin old
         | Some (P ((Api.A_cas (a, succ, fail_, expected, desired)) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
+            let sr0 = Atomics.stale_reads ctx.mem in
             let res =
               Atomics.cas ctx.mem a.Api.a_loc t.tst ~success:succ
                 ~failure:fail_ ~expected ~desired ~choose:ctx.choose
             in
+            if Trace.enabled ctx.obs && Atomics.stale_reads ctx.mem > sr0 then
+              Trace.emit ctx.obs Trace.Stale_read ~tick:ctx.tick ~tid:t.tid
+                ~label:(Atomics.loc_name a.Api.a_loc) ~ts:ctx.last_cs_start
+                ~dur:0;
             finish_cs ctx t k (Api.req_label r) fin res
         | Some (P ((Api.Fence mo) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
@@ -1110,8 +1143,7 @@ let exec_cs ctx t =
             end
             else begin
               note_cs ctx t "mutex_lock_fail" fin;
-              t.status <- Disabled (On_mutex m.Api.mu_id);
-              t.disabled_at <- ctx.tick
+              block ctx t (On_mutex m.Api.mu_id)
             end
         | Some (P ((Api.Mutex_unlock m) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
@@ -1126,8 +1158,7 @@ let exec_cs ctx t =
             end
             else begin
               note_cs ctx t "rw_rdlock_fail" fin;
-              t.status <- Disabled (On_rwlock l.Api.rw_id);
-              t.disabled_at <- ctx.tick
+              block ctx t (On_rwlock l.Api.rw_id)
             end
         | Some (P ((Api.Rw_wrlock l) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
@@ -1138,8 +1169,7 @@ let exec_cs ctx t =
             end
             else begin
               note_cs ctx t "rw_wrlock_fail" fin;
-              t.status <- Disabled (On_rwlock l.Api.rw_id);
-              t.disabled_at <- ctx.tick
+              block ctx t (On_rwlock l.Api.rw_id)
             end
         | Some (P ((Api.Rw_tryrdlock l) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
@@ -1181,9 +1211,7 @@ let exec_cs ctx t =
                 t.cwait <- Some cw;
                 release_mutex ctx t m ~at:fin;
                 (match timeout_ms with
-                | None ->
-                    t.status <- Disabled (On_cond c.Api.cv_id);
-                    t.disabled_at <- ctx.tick
+                | None -> block ctx t (On_cond c.Api.cv_id)
                 | Some _ ->
                     (* Timed waits stay enabled (§3.2): the timer is
                        nondeterministic from the logical scheduler's
@@ -1265,8 +1293,7 @@ let exec_cs ctx t =
                     finish_cs ctx t k (Api.req_label r) (max fin child.ltime) ()
                 | _ ->
                     note_cs ctx t "join_wait" fin;
-                    t.status <- Disabled (On_join target);
-                    t.disabled_at <- ctx.tick))
+                    block ctx t (On_join target)))
         | Some (P ((Api.Syscall req) as r, k)) ->
             let recorded =
               Policy.should_record ctx.conf.policy
@@ -1276,6 +1303,15 @@ let exec_cs ctx t =
             in
             let start, fin = cs_timing_syscall ctx t ~recorded in
             let res = exec_syscall ctx t ~now:start req in
+            if Trace.enabled ctx.obs then begin
+              let f = World.faults_injected ctx.world in
+              if f > ctx.faults_seen then begin
+                ctx.faults_seen <- f;
+                Trace.emit ctx.obs Trace.Fault ~tick:ctx.tick ~tid:t.tid
+                  ~label:(Syscall.kind_to_string req.Syscall.kind) ~ts:start
+                  ~dur:0
+              end
+            end;
             (* Blocking time accrues outside the critical section (§4.4:
                only the SYSCALL-file interaction is inside it). *)
             t.ltime <- fin + res.Syscall.elapsed;
@@ -1440,6 +1476,14 @@ let make_ctx conf world program_seeds_override =
       last_sched = -1;
       desync_count = 0;
       desyncs = [];
+      obs =
+        (if conf.Conf.trace_events then
+           Trace.create ~capacity:conf.Conf.trace_capacity ()
+         else Trace.disabled);
+      last_cs_start = 0;
+      waits = 0;
+      preemptions = 0;
+      faults_seen = 0;
     }
   in
   (* Emitting a race report costs the reporting thread real time
@@ -1451,6 +1495,13 @@ let make_ctx conf world program_seeds_override =
             t.ltime <- t.ltime + conf.Conf.report_cost;
             t.invis_acc <- t.invis_acc + conf.Conf.report_cost
         | None -> ());
+  if Trace.enabled ctx.obs then
+    Detector.on_report ctx.det (fun r ->
+        let tid =
+          match ctx.cur with Some t -> t.tid | None -> r.T11r_race.Report.second_tid
+        in
+        Trace.emit ctx.obs Trace.Race ~tick:ctx.tick ~tid
+          ~label:r.T11r_race.Report.var ~ts:ctx.gclock ~dur:0);
   (match replay with
   | Some d ->
       (match d.Demo.queue with
@@ -1510,6 +1561,9 @@ let result_of_outcome outcome =
     rng_draws = 0;
     desync_count = 0;
     divergences = [];
+    metrics = Metrics.zero;
+    events = [];
+    events_dropped = 0;
   }
 
 (* A malformed demo is a usability error, not a crash: surface it as a
@@ -1558,11 +1612,23 @@ let run ?world conf (program : Api.program) =
           Some d
       | _ -> None
     in
+    (* Divergence detection runs on every replay, not only under
+       debug_trace (it used to be gated, so default replays diverged
+       silently). With a TRACE file the diff is op-precise; without
+       one, fall back to the op count recorded in META. *)
     let trace_divergence =
       match conf.Conf.mode with
-      | Conf.Replay dir when conf.Conf.debug_trace -> (
+      | Conf.Replay dir -> (
           match T11r_util.Codec.read_lines (Filename.concat dir "TRACE") with
-          | [] -> None
+          | [] -> (
+              match ctx.replay with
+              | Some d when d.Demo.meta.Demo.ticks <> ctx.tick ->
+                  Some
+                    (Printf.sprintf
+                       "recording has %d ops, replay executed %d (record with \
+                        debug_trace for an op-level diff)"
+                       d.Demo.meta.Demo.ticks ctx.tick)
+              | _ -> None)
           | recorded ->
               let mine =
                 List.rev_map
@@ -1620,6 +1686,18 @@ let run ?world conf (program : Api.program) =
       rng_draws = Prng.draws ctx.rng;
       desync_count = ctx.desync_count;
       divergences = List.rev ctx.desyncs;
+      metrics =
+        {
+          Metrics.m_ticks = ctx.tick;
+          m_waits = ctx.waits;
+          m_preemptions = ctx.preemptions;
+          m_evictions = Atomics.evictions ctx.mem;
+          m_stale_reads = Atomics.stale_reads ctx.mem;
+          m_det_checks = Detector.checks ctx.det;
+          m_desyncs = ctx.desync_count;
+        };
+      events = Trace.to_list ctx.obs;
+      events_dropped = Trace.dropped ctx.obs;
     }
   in
   try
@@ -1676,6 +1754,16 @@ let run ?world conf (program : Api.program) =
             end
             else begin
               let t = pick_thread ctx in
+              if t.tid <> ctx.last_sched then begin
+                (* A switch away from a thread that could still run is a
+                   preemption; switches at blocking points are free. *)
+                (match thread_opt ctx ctx.last_sched with
+                | Some prev when prev.status = Ready ->
+                    ctx.preemptions <- ctx.preemptions + 1
+                | _ -> ());
+                Trace.emit ctx.obs Trace.Sched ~tick:ctx.tick ~tid:t.tid
+                  ~label:t.tname ~ts:ctx.gclock ~dur:0
+              end;
               ctx.last_sched <- t.tid;
               let tickno = ctx.tick in
               exec_cs ctx t;

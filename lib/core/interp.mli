@@ -50,9 +50,11 @@ type result = {
       (** lock-order inversions observed — potential deadlocks reported
           even on runs where the deadlock did not manifest *)
   trace_divergence : string option;
-      (** with [Conf.debug_trace] on replay: the first point where the
-          replayed trace departs from the recorded TRACE file, for
-          diagnosing desynchronisation *)
+      (** replay only: the first point where the replayed schedule
+          departs from the recording. Checked on {e every} replay: when
+          the demo carries a TRACE file (recorded under
+          [Conf.debug_trace]) the report is op-precise; otherwise it
+          falls back to comparing executed op counts against META *)
   output : string;  (** observable output (fd 1) *)
   soft_desync : bool;  (** replay only: output diverged from recording *)
   demo : Demo.t option;  (** record mode: the captured demo *)
@@ -69,6 +71,15 @@ type result = {
   divergences : divergence list;
       (** structured reports for the first divergences (capped at 64
           under [Resync]; exactly the diagnosed one under [Diagnose]) *)
+  metrics : T11r_obs.Metrics.t;
+      (** per-run counters (ticks, waits, preemptions, evictions, stale
+          reads, detector checks, desyncs) — collected on every run at
+          no allocation cost, summed by [Campaign] in index order *)
+  events : T11r_obs.Trace.event list;
+      (** structured event stream, oldest first — empty unless
+          [Conf.trace_events] was set; export with [T11r_obs.Chrome] *)
+  events_dropped : int;
+      (** events lost to the trace ring buffer's capacity *)
 }
 
 val run : ?world:T11r_env.World.t -> Conf.t -> T11r_vm.Api.program -> result

@@ -63,6 +63,7 @@ type report = {
   outcomes : (string * int) list;
   sightings : sighting list;
   crashes : (int * string) list;
+  metrics : T11r_obs.Metrics.t;
 }
 
 let schedule_key (r : Interp.result) =
@@ -136,6 +137,13 @@ let aggregate ~label ~n ~first ~jobs ~wall_s results =
                  | c -> c)
              | c -> c);
     crashes = List.rev !crashes;
+    metrics =
+      (* Same discipline as everything above: a fold in run-index
+         order, so the sum is bit-identical at every worker count. *)
+      Array.fold_left
+        (fun acc (r : Interp.result) ->
+          T11r_obs.Metrics.add acc r.Interp.metrics)
+        T11r_obs.Metrics.zero results;
   }
 
 let run s ~n ?(jobs = 1) ?(first = 0) observers =
@@ -175,7 +183,8 @@ let fingerprint r =
       r.distinct_schedules,
       r.outcomes,
       r.sightings,
-      r.crashes ) )
+      r.crashes,
+      r.metrics ) )
 
 let equal a b = fingerprint a = fingerprint b
 
@@ -192,6 +201,7 @@ let pp fmt r =
     r.label r.n r.jobs r.wall_s r.distinct_schedules r.racy_runs
     (100.0 *. float_of_int r.racy_runs /. float_of_int (max 1 r.n))
     r.completed;
+  Format.fprintf fmt "  totals: %a@." T11r_obs.Metrics.pp r.metrics;
   List.iter
     (fun (k, v) -> Format.fprintf fmt "  outcome %-12s %d@." k v)
     r.outcomes;

@@ -78,6 +78,11 @@ type report = {
   outcomes : (string * int) list;  (** outcome histogram, sorted by key *)
   sightings : sighting list;  (** distinct races, most-sighted first *)
   crashes : (int * string) list;  (** (run index, message), in run order *)
+  metrics : T11r_obs.Metrics.t;
+      (** campaign-wide counter totals: per-run [Interp.result.metrics]
+          summed in run-index order (a commutative-looking but
+          deliberately ordered monoid fold), so the totals are
+          bit-identical whatever [jobs] was *)
 }
 
 val run : spec -> n:int -> ?jobs:int -> ?first:int -> observer list -> report

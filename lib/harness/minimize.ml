@@ -7,6 +7,7 @@ type failure = Race | Crash | Deadlock | Any
 type found = {
   bound : int;
   seed : int64;
+  seed2 : int64;
   runs : int;
   outcome : Interp.outcome;
   races : T11r_race.Report.t list;
@@ -25,6 +26,34 @@ let matches failure (r : Interp.result) =
          | Interp.Crashed _ | Interp.Deadlock _ -> true
          | _ -> false)
 
+(* SplitMix64 step (Steele, Lea & Flood) — same finaliser Prng uses to
+   expand its seeds. *)
+let splitmix_next (state : int64 ref) : int64 =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Both scheduler seeds, freshly avalanched per (bound, try). The old
+   derivation fixed seed2 at a constant — so across every bound and
+   try the weak-memory read stream started from the same second seed —
+   and built seed1 as [try*2654435761 + bound*97], making the streams
+   for (bound, try) and (bound', try') near-collide whenever the
+   linear combination did. Feeding the pair through SplitMix64
+   decorrelates every (bound, try) cell in both seed dimensions. *)
+let derive_seeds ~bound ~try_ =
+  let state =
+    ref
+      (Int64.add
+         (Int64.mul (Int64.of_int bound) 0x9E3779B97F4A7C15L)
+         (Int64.of_int try_))
+  in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  (s1, s2)
+
 let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
     ?(world_seed = 7L) ~build () =
   let runs = ref 0 in
@@ -34,11 +63,11 @@ let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
     let try_ = ref 1 in
     while !result = None && !try_ <= tries_per_bound do
       incr runs;
-      let seed = Int64.of_int ((!try_ * 2654435761) + (!bound * 97)) in
+      let seed, seed2 = derive_seeds ~bound:!bound ~try_:!try_ in
       let conf =
         Conf.with_seeds
           (Conf.tsan11rec ~strategy:(Conf.Preempt_bounded !bound) ())
-          seed 1013L
+          seed seed2
       in
       let r = Interp.run ~world:(World.create ~seed:world_seed ()) conf (build ()) in
       if matches failure r then
@@ -47,6 +76,7 @@ let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
             {
               bound = !bound;
               seed;
+              seed2;
               runs = !runs;
               outcome = r.Interp.outcome;
               races = r.Interp.races;
@@ -61,8 +91,8 @@ let pp fmt = function
   | Not_found runs -> Format.fprintf fmt "no failure within bounds (%d runs)" runs
   | Found f ->
       Format.fprintf fmt
-        "failure needs <= %d preemption(s): seed %Ld after %d runs (%a%s)"
-        f.bound f.seed f.runs Interp.pp_outcome f.outcome
+        "failure needs <= %d preemption(s): seeds %Ld %Ld after %d runs (%a%s)"
+        f.bound f.seed f.seed2 f.runs Interp.pp_outcome f.outcome
         (match f.races with
         | [] -> ""
         | r :: _ -> Format.asprintf "; %a" T11r_race.Report.pp r)

@@ -12,7 +12,14 @@ type failure = Race | Crash | Deadlock | Any
 
 type found = {
   bound : int;  (** preemption bound at which the failure appeared *)
-  seed : int64;  (** scheduler seed that exposes it (re-run to record) *)
+  seed : int64;
+      (** first scheduler seed that exposes it (re-run with both seeds
+          to record) *)
+  seed2 : int64;
+      (** second scheduler seed — the pair is derived per (bound, try)
+          via SplitMix64, so failures that need a specific weak-memory
+          read choice are reachable (the old derivation pinned this to
+          a constant) *)
   runs : int;  (** total executions spent across all bounds *)
   outcome : Tsan11rec.Interp.outcome;
   races : T11r_race.Report.t list;

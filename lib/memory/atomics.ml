@@ -29,11 +29,17 @@ type t = {
   max_history : int;
   mutable next_loc : int;
   mutable sc_clock : Vclock.t; (* global clock threaded through SC fences *)
+  mutable evictions : int; (* stores pushed out of a full history ring *)
+  mutable stale_reads : int; (* loads that chose an older admissible store *)
 }
 
 let create ?(max_history = 8) () =
   if max_history < 1 then invalid_arg "Atomics.create: max_history < 1";
-  { max_history; next_loc = 0; sc_clock = Vclock.empty }
+  { max_history; next_loc = 0; sc_clock = Vclock.empty; evictions = 0;
+    stale_reads = 0 }
+
+let evictions t = t.evictions
+let stale_reads t = t.stale_reads
 
 (* Shared placeholder for not-yet-used ring slots; never mutated (a
    slot is replaced by a fresh record before its first write). *)
@@ -78,7 +84,7 @@ let raise_floor l tid idx =
 (* Recycle (or claim) a ring slot for a new newest store and return it.
    Callers that still need the about-to-be-evicted oldest store must
    read it before calling this (RMW does). *)
-let append l ~value ~s_tid ~epoch ~rel_clock =
+let append t l ~value ~s_tid ~epoch ~rel_clock =
   let cap = Array.length l.ring in
   let s =
     if l.len < cap then begin
@@ -108,6 +114,7 @@ let append l ~value ~s_tid ~epoch ~rel_clock =
       let s = l.ring.(l.start) in
       l.start <- (if l.start + 1 >= cap then 0 else l.start + 1);
       l.base <- l.base + 1;
+      t.evictions <- t.evictions + 1;
       s
     end
   in
@@ -159,11 +166,12 @@ let read_sync (st : Tstate.t) mo s =
     else st.Tstate.acq_pending <- Vclock.join st.Tstate.acq_pending s.rel_clock
   end
 
-let load _t l (st : Tstate.t) mo ~choose =
+let load t l (st : Tstate.t) mo ~choose =
   let lo = admissible_floor l st mo in
   let n = newest_index l - lo + 1 in
   let k = choose n in
   if k < 0 || k >= n then invalid_arg "Atomics.load: choose out of range";
+  if k < n - 1 then t.stale_reads <- t.stale_reads + 1;
   let s = slot_abs l (lo + k) in
   let v = s.value in
   raise_floor l st.Tstate.tid s.index;
@@ -176,16 +184,16 @@ let release_clock_for (st : Tstate.t) mo =
   else if not (Vclock.is_empty st.Tstate.rel_fence) then st.Tstate.rel_fence
   else Vclock.empty
 
-let store _t l (st : Tstate.t) mo v =
+let store t l (st : Tstate.t) mo v =
   let s =
-    append l ~value:v ~s_tid:st.Tstate.tid ~epoch:(Tstate.epoch st)
+    append t l ~value:v ~s_tid:st.Tstate.tid ~epoch:(Tstate.epoch st)
       ~rel_clock:(release_clock_for st mo)
   in
   raise_floor l st.Tstate.tid s.index;
   if Memord.is_seq_cst mo then l.last_sc <- s.index;
   Tstate.tick st
 
-let rmw _t l (st : Tstate.t) mo f =
+let rmw t l (st : Tstate.t) mo f =
   (* read everything out of the newest slot BEFORE appending: with
      max_history = 1 the append recycles that very slot *)
   let old_s = newest l in
@@ -195,7 +203,7 @@ let rmw _t l (st : Tstate.t) mo f =
   let rel = Vclock.join own old_s.rel_clock in
   let nv = f old in
   let s =
-    append l ~value:nv ~s_tid:st.Tstate.tid ~epoch:(Tstate.epoch st)
+    append t l ~value:nv ~s_tid:st.Tstate.tid ~epoch:(Tstate.epoch st)
       ~rel_clock:rel
   in
   raise_floor l st.Tstate.tid s.index;

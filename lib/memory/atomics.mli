@@ -90,3 +90,11 @@ val history_length : t -> loc -> int
 val candidates : t -> loc -> Tstate.t -> Memord.t -> int list
 (** The admissible values for a load, oldest first — exposed for
     property tests of the coherence rules. *)
+
+val evictions : t -> int
+(** Stores pushed out of a full per-location history ring since
+    [create] — the window-pressure counter of the run metrics. *)
+
+val stale_reads : t -> int
+(** Loads (including failed-CAS loads) that observed an admissible
+    store older than the newest one. *)

@@ -1,0 +1,282 @@
+(* All events share pid 1: the interpreter simulates a single process.
+   Lane names come from metadata events, as the trace-event format
+   prescribes. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let export ?(app = "tsan11rec") ~thread_names ~events () =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let emit_obj s =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf "    ";
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf "{\n  \"traceEvents\": [\n";
+  emit_obj
+    (Printf.sprintf
+       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+        \"args\": {\"name\": \"%s\"}}"
+       (escape app));
+  List.iter
+    (fun (tid, name) ->
+      emit_obj
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+            %d, \"args\": {\"name\": \"%s\"}}"
+           tid
+           (escape (Printf.sprintf "%s (tid %d)" name tid))))
+    thread_names;
+  List.iter
+    (fun (e : Trace.event) ->
+      let cat = Trace.kind_name e.Trace.ev_kind in
+      match e.Trace.ev_kind with
+      | Trace.Op ->
+          emit_obj
+            (Printf.sprintf
+               "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": \
+                1, \"tid\": %d, \"ts\": %d, \"dur\": %d, \"args\": {\"tick\": \
+                %d}}"
+               (escape e.Trace.ev_label) cat e.Trace.ev_tid e.Trace.ev_ts
+               e.Trace.ev_dur e.Trace.ev_tick)
+      | Trace.Sched | Trace.Stale_read | Trace.Fault | Trace.Race
+      | Trace.Desync ->
+          (* Desyncs and races matter trace-wide: give them global
+             scope so they are visible whatever lane is collapsed. *)
+          let scope =
+            match e.Trace.ev_kind with
+            | Trace.Race | Trace.Desync -> "g"
+            | _ -> "t"
+          in
+          emit_obj
+            (Printf.sprintf
+               "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \
+                \"%s\", \"pid\": 1, \"tid\": %d, \"ts\": %d, \"args\": \
+                {\"tick\": %d}}"
+               (escape (cat ^ ":" ^ e.Trace.ev_label))
+               cat scope e.Trace.ev_tid e.Trace.ev_ts e.Trace.ev_tick))
+    events;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"displayTimeUnit\": \"ms\",\n  \"otherData\": \
+                     {\"tool\": \"%s\"}\n}\n"
+       (escape app));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Validation: a strict little JSON parser (no in-tree JSON library)
+   plus the structural checks of the trace-event schema. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "offset %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' ->
+                  if !pos + 4 > n then fail "truncated \\u escape";
+                  let hex = String.sub s !pos 4 in
+                  (match int_of_string_opt ("0x" ^ hex) with
+                  | None -> fail "bad \\u escape"
+                  | Some code ->
+                      (* BMP code points only — enough for our own output
+                         and for rejecting malformed input. *)
+                      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                      else Buffer.add_string buf (Printf.sprintf "\\u%s" hex));
+                  pos := !pos + 4
+              | c -> fail (Printf.sprintf "bad escape \\%c" c));
+              go ()
+          )
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %c" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let validate s =
+  try
+    let top = parse s in
+    let events =
+      match top with
+      | Obj fields -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (Arr evs) -> evs
+          | Some _ -> raise (Bad "traceEvents is not an array")
+          | None -> raise (Bad "missing traceEvents"))
+      | _ -> raise (Bad "top level is not an object")
+    in
+    List.iteri
+      (fun i ev ->
+        let ctx msg = raise (Bad (Printf.sprintf "event %d: %s" i msg)) in
+        match ev with
+        | Obj fields ->
+            let str k =
+              match List.assoc_opt k fields with
+              | Some (Str s) -> s
+              | Some _ -> ctx (Printf.sprintf "%S is not a string" k)
+              | None -> ctx (Printf.sprintf "missing %S" k)
+            in
+            let num k =
+              match List.assoc_opt k fields with
+              | Some (Num _) -> ()
+              | Some _ -> ctx (Printf.sprintf "%S is not a number" k)
+              | None -> ctx (Printf.sprintf "missing %S" k)
+            in
+            let ph = str "ph" in
+            ignore (str "name");
+            num "tid";
+            if ph <> "M" then num "ts";
+            if ph = "X" then num "dur"
+        | _ -> ctx "not an object")
+      events;
+    Ok ()
+  with Bad msg -> Error msg

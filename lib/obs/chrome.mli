@@ -1,0 +1,29 @@
+(** Chrome trace-event JSON export.
+
+    Produces the "JSON Object Format" of the Trace Event specification
+    (a top-level [{"traceEvents": [...]}]) that Perfetto and
+    chrome://tracing load directly: one lane per simulated thread
+    (named via ["M"] metadata events), a complete ["X"] duration slice
+    per visible operation, and ["i"] instant events for scheduler
+    switches, stale reads, faults, races and desyncs. Timestamps are
+    the interpreter's simulated microseconds, so slice widths reproduce
+    the cost model, not host time. *)
+
+val export :
+  ?app:string ->
+  thread_names:(int * string) list ->
+  events:Trace.event list ->
+  unit ->
+  string
+(** Render a trace as Chrome trace-event JSON. [thread_names] labels
+    the lanes (from [Interp.result.thread_names]); threads without an
+    entry still get a lane, identified by tid. *)
+
+val validate : string -> (unit, string) result
+(** Structural validation against the trace-event schema, for tests
+    and CI (no JSON library is available in-tree, so this carries its
+    own strict parser): the input must be well-formed JSON; the top
+    level must be an object with a [traceEvents] array; every element
+    must be an object with string ["ph"] and ["name"] fields and a
+    numeric ["tid"]; non-metadata events must also carry numeric
+    ["ts"], and ["X"] slices a numeric ["dur"]. *)

@@ -1,0 +1,46 @@
+type t = {
+  m_ticks : int;
+  m_waits : int;
+  m_preemptions : int;
+  m_evictions : int;
+  m_stale_reads : int;
+  m_det_checks : int;
+  m_desyncs : int;
+}
+
+let zero =
+  {
+    m_ticks = 0;
+    m_waits = 0;
+    m_preemptions = 0;
+    m_evictions = 0;
+    m_stale_reads = 0;
+    m_det_checks = 0;
+    m_desyncs = 0;
+  }
+
+let add a b =
+  {
+    m_ticks = a.m_ticks + b.m_ticks;
+    m_waits = a.m_waits + b.m_waits;
+    m_preemptions = a.m_preemptions + b.m_preemptions;
+    m_evictions = a.m_evictions + b.m_evictions;
+    m_stale_reads = a.m_stale_reads + b.m_stale_reads;
+    m_det_checks = a.m_det_checks + b.m_det_checks;
+    m_desyncs = a.m_desyncs + b.m_desyncs;
+  }
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt m =
+  Format.fprintf fmt
+    "%d ticks, %d waits, %d preemptions, %d evictions, %d stale reads, %d detector checks, %d desyncs"
+    m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
+    m.m_det_checks m.m_desyncs
+
+let to_json m =
+  Printf.sprintf
+    "{\"ticks\": %d, \"waits\": %d, \"preemptions\": %d, \"evictions\": %d, \
+     \"stale_reads\": %d, \"detector_checks\": %d, \"desyncs\": %d}"
+    m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
+    m.m_det_checks m.m_desyncs

@@ -1,0 +1,34 @@
+(** Per-run counters.
+
+    Every interpreter run produces one of these for free (plain int
+    increments on the hot path, no allocation); campaigns sum them
+    with {!add} in run-index order, so the aggregate is the same
+    bit-for-bit at every worker count — the same monoid discipline as
+    the rest of [Campaign]'s report. *)
+
+type t = {
+  m_ticks : int;  (** critical sections executed *)
+  m_waits : int;  (** times a thread blocked (mutex/rwlock/cond/join) *)
+  m_preemptions : int;
+      (** context switches away from a thread that could still run *)
+  m_evictions : int;
+      (** store-window evictions: stores pushed out of a location's
+          bounded history ring *)
+  m_stale_reads : int;
+      (** atomic loads that observed an admissible store older than the
+          newest one *)
+  m_det_checks : int;  (** race-detector shadow-state checks performed *)
+  m_desyncs : int;  (** replay divergences encountered *)
+}
+
+val zero : t
+(** Identity of {!add}: all counters 0. *)
+
+val add : t -> t -> t
+(** Componentwise sum — associative with identity {!zero}. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One flat JSON object, keys in declaration order. *)

@@ -9,6 +9,10 @@ module Tstate = T11r_mem.Tstate
 let tid_bits = 20
 let tid_mask = (1 lsl tid_bits) - 1
 
+(* Largest epoch the packed word can hold without colliding with the
+   tid field or the [-1] "no write" sentinel. *)
+let max_epoch = max_int asr tid_bits
+
 type var = {
   id : int;
   name : string;
@@ -25,6 +29,7 @@ type t = {
   mutable callbacks : (Report.t -> unit) list;
   mutable suppressions : string list;
   mutable suppressed_count : int;
+  mutable checks : int; (* shadow-state checks (one per read/write) *)
 }
 
 let create () =
@@ -36,7 +41,30 @@ let create () =
     callbacks = [];
     suppressions = [];
     suppressed_count = 0;
+    checks = 0;
   }
+
+let checks t = t.checks
+
+(* The packed representation silently truncates out-of-range ids and
+   epochs (a tid >= 2^20 bleeds into the epoch field; an epoch beyond
+   [max_epoch] wraps), corrupting shadow state for every later access.
+   Better to refuse loudly — the bound is far beyond any simulated
+   workload, so hitting it is a harness bug. *)
+let check_packable (st : Tstate.t) =
+  if st.Tstate.tid land lnot tid_mask <> 0 then
+    failwith
+      (Printf.sprintf
+         "Detector: thread id %d exceeds the packed shadow-state limit of \
+          %d threads (2^%d)"
+         st.Tstate.tid (tid_mask + 1) tid_bits);
+  let epoch = Tstate.epoch st in
+  if epoch < 0 || epoch > max_epoch then
+    failwith
+      (Printf.sprintf
+         "Detector: epoch %d of thread %d exceeds the packed shadow-state \
+          limit of %d"
+         epoch st.Tstate.tid max_epoch)
 
 let set_suppressions t pats = t.suppressions <- pats
 let suppressed_count t = t.suppressed_count
@@ -91,6 +119,8 @@ let ensure_reads v tid =
   if tid >= v.nreads then v.nreads <- tid + 1
 
 let read t v ~(st : Tstate.t) =
+  t.checks <- t.checks + 1;
+  check_packable st;
   let wtid = write_unordered st v.w_packed in
   if wtid >= 0 then
     emit t
@@ -104,6 +134,8 @@ let read t v ~(st : Tstate.t) =
   v.reads.(st.Tstate.tid) <- Tstate.epoch st
 
 let write t v ~(st : Tstate.t) =
+  t.checks <- t.checks + 1;
+  check_packable st;
   let wtid = write_unordered st v.w_packed in
   if wtid >= 0 then
     emit t

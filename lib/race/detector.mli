@@ -21,10 +21,19 @@ val fresh_var : t -> name:string -> var
 val var_name : var -> string
 
 val read : t -> var -> st:T11r_mem.Tstate.t -> unit
-(** Check-and-update for a non-atomic read. *)
+(** Check-and-update for a non-atomic read.
+
+    @raise Failure if the accessing thread's id or epoch exceeds what
+    the packed shadow representation can hold (2^20 threads,
+    [max_int asr 20] epochs) — out-of-range values would silently
+    corrupt shadow state for every later access. *)
 
 val write : t -> var -> st:T11r_mem.Tstate.t -> unit
-(** Check-and-update for a non-atomic write. *)
+(** Check-and-update for a non-atomic write. Same bounds as {!read}. *)
+
+val checks : t -> int
+(** Shadow-state checks performed (one per {!read} or {!write}) — the
+    detector-load counter of the run metrics. *)
 
 val reports : t -> Report.t list
 (** All distinct races found, in detection order. A given

@@ -65,7 +65,35 @@ let write_digests () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Golden Chrome trace for the standard fig1 run — test_obs.ml asserts
+   the exporter still produces these exact bytes. *)
+let write_trace_fixture () =
+  let conf =
+    Conf.with_seeds
+      (Conf.tsan11rec ~strategy:Conf.Queue ())
+      demo_seed1 demo_seed2
+  in
+  let conf = { conf with Conf.trace_events = true } in
+  let world = World.create ~seed:demo_world_seed () in
+  let r =
+    Interp.run ~world conf
+      (T11r_litmus.Registry.fig1.T11r_litmus.Registry.build ())
+  in
+  let json =
+    T11r_obs.Chrome.export ~thread_names:r.Interp.thread_names
+      ~events:r.Interp.events ()
+  in
+  (match T11r_obs.Chrome.validate json with
+  | Ok () -> ()
+  | Error e -> Format.eprintf "fig1 trace does not validate: %s@." e);
+  let path = Filename.concat fixtures_dir "fig1_trace.json" in
+  let oc = open_out_bin path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s (%d events)\n" path (List.length r.Interp.events)
+
 let () =
   if not (Sys.file_exists fixtures_dir) then Unix.mkdir fixtures_dir 0o755;
   record_demo ();
-  write_digests ()
+  write_digests ();
+  write_trace_fixture ()

@@ -170,14 +170,14 @@ let test_icb_finds_litmus_race_with_few_preemptions () =
   | Minimize.Not_found n -> Alcotest.failf "not found after %d runs" n
 
 let test_icb_seed_reproduces () =
-  (* The returned seed must deterministically reproduce the failure. *)
+  (* The returned seed pair must deterministically reproduce the failure. *)
   match Minimize.find_bug ~failure:Minimize.Deadlock ~build:abba () with
   | Minimize.Not_found _ -> Alcotest.fail "not found"
   | Minimize.Found f ->
       let conf =
         Conf.with_seeds
           (Conf.tsan11rec ~strategy:(Conf.Preempt_bounded f.bound) ())
-          f.seed 1013L
+          f.seed f.seed2
       in
       let r =
         Tsan11rec.Interp.run
@@ -188,6 +188,68 @@ let test_icb_seed_reproduces () =
       | Tsan11rec.Interp.Deadlock _ -> ()
       | o ->
           Alcotest.failf "seed did not reproduce: %a" Tsan11rec.Interp.pp_outcome o)
+
+(* Regression for the constant-seed2 bug: a race that can only manifest
+   through a non-default weak-memory read choice. The reader waits
+   (without synchronising) until the writer has completely finished, so
+   the data accesses can never overlap in the schedule; the only way
+   the detector can see them as concurrent is the reader's acquire load
+   of [flag] observing the stale initial 0 instead of the release store
+   of 1. With seed2 pinned to a constant the read-choice stream never
+   varied across tries, so failures like this were only reachable if
+   that one stream happened to pick the stale store. *)
+let stale_publish () =
+  Api.program ~name:"stale-publish" (fun () ->
+      let data = Api.Var.create ~name:"data" 0 in
+      let flag = Api.Atomic.create ~name:"flag" 0 in
+      let done_ = Api.Atomic.create ~name:"done" 0 in
+      let writer =
+        Api.Thread.spawn ~name:"writer" (fun () ->
+            Api.Var.set data 1;
+            Api.Atomic.store ~mo:Api.Memord.Release flag 1;
+            Api.Atomic.store ~mo:Api.Memord.Relaxed done_ 1)
+      in
+      let reader =
+        Api.Thread.spawn ~name:"reader" (fun () ->
+            (* Bounded, synchronisation-free wait for the writer. *)
+            let budget = ref 64 in
+            while
+              !budget > 0 && Api.Atomic.load ~mo:Api.Memord.Relaxed done_ = 0
+            do
+              decr budget
+            done;
+            if
+              !budget > 0
+              && Api.Atomic.load ~mo:Api.Memord.Acquire flag = 0
+            then Api.Var.set data 2)
+      in
+      Api.Thread.join writer;
+      Api.Thread.join reader)
+
+let test_icb_race_needs_stale_read () =
+  match
+    Minimize.find_bug ~failure:Minimize.Race ~max_bound:2 ~build:stale_publish
+      ()
+  with
+  | Minimize.Not_found n ->
+      Alcotest.failf "stale-read race not found (%d runs)" n
+  | Minimize.Found f ->
+      (* Reproduce with the returned seed pair and confirm the race
+         really rides on a stale read. *)
+      let conf =
+        Conf.with_seeds
+          (Conf.tsan11rec ~strategy:(Conf.Preempt_bounded f.bound) ())
+          f.seed f.seed2
+      in
+      let r =
+        Tsan11rec.Interp.run
+          ~world:(T11r_env.World.create ~seed:7L ())
+          conf (stale_publish ())
+      in
+      check Alcotest.bool "race reproduced" true
+        (r.Tsan11rec.Interp.race_count > 0);
+      check Alcotest.bool "stale read involved" true
+        (r.Tsan11rec.Interp.metrics.T11r_obs.Metrics.m_stale_reads > 0)
 
 let test_icb_clean_program_not_found () =
   let prog () =
@@ -312,6 +374,8 @@ let () =
           Alcotest.test_case "litmus race few preemptions" `Quick
             test_icb_finds_litmus_race_with_few_preemptions;
           Alcotest.test_case "seed reproduces" `Quick test_icb_seed_reproduces;
+          Alcotest.test_case "race needs stale read" `Quick
+            test_icb_race_needs_stale_read;
           Alcotest.test_case "clean program" `Quick test_icb_clean_program_not_found;
         ] );
       ( "runner",

@@ -114,6 +114,42 @@ let rle_encoded_size_matches =
     (QCheck.make bytes_gen)
     (fun b -> Rle.encoded_size b = String.length (Rle.encode_bytes b))
 
+(* Uniform random bytes almost never repeat, so [bytes_gen] exercises
+   the literal-chunk path almost exclusively. This generator builds the
+   input as a concatenation of runs — lengths past the 255-per-chunk
+   split, drawn from a 4-symbol alphabet so adjacent runs frequently
+   merge — hitting the run encoder and chunk splitting on every case. *)
+let runny_bytes_gen =
+  QCheck.Gen.(
+    let run =
+      map2 (fun n c -> String.make n c) (int_range 0 300)
+        (map Char.chr (int_range 0 3))
+    in
+    map
+      (fun runs -> Bytes.of_string (String.concat "" runs))
+      (list_size (int_range 0 8) run))
+
+let runny_arb =
+  QCheck.make
+    ~print:(fun b -> String.escaped (Bytes.to_string b))
+    runny_bytes_gen
+
+let rle_runny_roundtrip =
+  QCheck.Test.make ~name:"byte rle roundtrip (run-biased)" ~count:300 runny_arb
+    (fun b -> Bytes.equal (Rle.decode_bytes (Rle.encode_bytes b)) b)
+
+let rle_runny_encoded_size =
+  QCheck.Test.make ~name:"encoded_size = length of encode_bytes (run-biased)"
+    ~count:300 runny_arb
+    (fun b -> Rle.encoded_size b = String.length (Rle.encode_bytes b))
+
+let rle_runny_compresses =
+  QCheck.Test.make ~name:"run-biased inputs compress" ~count:300 runny_arb
+    (fun b ->
+      (* 2-byte header + <=2 bytes per run chunk; literals cost more
+         only when runs are very short, bounded by the input length. *)
+      String.length (Rle.encode_bytes b) <= (2 * Bytes.length b) + 2)
+
 let test_rle_bytes_long_run () =
   (* Runs longer than 255 must split into multiple chunks. *)
   let b = Bytes.make 1000 'x' in
@@ -339,6 +375,9 @@ let () =
           qtest rle_compresses_runs;
           qtest rle_bytes_roundtrip;
           qtest rle_encoded_size_matches;
+          qtest rle_runny_roundtrip;
+          qtest rle_runny_encoded_size;
+          qtest rle_runny_compresses;
         ] );
       ( "vclock",
         [
