@@ -61,12 +61,36 @@ let budgets =
        off the hot path); enabled writes into preallocated rings. *)
     ("trace_emit_disabled", 0);
     ("trace_emit_enabled", 0);
+    (* Demo durability: whole-recording operations, not per-op costs.
+       The generous budgets catch algorithmic regressions (an O(n^2)
+       re-render, CRC over a string copy per line), not byte drift. *)
+    ("demo_save", 8_000);
+    ("demo_save_nofsync", 8_000);
+    ("demo_load", 8_000);
   ]
 
 (* ------------------------------------------------------------------ *)
 
 let measure ~iters f =
   for _ = 1 to 2_000 do
+    f ()
+  done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  ( (t1 -. t0) *. 1e9 /. float_of_int iters,
+    (w1 -. w0) /. float_of_int iters )
+
+(* Like [measure] but for file-set operations: a handful of warmup
+   iterations instead of 2000 (each call costs syscalls, and durable
+   saves cost fsyncs). *)
+let measure_io ~iters f =
+  for _ = 1 to 8 do
     f ()
   done;
   Gc.minor ();
@@ -142,6 +166,45 @@ let op_benches ~iters =
          Trace.emit tr Trace.Op ~tick:1 ~tid:0 ~label:"bench" ~ts:10 ~dur:2));
   ]
 
+(* Demo durability: cost of a crash-atomic save (fresh sibling dir +
+   fsync + rename), the same save without the fsyncs, and a verifying
+   load (CRC trailer + MANIFEST check per file) — measured on a real
+   fig1 recording. *)
+let demo_benches ~smoke =
+  let iters = if smoke then 40 else 400 in
+  let bench name ~iters f =
+    let ns, words = measure_io ~iters f in
+    let budget = List.assoc name budgets in
+    { op = name; ns; words; budget; within = words <= float_of_int budget }
+  in
+  let base = T11r_util.Tmp.fresh_dir ~prefix:"t11r" () in
+  let world = T11r_env.World.create ~seed:1L () in
+  let conf =
+    Conf.with_seeds
+      (Conf.tsan11rec ~strategy:Conf.Random
+         ~mode:(Conf.Record (Filename.concat base "rec"))
+         ())
+      1L 2L
+  in
+  let r =
+    Tsan11rec.Interp.run ~world conf (T11r_litmus.Registry.fig1.build ())
+  in
+  let d = Option.get r.Tsan11rec.Interp.demo in
+  let target = Filename.concat base "bench-demo" in
+  Tsan11rec.Demo.save d ~dir:target;
+  let rows =
+    [
+      bench "demo_save" ~iters:(max 10 (iters / 4)) (fun () ->
+          Tsan11rec.Demo.save d ~dir:target);
+      bench "demo_save_nofsync" ~iters (fun () ->
+          Tsan11rec.Demo.save ~durable:false d ~dir:target);
+      bench "demo_load" ~iters (fun () ->
+          ignore (Tsan11rec.Demo.load ~dir:target));
+    ]
+  in
+  T11r_util.Tmp.rm_rf base;
+  rows
+
 (* ------------------------------------------------------------------ *)
 
 type run_row = {
@@ -216,7 +279,7 @@ let json_of_runs rows =
 let run ~smoke ~jobs =
   let par_jobs = if jobs > 1 then jobs else 4 in
   let iters = if smoke then 200_000 else 2_000_000 in
-  let ops = op_benches ~iters in
+  let ops = op_benches ~iters @ demo_benches ~smoke in
   let t = T11r_util.Table.create ~title:"Per-operation hot-path cost"
       ~headers:[ "op"; "ns/op"; "words/op"; "budget"; "ok?"; "baseline ns" ]
   in

@@ -5,14 +5,16 @@
      run WORKLOAD      one execution under a chosen tool configuration
                        (--tsan prints ThreadSanitizer-style warnings)
      record WORKLOAD   record a demo
-     replay WORKLOAD   replay a demo (reports desynchronisation)
+     replay WORKLOAD   replay a demo (reports desynchronisation;
+                       --salvage recovers a truncated recording first)
      hunt WORKLOAD     repeated controlled runs hunting for races
+                       (--resume picks up an interrupted campaign)
      explore WORKLOAD  schedule-coverage report with race sightings
      check WORKLOAD    bounded systematic exploration (model checking)
      icb WORKLOAD      smallest preemption bound exposing a failure
      trace WORKLOAD    run (or replay) with event tracing, export
                        Chrome trace-event JSON for Perfetto
-     demo-info DIR     summarise a recorded demo *)
+     demo-info DIR     summarise and integrity-check a recorded demo *)
 
 open Cmdliner
 module Conf = Tsan11rec.Conf
@@ -21,6 +23,78 @@ module Demo = Tsan11rec.Demo
 module Policy = Tsan11rec.Policy
 module World = T11r_env.World
 module Workloads = T11r_harness.Workloads
+module Campaign = T11r_harness.Campaign
+
+(* ---- exit codes ---------------------------------------------------- *)
+
+(* One code per structured outcome so scripts and CI can branch without
+   parsing output (also listed in every subcommand's EXIT STATUS):
+     0 completed (replay: faithfully)      1 campaign found bugs
+     2 usage error                         3 corrupt/unreadable demo
+     4 deadline or tick budget exhausted   5 program crashed
+     6 deadlock                            7 hard replay desync
+     8 workload unsupported                9 application error
+    10 soft replay desync                130 interrupted (SIGINT) *)
+let exit_of (r : Interp.result) =
+  match r.outcome with
+  | Interp.Completed -> if r.soft_desync then 10 else 0
+  | Interp.Corrupt_demo _ -> 3
+  | Interp.Timeout | Interp.Tick_limit -> 4
+  | Interp.Crashed _ -> 5
+  | Interp.Deadlock _ -> 6
+  | Interp.Hard_desync _ -> 7
+  | Interp.Unsupported_app _ -> 8
+  | Interp.App_error _ -> 9
+
+let defaults_sans_ok =
+  List.filter
+    (fun i -> Cmd.Exit.info_code i <> Cmd.Exit.ok)
+    Cmd.Exit.defaults
+
+let outcome_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"the run completed (for replay: faithfully).";
+    Cmd.Exit.info 3 ~doc:"the demo directory is corrupt or unreadable.";
+    Cmd.Exit.info 4
+      ~doc:"the run exhausted its wall-clock deadline or tick budget.";
+    Cmd.Exit.info 5 ~doc:"the program crashed (failed assertion).";
+    Cmd.Exit.info 6 ~doc:"the program deadlocked.";
+    Cmd.Exit.info 7 ~doc:"replay desynchronised beyond recovery.";
+    Cmd.Exit.info 8
+      ~doc:"the workload is unsupported under this configuration.";
+    Cmd.Exit.info 9 ~doc:"the application reported an error.";
+    Cmd.Exit.info 10 ~doc:"replay completed but soft-desynchronised.";
+  ]
+  @ defaults_sans_ok
+
+let campaign_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"the campaign finished with no findings.";
+    Cmd.Exit.info 1 ~doc:"the campaign found races, crashes or deadlocks.";
+    Cmd.Exit.info 130
+      ~doc:
+        "interrupted (SIGINT): in-flight runs were drained and journalled; \
+         rerun with $(b,--resume) to continue.";
+  ]
+  @ defaults_sans_ok
+
+(* ---- SIGINT draining ----------------------------------------------- *)
+
+(* First Ctrl-C: stop claiming new runs, let in-flight ones finish and
+   reach the journal, print a partial report. Second Ctrl-C: abort. *)
+let interrupted = Atomic.make false
+let cancel () = Atomic.get interrupted
+
+let install_sigint () =
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if Atomic.get interrupted then exit 130
+         else begin
+           Atomic.set interrupted true;
+           prerr_endline
+             "interrupt: draining in-flight runs (Ctrl-C again to abort)"
+         end))
 
 (* ---- shared arguments --------------------------------------------- *)
 
@@ -63,6 +137,44 @@ let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
 
 let resolve_jobs j = if j <= 0 then T11r_harness.Pool.default_jobs () else j
+
+let deadline_arg =
+  let doc =
+    "Per-run wall-clock deadline in seconds: a wedged run is cut off with \
+     a $(b,timeout) outcome (exit 4) instead of hanging its worker. 0 \
+     disables. Wall time is nondeterministic — use $(b,--tick-budget) \
+     when the campaign digest must be reproducible."
+  in
+  Arg.(value & opt float 0.0 & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let tick_budget_arg =
+  let doc =
+    "Deterministic per-run budget: cap every run at $(docv) critical \
+     sections (a $(b,tick-limit) outcome, exit 4), identically on every \
+     host and at every $(b,--jobs)."
+  in
+  Arg.(value & opt (some int) None & info [ "tick-budget" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry a run whose worker raised up to $(docv) times (exponential \
+     backoff) before quarantining it as a $(b,crashed) result; the \
+     campaign always completes."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let journal_arg =
+  let doc =
+    "Append every completed run to this checksummed JSONL journal and \
+     skip runs it already holds. $(b,--resume) and $(b,--journal) are the \
+     same option: pointing it at the journal of an interrupted or killed \
+     campaign continues exactly where it stopped, and the final report \
+     and digest are bit-identical to an uninterrupted run."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume"; "journal" ] ~docv:"FILE" ~doc)
 
 let fault_p_arg =
   let doc =
@@ -160,16 +272,6 @@ let report (r : Interp.result) =
   if String.length r.output > 0 then
     Fmt.pr "---- program output ----@.%s@." r.output
 
-let exit_of (r : Interp.result) =
-  match r.outcome with
-  | Interp.Completed -> if r.soft_desync then 3 else 0
-  | Interp.Crashed _ -> 4
-  | Interp.Deadlock _ -> 5
-  | Interp.Hard_desync _ -> 6
-  | Interp.Unsupported_app _ -> 7
-  | Interp.Tick_limit -> 8
-  | Interp.App_error _ -> 9
-
 (* ---- subcommands --------------------------------------------------- *)
 
 let list_cmd =
@@ -215,7 +317,8 @@ let run_cmd =
       & info [ "tsan" ] ~doc:"Print ThreadSanitizer-style warning blocks.")
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run a workload once under a tool configuration")
+    (Cmd.info "run" ~exits:outcome_exits
+       ~doc:"Run a workload once under a tool configuration")
     Term.(
       const run $ workload_arg $ tool_arg $ strategy_arg $ seed_arg
       $ env_seed_arg $ fault_p_arg $ fault_seed_arg $ tsan_flag)
@@ -235,14 +338,39 @@ let record_cmd =
     Fmt.pr "recorded demo in %s@." demo;
     exit (exit_of r)
   in
-  Cmd.v (Cmd.info "record" ~doc:"Record a demo of one execution")
+  Cmd.v
+    (Cmd.info "record" ~exits:outcome_exits
+       ~doc:"Record a demo of one execution")
     Term.(
       const run $ workload_arg $ strategy_arg $ seed_arg $ env_seed_arg
       $ fault_p_arg $ fault_seed_arg $ demo_arg)
 
 let replay_cmd =
-  let run name strategy env_seed on_desync demo =
+  let run name strategy env_seed on_desync demo salvage =
     let w = lookup_workload name in
+    let demo =
+      if not salvage then demo
+      else
+        match Demo.load ~dir:demo with
+        | (_ : Demo.t) -> demo (* intact: replay it as-is *)
+        | exception Demo.Corrupt c -> (
+            Fmt.epr "demo corrupt: %s@." (Demo.corruption_to_string c);
+            match Demo.salvage ~dir:demo with
+            | Error c ->
+                Fmt.epr "cannot salvage: %s@." (Demo.corruption_to_string c);
+                exit 3
+            | Ok (d, rep) ->
+                let out = demo ^ ".salvaged" in
+                T11r_util.Tmp.rm_rf out;
+                Demo.save d ~dir:out;
+                List.iter
+                  (fun (f, n) ->
+                    if n > 0 then
+                      Fmt.epr "  %s: dropped %d damaged line(s)@." f n)
+                  rep.Demo.sv_dropped;
+                Fmt.epr "salvaged %d-tick prefix -> %s@." d.Demo.meta.ticks out;
+                out)
+    in
     let conf, world, build =
       prepare ~w
         ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
@@ -253,14 +381,27 @@ let replay_cmd =
     report r;
     exit (exit_of r)
   in
+  let salvage_flag =
+    Arg.(
+      value & flag
+      & info [ "salvage" ]
+          ~doc:
+            "If the demo fails its integrity check (truncated or damaged \
+             files), recover the longest intact prefix into \
+             $(i,DIR).salvaged and replay that — usually enough to reach \
+             the recorded bug.")
+  in
   Cmd.v
-    (Cmd.info "replay" ~doc:"Replay a recorded demo (checks for desync)")
+    (Cmd.info "replay" ~exits:outcome_exits
+       ~doc:"Replay a recorded demo (checks for desync)")
     Term.(
       const run $ workload_arg $ strategy_arg $ env_seed_arg $ on_desync_arg
-      $ demo_arg)
+      $ demo_arg $ salvage_flag)
 
 let hunt_cmd =
-  let run name strategy runs env_seed fault_p jobs =
+  let run name strategy runs env_seed fault_p jobs deadline tick_budget
+      retries journal =
+    install_sigint ();
     let w = lookup_workload name in
     let base =
       Conf.with_policy (base_conf ~tool:"tsan11rec" ~strategy) w.Workloads.w_policy
@@ -270,7 +411,7 @@ let hunt_cmd =
        seed i — run i is a pure function of i, so the hunt shards. *)
     let spec =
       {
-        T11r_harness.Campaign.label = name;
+        Campaign.label = name;
         conf =
           (fun i ->
             Conf.with_seeds base (Int64.of_int i) (Int64.of_int (i + 7919)));
@@ -289,35 +430,66 @@ let hunt_cmd =
       }
     in
     let c =
-      T11r_harness.Campaign.run spec ~n:runs ~jobs:(resolve_jobs jobs) ~first:1 []
+      Campaign.run spec ~n:runs ~jobs:(resolve_jobs jobs) ~first:1
+        ~deadline_s:deadline ?tick_budget ~retries ?journal ~cancel []
     in
     let crashed =
       List.fold_left (fun acc (k, v) -> if k = "crashed" then acc + v else acc)
-        0 c.T11r_harness.Campaign.outcomes
+        0 c.Campaign.outcomes
     in
-    Fmt.pr "%d runs (%s strategy): %d racy (%.1f%%), %d crashed@." runs
-      strategy c.T11r_harness.Campaign.racy_runs
+    let sup = c.Campaign.supervision in
+    Fmt.pr "%d runs (%s strategy): %d racy (%.1f%%), %d crashed@."
+      sup.Campaign.sup_done strategy c.Campaign.racy_runs
       (100.0
-      *. float_of_int c.T11r_harness.Campaign.racy_runs
-      /. float_of_int runs)
+      *. float_of_int c.Campaign.racy_runs
+      /. float_of_int (max 1 sup.Campaign.sup_done))
       crashed;
-    (match c.T11r_harness.Campaign.crashes with
+    if sup.Campaign.sup_resumed > 0 then
+      Fmt.pr "resumed:   %d run(s) replayed from the journal@."
+        sup.Campaign.sup_resumed;
+    if sup.Campaign.sup_timeouts > 0 then
+      Fmt.pr "timeouts:  %d run(s) hit the %.1fs deadline@."
+        sup.Campaign.sup_timeouts deadline;
+    if sup.Campaign.sup_retried > 0 then
+      Fmt.pr "retries:   %d attempt(s)@." sup.Campaign.sup_retried;
+    (match sup.Campaign.sup_quarantined with
+    | [] -> ()
+    | q ->
+        Fmt.pr "quarantined: %d run(s) kept crashing: %a@." (List.length q)
+          Fmt.(list ~sep:(any ", ") int)
+          (List.map fst q));
+    (match c.Campaign.crashes with
     | (i, msg) :: _ ->
         Fmt.pr "first crash at seed %d: %s@." i msg;
         Fmt.pr "reproduce with: record %s -s %s --seed %d --env-seed %d@." name
           strategy i (env_seed + i)
     | [] -> ());
-    exit (if c.T11r_harness.Campaign.racy_runs > 0 || crashed > 0 then 1 else 0)
+    if sup.Campaign.sup_interrupted then begin
+      (match journal with
+      | Some j ->
+          Fmt.pr "INTERRUPTED after %d/%d runs; resume with --resume %s@."
+            sup.Campaign.sup_done runs j
+      | None ->
+          Fmt.pr
+            "INTERRUPTED after %d/%d runs (no journal — progress lost; use \
+             --journal FILE next time)@."
+            sup.Campaign.sup_done runs);
+      exit 130
+    end;
+    Fmt.pr "digest:    %s@." (Campaign.digest c);
+    exit (if c.Campaign.racy_runs > 0 || crashed > 0 then 1 else 0)
   in
   Cmd.v
-    (Cmd.info "hunt"
+    (Cmd.info "hunt" ~exits:campaign_exits
        ~doc:"Controlled concurrency testing: many seeds, race/crash counts")
     Term.(
       const run $ workload_arg $ strategy_arg $ runs_arg $ env_seed_arg
-      $ fault_p_arg $ jobs_arg)
+      $ fault_p_arg $ jobs_arg $ deadline_arg $ tick_budget_arg $ retries_arg
+      $ journal_arg)
 
 let explore_cmd =
-  let run name strategy runs jobs =
+  let run name strategy runs jobs deadline tick_budget retries journal =
+    install_sigint ();
     let w = lookup_workload name in
     let strat =
       match strategy_of strategy with
@@ -332,17 +504,31 @@ let explore_cmd =
         w
     in
     let report =
-      T11r_harness.Explore.explore ~jobs:(resolve_jobs jobs) spec ~n:runs
+      T11r_harness.Explore.explore ~jobs:(resolve_jobs jobs)
+        ~deadline_s:deadline ?tick_budget ~retries ?journal ~cancel spec
+        ~n:runs
     in
-    Fmt.pr "%a" T11r_harness.Explore.pp report
+    Fmt.pr "%a" T11r_harness.Explore.pp report;
+    if Atomic.get interrupted then begin
+      (match journal with
+      | Some j -> Fmt.pr "interrupted; resume with --resume %s@." j
+      | None ->
+          Fmt.pr
+            "interrupted (no journal — partial results only; use --journal \
+             FILE next time)@.");
+      exit 130
+    end
   in
   Cmd.v
-    (Cmd.info "explore"
+    (Cmd.info "explore" ~exits:campaign_exits
        ~doc:"Schedule-space exploration report: coverage, races, crashes")
-    Term.(const run $ workload_arg $ strategy_arg $ runs_arg $ jobs_arg)
+    Term.(
+      const run $ workload_arg $ strategy_arg $ runs_arg $ jobs_arg
+      $ deadline_arg $ tick_budget_arg $ retries_arg $ journal_arg)
 
 let check_cmd =
-  let run name max_runs jobs =
+  let run name max_runs jobs journal =
+    install_sigint ();
     let w = lookup_workload name in
     let build () =
       (* Systematic exploration is closed-world: setup runs against a
@@ -352,9 +538,18 @@ let check_cmd =
     in
     let r =
       T11r_harness.Systematic.explore ~max_runs ~jobs:(resolve_jobs jobs)
-        ~build ()
+        ?journal ~cancel ~build ()
     in
     Fmt.pr "%a" T11r_harness.Systematic.pp r;
+    if Atomic.get interrupted then begin
+      (match journal with
+      | Some j -> Fmt.pr "interrupted; resume with --resume %s@." j
+      | None ->
+          Fmt.pr
+            "interrupted (no journal — progress lost; use --journal FILE \
+             next time)@.");
+      exit 130
+    end;
     exit
       (if r.racy_schedules > 0 || r.deadlock_schedules > 0 || r.crash_schedules > 0
        then 1
@@ -366,11 +561,11 @@ let check_cmd =
       & info [ "max-runs" ] ~docv:"N" ~doc:"Schedule budget for the DFS.")
   in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~exits:campaign_exits
        ~doc:
          "Bounded systematic exploration (stateless model checking) of a \
           closed workload")
-    Term.(const run $ workload_arg $ max_runs $ jobs_arg)
+    Term.(const run $ workload_arg $ max_runs $ jobs_arg $ journal_arg)
 
 let icb_cmd =
   let run name max_bound =
@@ -476,7 +671,7 @@ let trace_cmd =
           ~doc:"Event ring-buffer capacity (oldest events drop beyond it).")
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "trace" ~exits:outcome_exits
        ~doc:
          "Run (or replay) a workload with event tracing and export a \
           Perfetto-loadable Chrome trace")
@@ -492,18 +687,43 @@ let demo_info_cmd =
         Fmt.pr "  strategy:      %s@." d.meta.strategy;
         Fmt.pr "  seeds:         %Ld %Ld@." d.meta.seed1 d.meta.seed2;
         Fmt.pr "  syscall bytes: %d@." (Demo.syscall_bytes d);
-        Fmt.pr "  total bytes:   %d@." (Demo.size_bytes d)
-    | exception Invalid_argument msg ->
-        Fmt.epr "cannot load demo: %s@." msg;
-        exit 2
+        Fmt.pr "  total bytes:   %d@." (Demo.size_bytes d);
+        Fmt.pr "  integrity:     %s@."
+          (if Sys.file_exists (Filename.concat dir "MANIFEST") then
+             "verified (MANIFEST + per-file checksums)"
+           else "legacy recording (no MANIFEST; line formats checked)")
+    | exception Demo.Corrupt c ->
+        Fmt.epr "corrupt demo: %s@." (Demo.corruption_to_string c);
+        Fmt.epr "(replay --salvage can recover the intact prefix)@.";
+        exit 3
   in
   let dir =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Demo directory")
   in
-  Cmd.v (Cmd.info "demo-info" ~doc:"Summarise a recorded demo")
+  let exits =
+    Cmd.Exit.info 3 ~doc:"the demo directory is corrupt or unreadable."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "demo-info" ~exits
+       ~doc:"Summarise and integrity-check a recorded demo")
     Term.(const run $ dir)
 
 let () =
+  (* Opt-in startup GC: sweep temp directories stranded by SIGKILLed
+     earlier processes (recognised by prefix + dead pid in the name). *)
+  (match Sys.getenv_opt "T11R_TMP_GC" with
+  | Some "1" ->
+      List.iter
+        (fun prefix ->
+          match T11r_util.Tmp.gc ~prefix () with
+          | [] -> ()
+          | removed ->
+              Fmt.epr "tmp-gc: removed %d stale %s.* director%s@."
+                (List.length removed) prefix
+                (if List.length removed = 1 then "y" else "ies"))
+        [ "t11r"; "faultsweep" ]
+  | _ -> ());
   let doc = "sparse record and replay with controlled scheduling" in
   let info = Cmd.info "tsan11rec" ~version:"1.0.0" ~doc in
   exit

@@ -33,6 +33,7 @@ type t = {
   queue_jitter_us : int;
   startup_us : int;
   max_ticks : int;
+  deadline_s : float;
   max_history : int;
   suppressions : string list;
   debug_trace : bool;
@@ -70,6 +71,7 @@ let default =
     queue_jitter_us = 40;
     startup_us = 0;
     max_ticks = 5_000_000;
+    deadline_s = 0.;
     max_history = 8;
     suppressions = [];
     debug_trace = false;

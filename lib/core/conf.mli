@@ -96,6 +96,12 @@ type t = {
           large for the rr model ("huge increases due to a constant
           overhead applied to all programs", §5.1), zero otherwise *)
   max_ticks : int;  (** safety valve against livelock in tests *)
+  deadline_s : float;
+      (** wall-clock budget for one run, seconds; [0.] disables. Hitting
+          it yields the {!Interp.Timeout} outcome. Wall time is
+          inherently nondeterministic — deterministic campaigns should
+          bound runs with [max_ticks] (tick budgets) instead and keep
+          the deadline as a supervision backstop for wedged runs. *)
   max_history : int;
       (** store-history window of the weak-memory model; [1] makes
           every atomic location a sequentially consistent register *)

@@ -33,11 +33,35 @@ type t = {
   asyncs : async_entry list;
 }
 
+(* -- structured corruption errors ----------------------------------- *)
+
+type corruption = { c_file : string; c_line : int; c_reason : string }
+
+exception Corrupt of corruption
+
+let corruption_to_string c =
+  if c.c_line > 0 then Printf.sprintf "%s:%d: %s" c.c_file c.c_line c.c_reason
+  else Printf.sprintf "%s: %s" c.c_file c.c_reason
+
+let pp_corruption fmt c = Format.pp_print_string fmt (corruption_to_string c)
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt c -> Some ("Demo.Corrupt: " ^ corruption_to_string c)
+    | _ -> None)
+
+let corrupt file line fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Corrupt { c_file = file; c_line = line; c_reason = reason }))
+    fmt
+
 (* -- rendering ------------------------------------------------------ *)
 
 (* Bump when the on-disk layout changes incompatibly. Loaders accept
    demos without a "format" line (recorded before versioning) and
-   reject any other version with a clear error. *)
+   reject any other version with a clear error. The CRC framing below
+   is additive — a trailer-less file still loads — so it does not bump
+   the version. *)
 let format_version = 1
 
 let render_meta m =
@@ -93,67 +117,235 @@ let render_asyncs es =
       | Signal_wakeup tid -> Printf.sprintf "%d sigwake %d" e.a_tick tid)
     es
 
-let save t ~dir =
-  Codec.write_lines (Filename.concat dir "META") (render_meta t.meta);
-  (match t.queue with
-  | Some q -> Codec.write_lines (Filename.concat dir "QUEUE") (render_queue q)
-  | None ->
-      if Sys.file_exists (Filename.concat dir "QUEUE") then
-        Sys.remove (Filename.concat dir "QUEUE"));
-  Codec.write_lines (Filename.concat dir "SIGNAL") (render_signals t.signals);
-  Codec.write_lines (Filename.concat dir "SYSCALL") (render_syscalls t.syscalls);
-  Codec.write_lines (Filename.concat dir "ASYNC") (render_asyncs t.asyncs)
+(* -- CRC framing ---------------------------------------------------- *)
+
+(* Every saved file ends with one trailer line
+
+     #crc <8-hex CRC-32 of the payload text> <payload line count>
+
+   ('#' never starts a payload line in this format), and the directory
+   carries a MANIFEST of per-file payload sizes and checksums — itself
+   a framed file — so truncation of a whole file tail (including the
+   trailer) is still detected. *)
+
+let manifest_name = "MANIFEST"
+let trailer_tag = "#crc"
+
+let is_trailer l =
+  String.length l >= 4 && String.sub l 0 4 = trailer_tag
+
+let text_of_lines lines =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    lines;
+  Buffer.contents b
+
+let trailer_of lines =
+  Printf.sprintf "%s %s %d" trailer_tag
+    (Crc.to_hex (Crc.string (text_of_lines lines)))
+    (List.length lines)
+
+(* -- crash-atomic save ---------------------------------------------- *)
+
+let write_framed ~durable path lines =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (lines @ [ trailer_of lines ]);
+      flush oc;
+      if durable then Unix.fsync (Unix.descr_of_out_channel oc))
+
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let payload_files ?(extra = []) t =
+  (("META", render_meta t.meta)
+  :: (match t.queue with Some q -> [ ("QUEUE", render_queue q) ] | None -> []))
+  @ [
+      ("SIGNAL", render_signals t.signals);
+      ("SYSCALL", render_syscalls t.syscalls);
+      ("ASYNC", render_asyncs t.asyncs);
+    ]
+  @ extra
+
+let manifest_lines files =
+  List.map
+    (fun (name, lines) ->
+      let text = text_of_lines lines in
+      Printf.sprintf "file %s %d %s" name (String.length text)
+        (Crc.to_hex (Crc.string text)))
+    files
+
+let save ?(durable = true) ?extra t ~dir =
+  let files = payload_files ?extra t in
+  let parent = Filename.dirname dir in
+  Codec.mkdir_p parent;
+  (* Write everything into a fresh sibling directory, fsync, then
+     rename into place: a crash at any point leaves either the old
+     demo or the new one, never a torn mix. *)
+  let tmp =
+    Tmp.fresh_dir ~base:parent ~prefix:(Filename.basename dir ^ ".save") ()
+  in
+  try
+    List.iter
+      (fun (name, lines) -> write_framed ~durable (Filename.concat tmp name) lines)
+      files;
+    write_framed ~durable (Filename.concat tmp manifest_name) (manifest_lines files);
+    if durable then fsync_dir tmp;
+    if Sys.file_exists dir then begin
+      let old = tmp ^ ".old" in
+      Unix.rename dir old;
+      Unix.rename tmp dir;
+      Tmp.rm_rf old
+    end
+    else Unix.rename tmp dir;
+    if durable then fsync_dir parent
+  with e ->
+    Tmp.rm_rf tmp;
+    raise e
+
+(* -- verified framed reads ------------------------------------------ *)
+
+let parse_trailer ~file ~line l =
+  match Codec.fields l with
+  | [ tag; hex; count ] when tag = trailer_tag -> (
+      match (Crc.of_hex hex, int_of_string_opt count) with
+      | Some crc, Some n when n >= 0 -> (crc, n)
+      | _ -> corrupt file line "malformed trailer %S" l)
+  | _ -> corrupt file line "malformed trailer %S" l
+
+(* Read a file, verify and strip its trailer (files written before the
+   framing change have none and are accepted as-is), and return the
+   payload as (1-based line number, line) pairs. *)
+let read_framed ~dir name =
+  let numbered =
+    List.mapi (fun i l -> (i + 1, l)) (Codec.read_lines (Filename.concat dir name))
+  in
+  let check_no_stray payload =
+    List.iter
+      (fun (ln, l) -> if is_trailer l then corrupt name ln "misplaced trailer")
+      payload
+  in
+  match List.rev numbered with
+  | (ln, last) :: rev_payload when is_trailer last ->
+      let crc, count = parse_trailer ~file:name ~line:ln last in
+      let payload = List.rev rev_payload in
+      check_no_stray payload;
+      let got = List.length payload in
+      if got <> count then
+        corrupt name ln "%d payload lines but trailer says %d (truncated?)" got
+          count;
+      if Crc.string (text_of_lines (List.map snd payload)) <> crc then
+        corrupt name ln "payload does not match trailer checksum";
+      payload
+  | _ ->
+      check_no_stray numbered;
+      numbered
+
+let verify_manifest ~dir =
+  if Sys.file_exists (Filename.concat dir manifest_name) then
+    List.iter
+      (fun (ln, line) ->
+        match Codec.fields line with
+        | [ "file"; name; size; crc_hex ] -> (
+            if Filename.basename name <> name then
+              corrupt manifest_name ln "bad file name %S" name;
+            match (int_of_string_opt size, Crc.of_hex crc_hex) with
+            | Some size, Some crc ->
+                if not (Sys.file_exists (Filename.concat dir name)) then
+                  corrupt name 0 "listed in MANIFEST but missing";
+                let payload = read_framed ~dir name in
+                let text = text_of_lines (List.map snd payload) in
+                if String.length text <> size then
+                  corrupt name 0
+                    "%d payload bytes but MANIFEST says %d (truncated?)"
+                    (String.length text) size;
+                if Crc.string text <> crc then
+                  corrupt name 0 "payload does not match MANIFEST checksum"
+            | _ -> corrupt manifest_name ln "bad MANIFEST line %S" line)
+        | [] -> ()
+        | _ -> corrupt manifest_name ln "bad MANIFEST line %S" line)
+      (read_framed ~dir manifest_name)
 
 (* -- parsing -------------------------------------------------------- *)
 
-let fail fmt = Printf.ksprintf invalid_arg fmt
+(* Per-line conversions funnel Codec/Rle Invalid_argument into a
+   Corrupt naming the file and line. *)
+let guard ~file ~line f =
+  try f () with
+  | Corrupt _ as e -> raise e
+  | Invalid_argument m | Failure m -> corrupt file line "%s" m
 
-let parse_meta lines =
+let parse_meta numbered =
+  let file = "META" in
   let tbl = Hashtbl.create 8 in
   List.iter
-    (fun line ->
+    (fun (ln, line) ->
       match Codec.fields line with
-      | key :: rest -> Hashtbl.replace tbl key (String.concat " " rest)
+      | key :: rest -> Hashtbl.replace tbl key (ln, String.concat " " rest)
       | [] -> ())
-    lines;
+    numbered;
   let get k =
     match Hashtbl.find_opt tbl k with
-    | Some v -> v
-    | None -> fail "Demo: META missing key %s" k
+    | Some lv -> lv
+    | None -> corrupt file 0 "missing key %s" k
+  in
+  let conv k f =
+    let ln, v = get k in
+    guard ~file ~line:ln (fun () -> f v)
   in
   (match Hashtbl.find_opt tbl "format" with
   | None -> () (* pre-versioning demo *)
-  | Some v ->
+  | Some (ln, v) ->
       if int_of_string_opt v <> Some format_version then
-        fail "Demo: unsupported demo format version %S (this build reads %d)" v
-          format_version);
+        corrupt file ln "unsupported demo format version %S (this build reads %d)"
+          v format_version);
   {
-    app = Codec.unescape (get "app");
-    strategy = get "strategy";
-    seed1 = Codec.int64_field (get "seed1");
-    seed2 = Codec.int64_field (get "seed2");
-    ticks = Codec.int_field (get "ticks");
-    output_digest = get "output_digest";
+    app = conv "app" Codec.unescape;
+    strategy = snd (get "strategy");
+    seed1 = conv "seed1" Codec.int64_field;
+    seed2 = conv "seed2" Codec.int64_field;
+    ticks = conv "ticks" Codec.int_field;
+    output_digest = snd (get "output_digest");
   }
 
-let parse_queue lines =
+let queue_run_length ~file ~line n =
+  if n <= 0 then corrupt file line "non-positive QUEUE run length %d" n;
+  (* A corrupt count must not make Rle.decode materialise a giant list
+     before anyone can reject the demo. *)
+  if n > 10_000_000 then corrupt file line "absurd QUEUE run length %d" n;
+  n
+
+let parse_queue numbered =
+  let file = "QUEUE" in
   let firsts = ref [] in
   let pairs = ref [] in
   List.iter
-    (fun line ->
-      match Codec.fields line with
-      | [ "queue" ] -> ()
-      | [ "first"; tid; tick ] ->
-          firsts := (Codec.int_field tid, Codec.int_field tick) :: !firsts
-      | [ "t"; v; n ] ->
-          let n = Codec.int_field n in
-          (* A corrupt count must not make Rle.decode materialise a
-             giant list before anyone can reject the demo. *)
-          if n > 10_000_000 then fail "Demo: absurd QUEUE run length %d" n;
-          pairs := (Codec.int_field v, n) :: !pairs
-      | [] -> ()
-      | _ -> fail "Demo: bad QUEUE line %S" line)
-    lines;
+    (fun (ln, line) ->
+      guard ~file ~line:ln (fun () ->
+          match Codec.fields line with
+          | [ "queue" ] -> ()
+          | [ "first"; tid; tick ] ->
+              firsts := (Codec.int_field tid, Codec.int_field tick) :: !firsts
+          | [ "t"; v; n ] ->
+              let n = queue_run_length ~file ~line:ln (Codec.int_field n) in
+              pairs := (Codec.int_field v, n) :: !pairs
+          | [] -> ()
+          | _ -> corrupt file ln "bad QUEUE line %S" line))
+    numbered;
   let deltas = Rle.decode (List.rev !pairs) in
   let next_ticks =
     let prev = ref 0 in
@@ -165,10 +357,9 @@ let parse_queue lines =
   in
   { first_ticks = List.rev !firsts; next_ticks }
 
-let parse_signals lines =
-  List.filter_map
-    (fun line ->
-      match Codec.fields line with
+let parse_signal_line ~file ~line:ln line_text =
+  guard ~file ~line:ln (fun () ->
+      match Codec.fields line_text with
       | [ tid; tick; signo ] ->
           Some
             {
@@ -177,13 +368,16 @@ let parse_signals lines =
               s_signo = Codec.int_field signo;
             }
       | [] -> None
-      | _ -> fail "Demo: bad SIGNAL line %S" line)
-    lines
+      | _ -> corrupt file ln "bad SIGNAL line %S" line_text)
 
-let parse_syscalls lines =
+let parse_signals numbered =
   List.filter_map
-    (fun line ->
-      match Codec.fields line with
+    (fun (ln, l) -> parse_signal_line ~file:"SIGNAL" ~line:ln l)
+    numbered
+
+let parse_syscall_line ~file ~line:ln line_text =
+  guard ~file ~line:ln (fun () ->
+      match Codec.fields line_text with
       | [ tick; tid; label; ret; errno; elapsed; data ] ->
           Some
             {
@@ -196,13 +390,16 @@ let parse_syscalls lines =
               sc_data = Rle.decode_bytes (Codec.unescape data);
             }
       | [] -> None
-      | _ -> fail "Demo: bad SYSCALL line %S" line)
-    lines
+      | _ -> corrupt file ln "bad SYSCALL line %S" line_text)
 
-let parse_asyncs lines =
+let parse_syscalls numbered =
   List.filter_map
-    (fun line ->
-      match Codec.fields line with
+    (fun (ln, l) -> parse_syscall_line ~file:"SYSCALL" ~line:ln l)
+    numbered
+
+let parse_async_line ~file ~line:ln line_text =
+  guard ~file ~line:ln (fun () ->
+      match Codec.fields line_text with
       | [ tick; "resched" ] ->
           Some { a_tick = Codec.int_field tick; a_kind = Reschedule }
       | [ tick; "sigwake"; tid ] ->
@@ -212,24 +409,217 @@ let parse_asyncs lines =
               a_kind = Signal_wakeup (Codec.int_field tid);
             }
       | [] -> None
-      | _ -> fail "Demo: bad ASYNC line %S" line)
-    lines
+      | _ -> corrupt file ln "bad ASYNC line %S" line_text)
+
+let parse_asyncs numbered =
+  List.filter_map
+    (fun (ln, l) -> parse_async_line ~file:"ASYNC" ~line:ln l)
+    numbered
 
 let load ~dir =
-  let file name = Codec.read_lines (Filename.concat dir name) in
-  let meta_lines = file "META" in
-  if meta_lines = [] then fail "Demo: no META in %s" dir;
-  let queue_lines = file "QUEUE" in
-  {
-    meta = parse_meta meta_lines;
-    queue = (if queue_lines = [] then None else Some (parse_queue queue_lines));
-    signals = parse_signals (file "SIGNAL");
-    syscalls = parse_syscalls (file "SYSCALL");
-    asyncs = parse_asyncs (file "ASYNC");
-  }
+  try
+    if not (Sys.file_exists (Filename.concat dir "META")) then
+      raise
+        (Corrupt { c_file = "META"; c_line = 0; c_reason = "no META in " ^ dir });
+    verify_manifest ~dir;
+    let meta = parse_meta (read_framed ~dir "META") in
+    let queue_lines = read_framed ~dir "QUEUE" in
+    {
+      meta;
+      queue = (if queue_lines = [] then None else Some (parse_queue queue_lines));
+      signals = parse_signals (read_framed ~dir "SIGNAL");
+      syscalls = parse_syscalls (read_framed ~dir "SYSCALL");
+      asyncs = parse_asyncs (read_framed ~dir "ASYNC");
+    }
+  with
+  | Corrupt _ as e -> raise e
+  (* Safety net: whatever else goes wrong reading the directory
+     (permissions, stray I/O errors, an escape-decode corner) still
+     surfaces as a structured corruption, never a loose exception. *)
+  | Invalid_argument m | Failure m | Sys_error m ->
+      raise (Corrupt { c_file = dir; c_line = 0; c_reason = m })
+  | Unix.Unix_error (e, fn, arg) ->
+      raise
+        (Corrupt
+           {
+             c_file = dir;
+             c_line = 0;
+             c_reason = Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e);
+           })
+
+let load_result ~dir =
+  match load ~dir with t -> Ok t | exception Corrupt c -> Error c
+
+let read_aux ~dir name = List.map snd (read_framed ~dir name)
+
+(* -- salvage -------------------------------------------------------- *)
+
+type salvage_report = { sv_dropped : (string * int) list }
+
+let dropped_total r = List.fold_left (fun a (_, n) -> a + n) 0 r.sv_dropped
+
+(* Keep the longest prefix of lines that [eat] accepts; checksum
+   trailers are dropped unverified (a truncated file rarely keeps
+   one). Returns the number of payload lines abandoned. *)
+let salvage_prefix lines eat =
+  let payload = List.filter (fun l -> not (is_trailer l)) lines in
+  let rec consume = function
+    | [] -> 0
+    | l :: rest -> (
+        match eat l with
+        | () -> consume rest
+        | exception _ -> 1 + List.length rest)
+  in
+  consume payload
+
+let salvage ~dir =
+  let raw name = Codec.read_lines (Filename.concat dir name) in
+  if not (Sys.file_exists (Filename.concat dir "META")) then
+    Error { c_file = "META"; c_line = 0; c_reason = "no META in " ^ dir }
+  else begin
+    (* META: keep the key/value prefix; strategy and seeds are
+       indispensable, everything else degrades gracefully. *)
+    let tbl = Hashtbl.create 8 in
+    let meta_dropped =
+      salvage_prefix (raw "META") (fun line ->
+          match Codec.fields line with
+          | "format" :: v :: _ ->
+              if int_of_string_opt v <> Some format_version then
+                failwith "bad format version"
+              else Hashtbl.replace tbl "format" v
+          | key :: rest -> Hashtbl.replace tbl key (String.concat " " rest)
+          | [] -> ())
+    in
+    let find k = Hashtbl.find_opt tbl k in
+    let req_int64 k =
+      Option.bind (find k) Int64.of_string_opt
+    in
+    match (find "strategy", req_int64 "seed1", req_int64 "seed2") with
+    | Some strategy, Some seed1, Some seed2 ->
+        let meta =
+          {
+            app =
+              (match find "app" with
+              | Some a -> ( try Codec.unescape a with Invalid_argument _ -> a)
+              | None -> "?");
+            strategy;
+            seed1;
+            seed2;
+            ticks =
+              (match Option.bind (find "ticks") int_of_string_opt with
+              | Some t -> t
+              | None -> 0);
+            output_digest =
+              (match find "output_digest" with Some d -> d | None -> "");
+          }
+        in
+        let firsts = ref [] in
+        let pairs = ref [] in
+        let queue_raw = raw "QUEUE" in
+        let queue_dropped =
+          salvage_prefix queue_raw (fun line ->
+              match Codec.fields line with
+              | [ "queue" ] -> ()
+              | [ "first"; tid; tick ] ->
+                  firsts := (Codec.int_field tid, Codec.int_field tick) :: !firsts
+              | [ "t"; v; n ] ->
+                  let n =
+                    queue_run_length ~file:"QUEUE" ~line:0 (Codec.int_field n)
+                  in
+                  pairs := (Codec.int_field v, n) :: !pairs
+              | [] -> ()
+              | _ -> failwith "bad QUEUE line")
+        in
+        let queue =
+          if queue_raw = [] then None
+          else
+            let deltas = Rle.decode (List.rev !pairs) in
+            let prev = ref 0 in
+            let next_ticks =
+              List.map
+                (fun d ->
+                  prev := !prev + d;
+                  !prev)
+                deltas
+            in
+            Some { first_ticks = List.rev !firsts; next_ticks }
+        in
+        let list_file name parse_line =
+          let out = ref [] in
+          let dropped =
+            salvage_prefix (raw name) (fun line ->
+                match parse_line ~file:name ~line:0 line with
+                | Some v -> out := v :: !out
+                | None -> ())
+          in
+          (List.rev !out, dropped)
+        in
+        let signals, signal_dropped = list_file "SIGNAL" parse_signal_line in
+        let syscalls, syscall_dropped = list_file "SYSCALL" parse_syscall_line in
+        let asyncs, async_dropped = list_file "ASYNC" parse_async_line in
+        Ok
+          ( { meta; queue; signals; syscalls; asyncs },
+            {
+              sv_dropped =
+                List.filter
+                  (fun (_, n) -> n > 0)
+                  [
+                    ("META", meta_dropped);
+                    ("QUEUE", queue_dropped);
+                    ("SIGNAL", signal_dropped);
+                    ("SYSCALL", syscall_dropped);
+                    ("ASYNC", async_dropped);
+                  ];
+            } )
+    | _ ->
+        Error
+          {
+            c_file = "META";
+            c_line = 0;
+            c_reason = "unsalvageable: strategy or seeds missing";
+          }
+  end
+
+(* -- reseal --------------------------------------------------------- *)
+
+(* Recompute trailers and the MANIFEST over the payload currently on
+   disk — for tests and tooling that edit demo files by hand and then
+   need the directory to verify again. *)
+let reseal ~dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun name ->
+           name <> manifest_name
+           && (not (Sys.is_directory (Filename.concat dir name))))
+    |> List.sort compare
+  in
+  let payloads =
+    List.map
+      (fun name ->
+        let lines = Codec.read_lines (Filename.concat dir name) in
+        let payload =
+          match List.rev lines with
+          | last :: rev_rest when is_trailer last -> List.rev rev_rest
+          | _ -> lines
+        in
+        (name, payload))
+      files
+  in
+  List.iter
+    (fun (name, payload) ->
+      write_framed ~durable:false (Filename.concat dir name) payload)
+    payloads;
+  write_framed ~durable:false
+    (Filename.concat dir manifest_name)
+    (manifest_lines payloads)
+
+(* -- sizes ---------------------------------------------------------- *)
 
 let lines_size ls = List.fold_left (fun acc l -> acc + String.length l + 1) 0 ls
 
+(* Payload only: framing (trailers, MANIFEST) is deliberately excluded
+   so the paper's demo-size metric is unchanged by the durability
+   layer. *)
 let size_bytes t =
   lines_size (render_meta t.meta)
   + (match t.queue with Some q -> lines_size (render_queue q) | None -> 0)

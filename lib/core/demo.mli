@@ -15,7 +15,16 @@
     - [SYSCALL]— return value, errno, elapsed block time and RLE'd
                  buffer contents per recorded syscall (§4.4);
     - [ASYNC]  — asynchronous scheduler events (reschedules, signal
-                 wakeups) with their ticks (§4.5). *)
+                 wakeups) with their ticks (§4.5).
+
+    Durability (see docs/ARCHITECTURE.md "Durability & supervision"):
+    {!save} is crash-atomic — files are written and fsynced in a fresh
+    sibling directory which is then renamed into place — and every file
+    carries a [#crc] trailer plus an entry in a directory [MANIFEST],
+    so {!load} detects truncation, bit flips and missing files and
+    reports them as a structured {!Corrupt} instead of a stray parse
+    exception. {!salvage} recovers the intact prefix of a torn
+    recording. *)
 
 type signal_entry = { s_tid : int; s_tick : int; s_signo : int }
 
@@ -57,13 +66,63 @@ type t = {
   asyncs : async_entry list;
 }
 
-val save : t -> dir:string -> unit
+type corruption = {
+  c_file : string;  (** file inside the demo dir ("META", "QUEUE", …) *)
+  c_line : int;  (** 1-based line, or 0 for file-level damage *)
+  c_reason : string;
+}
+
+exception Corrupt of corruption
+
+val corruption_to_string : corruption -> string
+val pp_corruption : Format.formatter -> corruption -> unit
+
+val save : ?durable:bool -> ?extra:(string * string list) list -> t -> dir:string -> unit
+(** Crash-atomically (re)write the demo directory: all files — the
+    demo proper plus any [extra] named line-files (e.g. the debug
+    TRACE) — are CRC-framed, listed in a [MANIFEST], written into a
+    fresh sibling directory, fsynced ([durable], default true; pass
+    false for throwaway recordings where the fsyncs would dominate)
+    and renamed into place. A crash leaves either the previous demo or
+    the complete new one, never a torn mix. *)
+
 val load : dir:string -> t
-(** @raise Invalid_argument on a malformed or missing demo. *)
+(** Load and verify (trailers + MANIFEST when present; files recorded
+    before the framing change still load).
+    @raise Corrupt on a missing, truncated, tampered or malformed
+    demo — never any other exception. *)
+
+val load_result : dir:string -> (t, corruption) result
+(** Exception-free {!load}. *)
+
+val read_aux : dir:string -> string -> string list
+(** Payload lines of an auxiliary framed file in the demo dir (e.g.
+    ["TRACE"]), trailer verified and stripped; [[]] if absent.
+    @raise Corrupt if the file fails verification. *)
+
+type salvage_report = {
+  sv_dropped : (string * int) list;
+      (** per damaged file, the number of payload lines abandoned *)
+}
+
+val dropped_total : salvage_report -> int
+
+val salvage : dir:string -> (t * salvage_report, corruption) result
+(** Best-effort recovery of a damaged recording: per file, keep the
+    longest parseable prefix (checksums ignored), so a truncated
+    QUEUE/SYSCALL tail still yields a demo that replays up to the
+    recorded prefix. Fails only when META is too damaged to supply the
+    strategy and seeds. Re-{!save} the result to obtain a verified
+    directory again. *)
+
+val reseal : dir:string -> unit
+(** Recompute every file's trailer and the MANIFEST over the payload
+    bytes currently on disk — for tooling and tests that edit demo
+    files in place and need the directory to verify again. *)
 
 val size_bytes : t -> int
-(** Total size of the rendered demo files — the paper's demo-size
-    metric (§5.2). *)
+(** Total size of the rendered demo payload — the paper's demo-size
+    metric (§5.2). Framing (trailers, MANIFEST) is excluded. *)
 
 val syscall_bytes : t -> int
 (** Size of the SYSCALL file alone (§5.4 reports it separately). *)

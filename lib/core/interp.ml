@@ -18,6 +18,8 @@ type outcome =
   | Unsupported_app of string
   | App_error of string
   | Tick_limit
+  | Timeout
+  | Corrupt_demo of string
 
 type divergence = {
   div_tick : int;
@@ -120,6 +122,7 @@ type ctx = {
   mutable gclock : int;
   mutable makespan : int;
   mutable tick : int;
+  deadline_at : float;  (* Unix.gettimeofday () cutoff; infinity = none *)
   mutable cur : thread option;
   mutable trace : (int * int * string) list;  (* reversed *)
   (* recording *)
@@ -1416,7 +1419,10 @@ let build_demo ctx app_name =
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                            *)
 
-let make_ctx conf world program_seeds_override =
+let make_ctx conf world replay_demo =
+  let program_seeds_override =
+    Option.map (fun d -> (d.Demo.meta.seed1, d.Demo.meta.seed2)) replay_demo
+  in
   let rng =
     match program_seeds_override with
     | Some (s1, s2) -> Prng.create ~seed1:s1 ~seed2:s2
@@ -1425,11 +1431,7 @@ let make_ctx conf world program_seeds_override =
         | Some (s1, s2) -> Prng.create ~seed1:s1 ~seed2:s2
         | None -> Prng.of_time ())
   in
-  let replay =
-    match conf.Conf.mode with
-    | Conf.Replay dir -> Some (Demo.load ~dir)
-    | _ -> None
-  in
+  let replay = replay_demo in
   let ctx =
     {
       conf;
@@ -1455,6 +1457,10 @@ let make_ctx conf world program_seeds_override =
       gclock = 0;
       makespan = 0;
       tick = 0;
+      deadline_at =
+        (if conf.Conf.deadline_s > 0. then
+           Unix.gettimeofday () +. conf.Conf.deadline_s
+         else infinity);
       cur = None;
       trace = [];
       rec_sched = [];
@@ -1527,6 +1533,8 @@ let pp_outcome fmt = function
   | Unsupported_app msg -> Format.fprintf fmt "unsupported: %s" msg
   | App_error msg -> Format.fprintf fmt "app error: %s" msg
   | Tick_limit -> Format.fprintf fmt "tick limit reached"
+  | Timeout -> Format.fprintf fmt "wall-clock deadline exceeded"
+  | Corrupt_demo msg -> Format.fprintf fmt "corrupt demo: %s" msg
 
 let pp_divergence fmt d =
   Format.fprintf fmt "@[<v>divergence at op %d (thread %d, %s): expected %s, got %s"
@@ -1566,10 +1574,11 @@ let result_of_outcome outcome =
     events_dropped = 0;
   }
 
-(* A malformed demo is a usability error, not a crash: surface it as a
-   hard desynchronisation with an empty result. *)
-let malformed_demo_result msg =
-  result_of_outcome (Hard_desync (Printf.sprintf "malformed demo: %s" msg))
+(* A corrupt or missing demo is a usability (or durability) error, not
+   a crash: surface it as its own outcome with an empty result so the
+   CLI can map it to a dedicated exit code. *)
+let corrupt_demo_result c =
+  result_of_outcome (Corrupt_demo (Demo.corruption_to_string c))
 
 let run ?world conf (program : Api.program) =
   (* Generated names must be a function of the program alone, not of
@@ -1587,28 +1596,30 @@ let run ?world conf (program : Api.program) =
        && List.mem Syscall.Ioctl conf.Conf.policy.Policy.record_kinds);
   match
     (match conf.Conf.mode with
-    | Conf.Replay dir ->
-        let d = Demo.load ~dir in
-        Ok (Some (d.Demo.meta.seed1, d.Demo.meta.seed2))
+    | Conf.Replay dir -> Ok (Some (Demo.load ~dir))
     | _ -> Ok None)
   with
-  | exception Invalid_argument msg -> malformed_demo_result msg
+  | exception Demo.Corrupt c -> corrupt_demo_result c
   | Error _ -> assert false
-  | Ok seeds_override ->
-  let ctx = make_ctx conf world seeds_override in
+  | Ok replay_demo ->
+  let ctx = make_ctx conf world replay_demo in
   let finish outcome =
     let demo =
       match (conf.Conf.mode, outcome) with
       | Conf.Record dir, _ ->
           let d = build_demo ctx program.Api.pname in
-          Demo.save d ~dir;
-          if conf.Conf.debug_trace then
-            T11r_util.Codec.write_lines
-              (Filename.concat dir "TRACE")
-              (List.rev_map
-                 (fun (tick, tid, label) ->
-                   Printf.sprintf "%d %d %s" tick tid label)
-                 ctx.trace);
+          let extra =
+            if conf.Conf.debug_trace then
+              [
+                ( "TRACE",
+                  List.rev_map
+                    (fun (tick, tid, label) ->
+                      Printf.sprintf "%d %d %s" tick tid label)
+                    ctx.trace );
+              ]
+            else []
+          in
+          Demo.save ~extra d ~dir;
           Some d
       | _ -> None
     in
@@ -1619,7 +1630,11 @@ let run ?world conf (program : Api.program) =
     let trace_divergence =
       match conf.Conf.mode with
       | Conf.Replay dir -> (
-          match T11r_util.Codec.read_lines (Filename.concat dir "TRACE") with
+          match
+            (* The demo verified at load time; a TRACE torn afterwards
+               only costs us the op-level diff, not the replay. *)
+            (try Demo.read_aux ~dir "TRACE" with Demo.Corrupt _ -> [])
+          with
           | [] -> (
               match ctx.replay with
               | Some d when d.Demo.meta.Demo.ticks <> ctx.tick ->
@@ -1695,6 +1710,9 @@ let run ?world conf (program : Api.program) =
           m_stale_reads = Atomics.stale_reads ctx.mem;
           m_det_checks = Detector.checks ctx.det;
           m_desyncs = ctx.desync_count;
+          m_timeouts = (match outcome with Timeout -> 1 | _ -> 0);
+          m_retries = 0;
+          m_salvages = 0;
         };
       events = Trace.to_list ctx.obs;
       events_dropped = Trace.dropped ctx.obs;
@@ -1710,6 +1728,13 @@ let run ?world conf (program : Api.program) =
       | Some o -> o
       | None ->
           if ctx.tick >= conf.Conf.max_ticks then Tick_limit
+          else if
+            (* Supervision backstop for wedged runs; checked every 64
+               ticks so the hot path pays one land+branch. *)
+            ctx.deadline_at < infinity
+            && ctx.tick land 63 = 0
+            && Unix.gettimeofday () > ctx.deadline_at
+          then Timeout
           else begin
             (* Replay: async events for this tick may re-enable threads
                even when nothing is currently runnable. *)

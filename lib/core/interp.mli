@@ -26,6 +26,13 @@ type outcome =
       (** the workload itself failed outside any thread (setup or
           build raised) — reported by the harness, never by {!run} *)
   | Tick_limit
+  | Timeout
+      (** the run exceeded [Conf.deadline_s] wall-clock seconds — the
+          supervision outcome for wedged/livelocked runs. New
+          constructors go at the end: campaign journals marshal results,
+          so existing tags must keep their numbering. *)
+  | Corrupt_demo of string
+      (** replay input failed verification ({!Demo.Corrupt}) *)
 
 (** One replay divergence: at op (tick) [div_tick], [div_site] (QUEUE,
     SYSCALL, SIGNAL or ASYNC) expected [div_expected] but the run

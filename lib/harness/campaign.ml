@@ -46,6 +46,31 @@ let observer on_run = { on_run }
 
 type sighting = { s_race : Report.t; s_first : int; s_count : int }
 
+(* Everything the supervisor did that is NOT part of the deterministic
+   aggregate: retry counts and journal salvage depend on transient
+   conditions, and an interrupted campaign is by definition partial —
+   none of it may enter the fingerprint/digest. *)
+type supervision = {
+  sup_resumed : int;
+  sup_retried : int;
+  sup_quarantined : (int * string) list;
+  sup_timeouts : int;
+  sup_journal_dropped : int;
+  sup_interrupted : bool;
+  sup_done : int;
+}
+
+let no_supervision =
+  {
+    sup_resumed = 0;
+    sup_retried = 0;
+    sup_quarantined = [];
+    sup_timeouts = 0;
+    sup_journal_dropped = 0;
+    sup_interrupted = false;
+    sup_done = 0;
+  }
+
 type report = {
   label : string;
   n : int;
@@ -64,6 +89,7 @@ type report = {
   sightings : sighting list;
   crashes : (int * string) list;
   metrics : T11r_obs.Metrics.t;
+  supervision : supervision;
 }
 
 let schedule_key (r : Interp.result) =
@@ -73,15 +99,16 @@ let schedule_key (r : Interp.result) =
    order — never over arrival order — so every derived number,
    histogram order and float rounding is identical whatever [jobs]
    was. *)
-let aggregate ~label ~n ~first ~jobs ~wall_s results =
+let aggregate ~label ~n ~first ~jobs ~wall_s ?(supervision = no_supervision)
+    pairs =
+  let results = Array.map snd pairs in
   let in_order f = Array.to_list (Array.map f results) in
   let outcomes = Hashtbl.create 8 in
   let schedules = Hashtbl.create 64 in
   let sightings : (Report.t, int * int) Hashtbl.t = Hashtbl.create 16 in
   let crashes = ref [] in
-  Array.iteri
-    (fun k (r : Interp.result) ->
-      let i = first + k in
+  Array.iter
+    (fun ((i : int), (r : Interp.result)) ->
       let key = Outcome.key r.Interp.outcome in
       Hashtbl.replace outcomes key
         (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes key));
@@ -95,7 +122,19 @@ let aggregate ~label ~n ~first ~jobs ~wall_s results =
       match r.Interp.outcome with
       | Interp.Crashed (_, msg) -> crashes := (i, msg) :: !crashes
       | _ -> ())
-    results;
+    pairs;
+  let supervision =
+    {
+      supervision with
+      sup_done = Array.length pairs;
+      sup_interrupted = Array.length pairs < n;
+      sup_timeouts =
+        Array.fold_left
+          (fun acc (r : Interp.result) ->
+            match r.Interp.outcome with Interp.Timeout -> acc + 1 | _ -> acc)
+          0 results;
+    }
+  in
   {
     label;
     n;
@@ -144,25 +183,181 @@ let aggregate ~label ~n ~first ~jobs ~wall_s results =
         (fun acc (r : Interp.result) ->
           T11r_obs.Metrics.add acc r.Interp.metrics)
         T11r_obs.Metrics.zero results;
+    supervision;
   }
 
-let run s ~n ?(jobs = 1) ?(first = 0) observers =
+(* -- the campaign journal ------------------------------------------- *)
+
+(* One header entry pins the campaign identity (and the Marshal schema
+   of the run payloads); one "run" entry per completed run carries
+   (index, result-without-demo). Resuming replays intact entries and
+   executes only the holes; because aggregation is an index-ordered
+   fold and Marshal round-trips the pure result data exactly, a
+   resumed campaign's digest is bit-identical to an uninterrupted
+   one's. Bump [journal_schema] whenever Interp.result (or anything it
+   contains) changes layout. *)
+let journal_schema = 1
+
+type journal_header = {
+  jh_schema : int;
+  jh_label : string;
+  jh_n : int;
+  jh_first : int;
+}
+
+let sanitize (r : Interp.result) = { r with Interp.demo = None }
+
+let open_journal (s : spec) ~n ~first path =
+  let entries, torn = Journal.read path in
+  let dropped = ref torn in
+  let cached : (int, Interp.result) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Journal.entry) ->
+      match e.Journal.kind with
+      | "campaign" -> (
+          match (Marshal.from_string e.Journal.payload 0 : journal_header) with
+          | jh ->
+              if jh.jh_schema <> journal_schema then
+                invalid_arg
+                  (Printf.sprintf
+                     "Campaign.run: journal %s has schema %d, this build \
+                      writes %d"
+                     path jh.jh_schema journal_schema);
+              if (jh.jh_label, jh.jh_n, jh.jh_first) <> (s.label, n, first)
+              then
+                invalid_arg
+                  (Printf.sprintf
+                     "Campaign.run: journal %s belongs to campaign %S \
+                      (n=%d, first=%d), not %S (n=%d, first=%d)"
+                     path jh.jh_label jh.jh_n jh.jh_first s.label n first)
+          | exception _ ->
+              invalid_arg
+                (Printf.sprintf "Campaign.run: journal %s: unreadable header"
+                   path))
+      | "run" -> (
+          match
+            (Marshal.from_string e.Journal.payload 0 : int * Interp.result)
+          with
+          | i, r when i >= first && i < first + n -> Hashtbl.replace cached i r
+          | _ -> incr dropped
+          | exception _ -> incr dropped)
+      | _ -> incr dropped)
+    entries;
+  let had_header =
+    List.exists (fun (e : Journal.entry) -> e.Journal.kind = "campaign") entries
+  in
+  let w = Journal.create path in
+  if not had_header then
+    Journal.append w
+      {
+        Journal.kind = "campaign";
+        payload =
+          Marshal.to_string
+            { jh_schema = journal_schema; jh_label = s.label; jh_n = n; jh_first = first }
+            [];
+      };
+  (w, cached, !dropped)
+
+let run s ~n ?(jobs = 1) ?(first = 0) ?(deadline_s = 0.) ?tick_budget
+    ?(retries = 0) ?(backoff_s = 0.05) ?journal ?cancel observers =
   if n < 1 then invalid_arg "Campaign.run: n < 1";
   let t0 = Unix.gettimeofday () in
-  let results =
-    Pool.map ~jobs n (fun k ->
-        let i = first + k in
-        Outcome.protect (fun () ->
-            let world, program = s.instance i in
-            Interp.run ~world (s.conf i) program))
+  let conf_of i =
+    let c = s.conf i in
+    let c =
+      match tick_budget with
+      | Some b when b < c.Conf.max_ticks -> { c with Conf.max_ticks = b }
+      | _ -> c
+    in
+    if deadline_s > 0. then { c with Conf.deadline_s } else c
   in
+  let jw, cached, journal_dropped =
+    match journal with
+    | None -> (None, Hashtbl.create 1, 0)
+    | Some path ->
+        let w, cached, dropped = open_journal s ~n ~first path in
+        (Some w, cached, dropped)
+  in
+  let resumed = Hashtbl.length cached in
+  let retried = Atomic.make 0 in
+  let quarantined = Atomic.make [] in
+  let push_quarantine iq =
+    let rec go () =
+      let cur = Atomic.get quarantined in
+      if not (Atomic.compare_and_set quarantined cur (iq :: cur)) then go ()
+    in
+    go ()
+  in
+  let exec k =
+    let i = first + k in
+    match Hashtbl.find_opt cached i with
+    | Some r -> r
+    | None ->
+        (* Crash containment: a run whose setup/build/interpretation
+           raises something Outcome.protect does not structure is
+           retried with exponential backoff (transient environment
+           failures: ENOSPC on a demo save, EMFILE, ...) and, if it
+           keeps failing, quarantined as a Crashed result — the
+           campaign never aborts. Deterministic as long as the
+           exception (and its message) is a function of the index. *)
+        let rec attempt a =
+          match
+            Outcome.protect (fun () ->
+                let world, program = s.instance i in
+                Interp.run ~world (conf_of i) program)
+          with
+          | r -> r
+          | exception e ->
+              if a < retries then begin
+                Atomic.incr retried;
+                if backoff_s > 0. then
+                  Unix.sleepf (backoff_s *. float_of_int (1 lsl a));
+                attempt (a + 1)
+              end
+              else begin
+                let msg = Printexc.to_string e in
+                push_quarantine (i, msg);
+                Interp.result_of_outcome (Interp.Crashed (-1, msg))
+              end
+        in
+        let r = attempt 0 in
+        (match jw with
+        | Some w ->
+            Journal.append w
+              {
+                Journal.kind = "run";
+                payload = Marshal.to_string (i, sanitize r) [];
+              }
+        | None -> ());
+        r
+  in
+  let slots = Pool.map_opt ~jobs ?should_stop:cancel n exec in
+  (match jw with Some w -> Journal.close w | None -> ());
   let wall_s = Unix.gettimeofday () -. t0 in
+  let pairs =
+    let acc = ref [] in
+    for k = n - 1 downto 0 do
+      match slots.(k) with
+      | Some r -> acc := (first + k, r) :: !acc
+      | None -> ()
+    done;
+    Array.of_list !acc
+  in
   (* Observers see the completed run stream in index order, on the
      calling domain — they may keep plain mutable state. *)
   List.iter
-    (fun obs -> Array.iteri (fun k r -> obs.on_run (first + k) r) results)
+    (fun obs -> Array.iter (fun (i, r) -> obs.on_run i r) pairs)
     observers;
-  aggregate ~label:s.label ~n ~first ~jobs ~wall_s results
+  let supervision =
+    {
+      no_supervision with
+      sup_resumed = resumed;
+      sup_retried = Atomic.get retried;
+      sup_quarantined = List.sort compare (Atomic.get quarantined);
+      sup_journal_dropped = journal_dropped;
+    }
+  in
+  aggregate ~label:s.label ~n ~first ~jobs ~wall_s ~supervision pairs
 
 (* Wall-clock and worker count are the only fields allowed to differ
    between equivalent campaigns; demos hold open handles to their
@@ -189,8 +384,14 @@ let fingerprint r =
 let equal a b = fingerprint a = fingerprint b
 
 (* Marshal is stable for the pure data in a fingerprint (no closures,
-   no custom blocks), so the digest is comparable across builds. *)
-let digest r = Digest.to_hex (Digest.string (Marshal.to_string (fingerprint r) []))
+   no custom blocks), so the digest is comparable across builds.
+   [No_sharing] makes the encoding a function of the structural value
+   alone: results rehydrated from a journal lose the physical sharing
+   a freshly-computed campaign has, and the digest must not see the
+   difference. *)
+let digest r =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (fingerprint r) [ Marshal.No_sharing ]))
 
 let runs_per_sec r =
   if r.wall_s <= 0.0 then 0.0 else float_of_int r.n /. r.wall_s
@@ -210,6 +411,23 @@ let pp fmt r =
       Format.fprintf fmt "  %a — %d sighting(s), first at run %d@." Report.pp
         s.s_race s.s_count s.s_first)
     r.sightings;
-  match r.crashes with
+  (match r.crashes with
   | [] -> ()
-  | (i, msg) :: _ -> Format.fprintf fmt "  first crash at run %d: %s@." i msg
+  | (i, msg) :: _ -> Format.fprintf fmt "  first crash at run %d: %s@." i msg);
+  let sup = r.supervision in
+  if sup.sup_interrupted then
+    Format.fprintf fmt
+      "  INTERRUPTED: %d/%d runs done — resume from the journal to finish@."
+      sup.sup_done r.n;
+  if sup.sup_resumed > 0 then
+    Format.fprintf fmt "  resumed %d run(s) from the journal@." sup.sup_resumed;
+  if sup.sup_journal_dropped > 0 then
+    Format.fprintf fmt "  dropped %d corrupt/torn journal line(s)@."
+      sup.sup_journal_dropped;
+  if sup.sup_retried > 0 then
+    Format.fprintf fmt "  %d transient failure(s) retried@." sup.sup_retried;
+  match sup.sup_quarantined with
+  | [] -> ()
+  | qs ->
+      Format.fprintf fmt "  quarantined %d run(s): %s@." (List.length qs)
+        (String.concat ", " (List.map (fun (i, _) -> string_of_int i) qs))

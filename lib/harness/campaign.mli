@@ -60,6 +60,21 @@ type sighting = {
   s_count : int;  (** how many runs exposed it *)
 }
 
+type supervision = {
+  sup_resumed : int;  (** runs replayed from the journal, not executed *)
+  sup_retried : int;  (** transient-failure retry attempts, all runs *)
+  sup_quarantined : (int * string) list;
+      (** runs whose final attempt still raised (they appear in the
+          aggregate as [Crashed (-1, msg)] results), sorted by index *)
+  sup_timeouts : int;  (** runs that hit the wall-clock deadline *)
+  sup_journal_dropped : int;  (** corrupt or torn journal lines ignored *)
+  sup_interrupted : bool;  (** cancelled before all [n] runs finished *)
+  sup_done : int;  (** runs present in this report *)
+}
+(** What the supervisor did. Deliberately NOT part of {!equal} /
+    {!digest}: retry counts and journal damage depend on transient
+    conditions outside the campaign's pure function of the index. *)
+
 type report = {
   label : string;
   n : int;
@@ -83,15 +98,55 @@ type report = {
           summed in run-index order (a commutative-looking but
           deliberately ordered monoid fold), so the totals are
           bit-identical whatever [jobs] was *)
+  supervision : supervision;
+      (** excluded from {!equal}/{!digest}, like [wall_s] and [jobs] *)
 }
 
-val run : spec -> n:int -> ?jobs:int -> ?first:int -> observer list -> report
+(** On an interrupted (cancelled) campaign, [results] holds only the
+    completed runs, still in index order; [supervision.sup_interrupted]
+    is set and the digest is not meaningful until the campaign is
+    resumed to completion. *)
+
+val run :
+  spec ->
+  n:int ->
+  ?jobs:int ->
+  ?first:int ->
+  ?deadline_s:float ->
+  ?tick_budget:int ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?journal:string ->
+  ?cancel:(unit -> bool) ->
+  observer list ->
+  report
 (** Execute runs [first .. first + n - 1] ([first] defaults to 0) on
     up to [jobs] domains (default 1 = sequential) and aggregate.
-    Aggregates are bit-identical for every [jobs]; only [wall_s] and
-    [jobs] themselves vary. A run whose setup or build raises becomes
-    an [App_error]/[Unsupported_app] result (via [Outcome.protect])
-    rather than killing the campaign. *)
+    Aggregates are bit-identical for every [jobs]; only [wall_s],
+    [jobs] and [supervision] themselves vary. A run whose setup or
+    build raises becomes an [App_error]/[Unsupported_app] result (via
+    [Outcome.protect]) rather than killing the campaign.
+
+    Supervision:
+    - [deadline_s] imposes a per-run wall-clock deadline (a wedged run
+      becomes a [Timeout] outcome instead of hanging its domain). Wall
+      time is nondeterministic; deterministic campaigns should use
+      [tick_budget], which caps each run's [max_ticks] (a
+      [Tick_limit] outcome) deterministically.
+    - exceptions that escape [Outcome.protect] are retried up to
+      [retries] times with exponential backoff starting at [backoff_s]
+      (default 50ms), then quarantined as a [Crashed (-1, _)] result —
+      one crashing run never aborts the campaign.
+    - [journal] appends every completed run to a checksummed JSONL
+      journal (see {!T11r_util.Journal}); if the file already holds
+      entries for this campaign (validated by label/n/first), those
+      runs are not re-executed — this is [--resume]. Resumed, retried
+      and [jobs]-varied campaigns all produce bit-identical digests:
+      aggregation replays journal entries in run-index order.
+    - [cancel] is polled between runs (SIGINT draining): when it turns
+      true the campaign stops claiming work, finishes in-flight runs,
+      flushes the journal and returns a partial report with
+      [supervision.sup_interrupted] set. *)
 
 val equal : report -> report -> bool
 (** Structural equality of everything except [wall_s], [jobs] and the

@@ -18,8 +18,12 @@ type report = {
 (* Historically this loop ran seeds 1..n (seed 0 degenerates for some
    strategies); Campaign.run's [first] preserves that numbering so
    "first at seed i" reproduction hints stay valid. *)
-let explore ?jobs (spec : Runner.spec) ~n =
-  let c = Campaign.run spec ~n ?jobs ~first:1 [] in
+let explore ?jobs ?deadline_s ?tick_budget ?retries ?journal ?cancel
+    (spec : Runner.spec) ~n =
+  let c =
+    Campaign.run spec ~n ?jobs ~first:1 ?deadline_s ?tick_budget ?retries
+      ?journal ?cancel []
+  in
   {
     runs = c.Campaign.n;
     distinct_schedules = c.Campaign.distinct_schedules;

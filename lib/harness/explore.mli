@@ -29,9 +29,20 @@ type report = {
   outcomes : (string * int) list;  (** outcome histogram *)
 }
 
-val explore : ?jobs:int -> Runner.spec -> n:int -> report
+val explore :
+  ?jobs:int ->
+  ?deadline_s:float ->
+  ?tick_budget:int ->
+  ?retries:int ->
+  ?journal:string ->
+  ?cancel:(unit -> bool) ->
+  Runner.spec ->
+  n:int ->
+  report
 (** Runs seeds [1..n], optionally sharded over [jobs] domains; the
-    report is identical for every [jobs]. *)
+    report is identical for every [jobs]. The supervision options are
+    passed through to {!Campaign.run}: journalled runs resume, crashes
+    are quarantined, deadlines turn wedged runs into timeouts. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable summary, including reproduction hints (the seed of

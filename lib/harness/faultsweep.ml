@@ -59,7 +59,7 @@ let tally_add a b =
   }
 
 let one_run ~cfg ~p i =
-  let dir = Tmp.fresh_dir ~prefix:"faultsweep" () in
+  Tmp.with_dir ~prefix:"faultsweep" @@ fun dir ->
   let faults =
     if p > 0.0 then Fault.uniform ~seed:(Int64.of_int (100 + i)) ~p ()
     else Fault.none

@@ -10,6 +10,8 @@ let key (o : Interp.outcome) =
   | Interp.Unsupported_app _ -> "unsupported"
   | Interp.App_error _ -> "app-error"
   | Interp.Tick_limit -> "tick-limit"
+  | Interp.Timeout -> "timeout"
+  | Interp.Corrupt_demo _ -> "corrupt-demo"
 
 (* One faulty run must not kill an N-run experiment: world setup or
    program build raising World.Unsupported / Failure / Invalid_argument

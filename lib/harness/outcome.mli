@@ -5,7 +5,7 @@
 val key : Tsan11rec.Interp.outcome -> string
 (** Stable short name for aggregation ("completed", "deadlock",
     "crashed", "hard-desync", "unsupported", "app-error",
-    "tick-limit"). *)
+    "tick-limit", "timeout", "corrupt-demo"). *)
 
 val protect : (unit -> Tsan11rec.Interp.result) -> Tsan11rec.Interp.result
 (** Run one experiment iteration (world setup + program build +

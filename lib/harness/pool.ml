@@ -87,6 +87,47 @@ let map ?(jobs = 1) n f =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
+(* Like [map], but cancellable: [should_stop] is polled before each
+   index (sequentially) or chunk claim (in parallel), and indices not
+   computed are left as [None]. The caller decides what a partial
+   result means — the campaign engine journals completed runs and
+   resumes the holes later. *)
+let map_opt ?(jobs = 1) ?should_stop n f =
+  if n < 0 then invalid_arg "Pool.map_opt: negative n";
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let stop = match should_stop with Some g -> g | None -> fun () -> false in
+  let results = Array.make (max 0 n) None in
+  if jobs = 1 then begin
+    let i = ref 0 in
+    while !i < n && not (stop ()) do
+      (try results.(!i) <- Some (f !i)
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Printexc.raise_with_backtrace (Worker_error (!i, e)) bt);
+      incr i
+    done;
+    results
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let chunk = max 1 (n / (jobs * 8)) in
+    drive ~jobs ~body:(fun ~guard ->
+        let continue_ = ref true in
+        while !continue_ do
+          if stop () then continue_ := false
+          else begin
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo >= n then continue_ := false
+            else
+              for i = lo to min (lo + chunk) n - 1 do
+                if not (stop ()) then
+                  guard i (fun () -> results.(i) <- Some (f i))
+              done
+          end
+        done);
+    results
+  end
+
 let fold_indices ?(jobs = 1) ?(chunk = 1) ~init ~step ~merge n =
   if n < 0 then invalid_arg "Pool.fold_indices: negative n";
   if chunk < 1 then invalid_arg "Pool.fold_indices: chunk < 1";

@@ -23,6 +23,15 @@ val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
     domains (clamped to [n]; default 1 = sequential). [f] must not
     share mutable state across indices. *)
 
+val map_opt :
+  ?jobs:int -> ?should_stop:(unit -> bool) -> int -> (int -> 'a) -> 'a option array
+(** Cancellable {!map}: [should_stop] (e.g. a SIGINT flag) is polled
+    before each sequential index / parallel chunk claim; once it
+    returns true no new work starts, in-flight indices finish, and
+    uncomputed slots are [None]. Without [should_stop] every slot is
+    [Some]. Exceptions still raise {!Worker_error} with the lowest
+    failing index. *)
+
 val fold_indices :
   ?jobs:int ->
   ?chunk:int ->

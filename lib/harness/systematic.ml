@@ -5,6 +5,7 @@ module Report = T11r_race.Report
 
 type result = {
   runs : int;
+  resumed_runs : int;
   complete : bool;
   racy_schedules : int;
   races : Report.t list;
@@ -14,9 +15,86 @@ type result = {
   max_depth_seen : int;
 }
 
+(* Journal framing for resumable exploration: one header pinning the
+   run parameters, then one "sys" entry per executed prefix carrying
+   (prefix, observed counts, result-without-demo). Resume keys the
+   cache on the prefix itself, so the worker count may differ between
+   the original run and the resume — each prefix's result is a pure
+   function of (prefix, seeds, world_seed). *)
+let journal_schema = 1
+
+type journal_header = {
+  jh_schema : int;
+  jh_world_seed : int64;
+  jh_seed1 : int64;
+  jh_seed2 : int64;
+}
+
 let explore ?(max_runs = 2000) ?(jobs = 1) ?(world_seed = 7L)
-    ?(seeds = (11L, 13L)) ~build () =
+    ?(seeds = (11L, 13L)) ?journal ?cancel ~build () =
   let s1, s2 = seeds in
+  let cancelled = match cancel with Some c -> c | None -> fun () -> false in
+  let cache : (int array, Interp.result * int array) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let jw =
+    match journal with
+    | None -> None
+    | Some path ->
+        let entries, _torn = T11r_util.Journal.read path in
+        let had_header = ref false in
+        List.iter
+          (fun (e : T11r_util.Journal.entry) ->
+            match e.T11r_util.Journal.kind with
+            | "systematic" -> (
+                had_header := true;
+                match
+                  (Marshal.from_string e.T11r_util.Journal.payload 0
+                    : journal_header)
+                with
+                | jh ->
+                    if
+                      jh.jh_schema <> journal_schema
+                      || (jh.jh_world_seed, jh.jh_seed1, jh.jh_seed2)
+                         <> (world_seed, s1, s2)
+                    then
+                      invalid_arg
+                        (Printf.sprintf
+                           "Systematic.explore: journal %s was written with \
+                            different seeds or schema"
+                           path)
+                | exception _ ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Systematic.explore: journal %s: unreadable header"
+                         path))
+            | "sys" -> (
+                match
+                  (Marshal.from_string e.T11r_util.Journal.payload 0
+                    : int array * int array * Interp.result)
+                with
+                | prefix, counts, r -> Hashtbl.replace cache prefix (r, counts)
+                | exception _ -> ())
+            | _ -> ())
+          entries;
+        let w = T11r_util.Journal.create path in
+        if not !had_header then
+          T11r_util.Journal.append w
+            {
+              T11r_util.Journal.kind = "systematic";
+              payload =
+                Marshal.to_string
+                  {
+                    jh_schema = journal_schema;
+                    jh_world_seed = world_seed;
+                    jh_seed1 = s1;
+                    jh_seed2 = s2;
+                  }
+                  [];
+            };
+        Some w
+  in
+  let resumed = ref 0 in
   let run_prefix prefix =
     let observed = ref [] in
     let conf =
@@ -29,6 +107,15 @@ let explore ?(max_runs = 2000) ?(jobs = 1) ?(world_seed = 7L)
           Interp.run ~world:(World.create ~seed:world_seed ()) conf (build ()))
     in
     (r, Array.of_list (List.rev !observed))
+  in
+  let run_prefix prefix =
+    match Hashtbl.find_opt cache prefix with
+    | Some (r, counts) ->
+        incr resumed;
+        (prefix, r, counts, false)
+    | None ->
+        let r, counts = run_prefix prefix in
+        (prefix, r, counts, true)
   in
   let stack = ref [ [||] ] in
   let runs = ref 0 in
@@ -47,7 +134,7 @@ let explore ?(max_runs = 2000) ?(jobs = 1) ?(world_seed = 7L)
      differs, so a budget-truncated exploration may cover a different
      (same-sized) slice of the tree; a completed exploration visits
      the identical schedule set either way. *)
-  while !stack <> [] && !runs < max_runs do
+  while !stack <> [] && !runs < max_runs && not (cancelled ()) do
     let rec take k acc st =
       if k = 0 then (List.rev acc, st)
       else
@@ -59,10 +146,26 @@ let explore ?(max_runs = 2000) ?(jobs = 1) ?(world_seed = 7L)
     stack := rest;
     let wave = Array.of_list wave in
     let results = Pool.map ~jobs (Array.length wave) (fun i -> run_prefix wave.(i)) in
+    (* Journal fresh executions from the supervising domain, in wave
+       order, before expanding the frontier. *)
+    (match jw with
+    | Some w ->
+        Array.iter
+          (fun (prefix, r, counts, fresh) ->
+            if fresh then
+              T11r_util.Journal.append w
+                {
+                  T11r_util.Journal.kind = "sys";
+                  payload =
+                    Marshal.to_string
+                      (prefix, counts, { r with Interp.demo = None })
+                      [];
+                })
+          results
+    | None -> ());
     let fresh_waves = ref [] in
-    Array.iteri
-      (fun w (r, counts) ->
-        let prefix = wave.(w) in
+    Array.iter
+      (fun (prefix, r, counts, _fresh) ->
         incr runs;
         max_depth := max !max_depth (Array.length counts);
         if r.Interp.race_count > 0 then incr racy;
@@ -98,8 +201,10 @@ let explore ?(max_runs = 2000) ?(jobs = 1) ?(world_seed = 7L)
       results;
     stack := List.concat (List.rev !fresh_waves) @ !stack
   done;
+  (match jw with Some w -> T11r_util.Journal.close w | None -> ());
   {
     runs = !runs;
+    resumed_runs = !resumed;
     complete = !stack = [];
     racy_schedules = !racy;
     races = List.rev !races;
@@ -111,8 +216,11 @@ let explore ?(max_runs = 2000) ?(jobs = 1) ?(world_seed = 7L)
 
 let pp fmt r =
   Format.fprintf fmt
-    "%d schedule(s) explored%s; %d racy, %d deadlocking, %d crashing; depth <= %d@."
+    "%d schedule(s) explored%s%s; %d racy, %d deadlocking, %d crashing; depth <= %d@."
     r.runs
+    (if r.resumed_runs > 0 then
+       Printf.sprintf " (%d resumed from journal)" r.resumed_runs
+     else "")
     (if r.complete then " (schedule space exhausted)" else " (budget hit)")
     r.racy_schedules r.deadlock_schedules r.crash_schedules r.max_depth_seen;
   List.iter

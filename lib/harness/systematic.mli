@@ -18,6 +18,7 @@
 
 type result = {
   runs : int;  (** distinct schedules executed *)
+  resumed_runs : int;  (** of those, replayed from a resume journal *)
   complete : bool;  (** the choice tree was exhausted within budget *)
   racy_schedules : int;
   races : T11r_race.Report.t list;  (** distinct, in discovery order *)
@@ -32,6 +33,8 @@ val explore :
   ?jobs:int ->
   ?world_seed:int64 ->
   ?seeds:int64 * int64 ->
+  ?journal:string ->
+  ?cancel:(unit -> bool) ->
   build:(unit -> T11r_vm.Api.program) ->
   unit ->
   result
@@ -42,6 +45,14 @@ val explore :
     pool: at [jobs = 1] this is the classic sequential DFS; at
     [jobs > 1] a {e completed} exploration visits the same schedule
     set, while a budget-truncated one may cover a different same-sized
-    slice of the tree (traversal order changes). *)
+    slice of the tree (traversal order changes).
+
+    [journal] makes the exploration resumable: each executed prefix is
+    appended (checksummed, with its result and observed choice counts)
+    and a rerun with the same seeds replays journalled prefixes
+    instead of executing them — the cache is keyed on the prefix, so
+    [jobs] may differ between the original run and the resume.
+    [cancel] is polled between waves; a cancelled exploration returns
+    [complete = false] and can be resumed from its journal. *)
 
 val pp : Format.formatter -> result -> unit

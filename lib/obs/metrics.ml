@@ -6,6 +6,9 @@ type t = {
   m_stale_reads : int;
   m_det_checks : int;
   m_desyncs : int;
+  m_timeouts : int;
+  m_retries : int;
+  m_salvages : int;
 }
 
 let zero =
@@ -17,6 +20,9 @@ let zero =
     m_stale_reads = 0;
     m_det_checks = 0;
     m_desyncs = 0;
+    m_timeouts = 0;
+    m_retries = 0;
+    m_salvages = 0;
   }
 
 let add a b =
@@ -28,19 +34,24 @@ let add a b =
     m_stale_reads = a.m_stale_reads + b.m_stale_reads;
     m_det_checks = a.m_det_checks + b.m_det_checks;
     m_desyncs = a.m_desyncs + b.m_desyncs;
+    m_timeouts = a.m_timeouts + b.m_timeouts;
+    m_retries = a.m_retries + b.m_retries;
+    m_salvages = a.m_salvages + b.m_salvages;
   }
 
 let equal (a : t) (b : t) = a = b
 
 let pp fmt m =
   Format.fprintf fmt
-    "%d ticks, %d waits, %d preemptions, %d evictions, %d stale reads, %d detector checks, %d desyncs"
+    "%d ticks, %d waits, %d preemptions, %d evictions, %d stale reads, %d \
+     detector checks, %d desyncs, %d timeouts, %d retries, %d salvages"
     m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
-    m.m_det_checks m.m_desyncs
+    m.m_det_checks m.m_desyncs m.m_timeouts m.m_retries m.m_salvages
 
 let to_json m =
   Printf.sprintf
     "{\"ticks\": %d, \"waits\": %d, \"preemptions\": %d, \"evictions\": %d, \
-     \"stale_reads\": %d, \"detector_checks\": %d, \"desyncs\": %d}"
+     \"stale_reads\": %d, \"detector_checks\": %d, \"desyncs\": %d, \
+     \"timeouts\": %d, \"retries\": %d, \"salvages\": %d}"
     m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
-    m.m_det_checks m.m_desyncs
+    m.m_det_checks m.m_desyncs m.m_timeouts m.m_retries m.m_salvages

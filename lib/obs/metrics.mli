@@ -19,6 +19,13 @@ type t = {
           newest one *)
   m_det_checks : int;  (** race-detector shadow-state checks performed *)
   m_desyncs : int;  (** replay divergences encountered *)
+  m_timeouts : int;  (** 1 when the run hit its wall-clock deadline *)
+  m_retries : int;
+      (** supervised retries that produced this result (campaign-level;
+          always 0 in a raw interpreter result) *)
+  m_salvages : int;
+      (** salvaged inputs consumed (campaign-level: journal lines
+          dropped; always 0 in a raw interpreter result) *)
 }
 
 val zero : t

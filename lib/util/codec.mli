@@ -29,3 +29,6 @@ val read_lines : string -> string list
 val write_lines : string -> string list -> unit
 (** Write lines to a file, each terminated by a newline; creates parent
     directories as needed. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents; no-op if present. *)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE, reflected) checksums for file and journal framing. *)
+
+val string : string -> int
+(** Checksum of a whole string, in [0, 0xFFFFFFFF]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends [crc] with [s.[pos .. pos+len-1]],
+    so checksums can be computed incrementally over chunks. *)
+
+val to_hex : int -> string
+(** Fixed-width 8-digit uppercase hex rendering. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

@@ -1,0 +1,156 @@
+(* Append-only checksummed JSONL journal.
+
+   One JSON object per line:
+
+     {"v":1,"crc":"9C2E4F11","kind":"run","payload":"..."}
+
+   The payload is an arbitrary binary string passed through
+   Codec.escape, whose output alphabet (printable ASCII minus space,
+   with %XX escapes) is JSON-string-safe, so the line is both valid
+   JSON for external tooling and parseable here with no JSON library.
+   The CRC covers "<kind>:<escaped payload>", so a torn or bit-flipped
+   line is detected *before* anyone attempts to decode the payload —
+   essential because campaign payloads are Marshal blobs, which must
+   never be unmarshalled from corrupt bytes.
+
+   Durability model: every append is flushed to the kernel, so a
+   SIGKILLed process loses nothing already appended; an fsync is issued
+   every [fsync_every] appends (and on close) to bound what a machine
+   crash can lose. A torn final line — the one partial write a crash
+   can leave — is dropped (and counted) by [read]. *)
+
+type entry = { kind : string; payload : string }
+
+type writer = {
+  oc : out_channel;
+  mutable appended : int;
+  fsync_every : int;
+  lock : Mutex.t;
+}
+
+(* Like Codec.escape, but also escapes '"' and '\\' so the escaped
+   form can sit verbatim inside a JSON string literal. Codec.unescape
+   decodes any %XX, so it remains the inverse. *)
+let jescape s =
+  if String.length s = 0 then "%-"
+  else begin
+    let hex = "0123456789ABCDEF" in
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        let code = Char.code c in
+        if c = '%' || c = '"' || c = '\\' || code <= 0x20 || code > 0x7E then begin
+          Buffer.add_char buf '%';
+          Buffer.add_char buf hex.[code lsr 4];
+          Buffer.add_char buf hex.[code land 0xF]
+        end
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let render e =
+  let escaped = jescape e.payload in
+  Printf.sprintf "{\"v\":1,\"crc\":\"%s\",\"kind\":\"%s\",\"payload\":\"%s\"}"
+    (Crc.to_hex (Crc.string (e.kind ^ ":" ^ escaped)))
+    e.kind escaped
+
+let valid_kind k =
+  k <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true | _ -> false)
+       k
+
+let create ?(fsync_every = 32) path =
+  Codec.mkdir_p (Filename.dirname path);
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  { oc; appended = 0; fsync_every; lock = Mutex.create () }
+
+let append w e =
+  if not (valid_kind e.kind) then
+    invalid_arg (Printf.sprintf "Journal.append: bad kind %S" e.kind);
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      output_string w.oc (render e);
+      output_char w.oc '\n';
+      (* Flush to the kernel on every entry: a SIGKILL then loses at
+         most the line being written this instant. *)
+      flush w.oc;
+      w.appended <- w.appended + 1;
+      if w.fsync_every > 0 && w.appended mod w.fsync_every = 0 then
+        Unix.fsync (Unix.descr_of_out_channel w.oc))
+
+let close w =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      flush w.oc;
+      (try Unix.fsync (Unix.descr_of_out_channel w.oc)
+       with Unix.Unix_error _ -> ());
+      close_out_noerr w.oc)
+
+(* -- reading -------------------------------------------------------- *)
+
+let starts_with ~prefix s pos =
+  let n = String.length prefix in
+  String.length s - pos >= n && String.sub s pos n = prefix
+
+(* Extract the three quoted fields by fixed structure; anything that
+   deviates (torn line, edited bytes, foreign content) is rejected. *)
+let parse_line line =
+  let p0 = "{\"v\":1,\"crc\":\"" in
+  let p1 = "\",\"kind\":\"" in
+  let p2 = "\",\"payload\":\"" in
+  let p3 = "\"}" in
+  if not (starts_with ~prefix:p0 line 0) then None
+  else
+    let crc_start = String.length p0 in
+    let crc_end = crc_start + 8 in
+    if not (starts_with ~prefix:p1 line crc_end) then None
+    else
+      let kind_start = crc_end + String.length p1 in
+      match String.index_from_opt line kind_start '"' with
+      | None -> None
+      | Some kq ->
+          if not (starts_with ~prefix:p2 line kq) then None
+          else
+            let pay_start = kq + String.length p2 in
+            let pay_end = String.length line - String.length p3 in
+            if pay_end < pay_start || not (starts_with ~prefix:p3 line pay_end)
+            then None
+            else
+              let crc_hex = String.sub line crc_start 8 in
+              let kind = String.sub line kind_start (kq - kind_start) in
+              let escaped = String.sub line pay_start (pay_end - pay_start) in
+              if not (valid_kind kind) then None
+              else
+                match Crc.of_hex crc_hex with
+                | None -> None
+                | Some crc ->
+                    if Crc.string (kind ^ ":" ^ escaped) <> crc then None
+                    else
+                      (match Codec.unescape escaped with
+                      | payload -> Some { kind; payload }
+                      | exception Invalid_argument _ -> None)
+
+let read path =
+  let lines = Codec.read_lines path in
+  let dropped = ref 0 in
+  let entries =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          match parse_line line with
+          | Some e -> Some e
+          | None ->
+              incr dropped;
+              None)
+      lines
+  in
+  (entries, !dropped)

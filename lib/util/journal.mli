@@ -1,0 +1,33 @@
+(** Append-only checksummed JSONL journal.
+
+    Each entry is one line of valid JSON carrying a kind tag and an
+    opaque binary payload, framed with a CRC-32 over both so torn or
+    bit-flipped lines are detected before the payload is decoded. The
+    campaign engine journals every completed run here so a SIGKILLed
+    campaign can be resumed ([--resume]) without redoing finished
+    work; see docs/ARCHITECTURE.md "Durability & supervision". *)
+
+type entry = { kind : string; payload : string }
+(** [kind] must be non-empty [[A-Za-z0-9_-]+]; [payload] is arbitrary
+    bytes (escaped on disk). *)
+
+type writer
+
+val create : ?fsync_every:int -> string -> writer
+(** Open (creating parent directories and the file as needed) for
+    appending. Every append is flushed to the kernel — a SIGKILL loses
+    nothing already appended — and an fsync is issued every
+    [fsync_every] appends (default 32; 0 disables) and on {!close} to
+    bound machine-crash loss. *)
+
+val append : writer -> entry -> unit
+(** Serialise and append one entry. Safe to call from multiple domains
+    (appends are mutex-serialised).
+    @raise Invalid_argument on a malformed kind. *)
+
+val close : writer -> unit
+
+val read : string -> entry list * int
+(** All intact entries in file order, plus the number of corrupt or
+    torn lines that were dropped. [([], 0)] if the file is absent.
+    Never raises on file content. *)

@@ -1,0 +1,31 @@
+(* Helper for test_campaign's SIGKILL-recovery test: runs a journalled
+   fig1 campaign in its own process so the test can kill -9 it
+   mid-flight and resume from the journal. The spec here must stay
+   semantically identical to [test_campaign]'s "fig1-sigkill" spec —
+   the test compares Campaign digests across the two processes. *)
+
+module Conf = Tsan11rec.Conf
+module Campaign = T11r_harness.Campaign
+
+let slow_fig1 =
+  let base =
+    Campaign.spec ~label:"fig1-sigkill"
+      ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+      T11r_litmus.Registry.fig1.build
+  in
+  {
+    base with
+    Campaign.instance =
+      (fun i ->
+        Unix.sleepf 0.004;
+        base.Campaign.instance i);
+  }
+
+let () =
+  match Sys.argv with
+  | [| _; journal; n |] ->
+      ignore (Campaign.run slow_fig1 ~n:(int_of_string n) ~journal []);
+      exit 0
+  | _ ->
+      prerr_endline "usage: resume_child <journal> <n>";
+      exit 2

@@ -146,6 +146,218 @@ let test_faultsweep_deterministic_across_jobs () =
   Alcotest.(check bool) "smoke rows identical at -j1 and -j2" true (rows1 = rows2)
 
 (* ------------------------------------------------------------------ *)
+(* Cancellable pool                                                    *)
+
+let test_map_opt_full_matches_map () =
+  List.iter
+    (fun jobs ->
+      let got = Pool.map_opt ~jobs 40 (fun i -> i * 3) in
+      Alcotest.(check (array (option int)))
+        (Printf.sprintf "map_opt jobs=%d" jobs)
+        (Array.init 40 (fun i -> Some (i * 3)))
+        got)
+    [ 1; 4 ]
+
+let test_map_opt_cancelled_is_partial () =
+  List.iter
+    (fun jobs ->
+      let stop = Atomic.make false in
+      let got =
+        Pool.map_opt ~jobs ~should_stop:(fun () -> Atomic.get stop) 1000
+          (fun i ->
+            if i >= 10 then Atomic.set stop true;
+            i)
+      in
+      let computed =
+        Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 got
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "partial at jobs=%d" jobs)
+        true
+        (computed > 0 && computed < 1000);
+      (* computed slots hold the right values *)
+      Array.iteri
+        (fun i -> function
+          | Some v -> Alcotest.(check int) "slot value" i v
+          | None -> ())
+        got)
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: deadlines, budgets, retries, quarantine                *)
+
+(* A workload with enough ticks that per-run budgets bite. *)
+let busy_spec label =
+  Campaign.spec ~label
+    ~base_conf:(Conf.tsan11rec ~strategy:Conf.Random ())
+    (fun () ->
+      T11r_vm.Api.program ~name:"busy" (fun () ->
+          let a = T11r_vm.Api.Atomic.create 0 in
+          for _ = 1 to 300 do
+            ignore (T11r_vm.Api.Atomic.fetch_add a 1)
+          done))
+
+let test_deadline_turns_wedged_runs_into_timeouts () =
+  let c = Campaign.run (busy_spec "busy-deadline") ~n:4 ~deadline_s:1e-9 [] in
+  Alcotest.(check int) "all runs timed out" 4
+    (List.fold_left
+       (fun a (k, v) -> if k = "timeout" then a + v else a)
+       0 c.Campaign.outcomes);
+  Alcotest.(check int) "supervision counts them" 4
+    c.Campaign.supervision.Campaign.sup_timeouts;
+  Alcotest.(check int) "metrics count them" 4
+    c.Campaign.metrics.T11r_obs.Metrics.m_timeouts
+
+let test_tick_budget_is_deterministic () =
+  let run jobs = Campaign.run (busy_spec "busy-budget") ~n:6 ~jobs ~tick_budget:10 [] in
+  let a = run 1 and b = run 2 in
+  Alcotest.(check string) "digest stable across jobs" (Campaign.digest a)
+    (Campaign.digest b);
+  Alcotest.(check bool) "budget bit" true
+    (List.mem_assoc "tick-limit" a.Campaign.outcomes)
+
+exception Boom of int
+
+let crashy_spec label =
+  let base = busy_spec label in
+  {
+    base with
+    Campaign.instance =
+      (fun i -> if i = 3 then raise (Boom i) else base.Campaign.instance i);
+  }
+
+let test_crash_is_quarantined_not_fatal () =
+  let c = Campaign.run (crashy_spec "crashy") ~n:8 ~retries:2 [] in
+  let sup = c.Campaign.supervision in
+  Alcotest.(check int) "campaign completed all runs" 8 sup.Campaign.sup_done;
+  Alcotest.(check int) "both retries spent" 2 sup.Campaign.sup_retried;
+  (match sup.Campaign.sup_quarantined with
+  | [ (3, _) ] -> ()
+  | q -> Alcotest.failf "expected run 3 quarantined, got %d" (List.length q));
+  (* the quarantined run aggregates as a crashed outcome *)
+  Alcotest.(check bool) "crashed in histogram" true
+    (List.mem_assoc "crashed" c.Campaign.outcomes)
+
+let test_quarantine_deterministic_across_jobs () =
+  let run jobs = Campaign.run (crashy_spec "crashy-j") ~n:8 ~jobs ~retries:1 [] in
+  Alcotest.(check string) "digest stable across jobs"
+    (Campaign.digest (run 1))
+    (Campaign.digest (run 2))
+
+(* ------------------------------------------------------------------ *)
+(* Journal: resume must reproduce the uninterrupted digest             *)
+
+let jpath () =
+  let f = Filename.temp_file "t11r_campj" ".jsonl" in
+  Sys.remove f;
+  f
+
+let test_resume_reproduces_digest () =
+  let n = 30 in
+  let clean = Campaign.run fig1_spec ~n [] in
+  let journal = jpath () in
+  (* phase 1: cancel partway through — completed runs reach the journal *)
+  let executed = ref 0 in
+  let counting =
+    {
+      fig1_spec with
+      Campaign.instance =
+        (fun i ->
+          incr executed;
+          fig1_spec.Campaign.instance i);
+    }
+  in
+  let partial =
+    Campaign.run counting ~n ~journal
+      ~cancel:(fun () -> !executed >= 7)
+      []
+  in
+  Alcotest.(check bool) "phase 1 interrupted" true
+    partial.Campaign.supervision.Campaign.sup_interrupted;
+  Alcotest.(check bool) "phase 1 partial" true
+    (partial.Campaign.supervision.Campaign.sup_done < n);
+  (* phase 2: resume from the journal, at both -j1 and -j2 *)
+  List.iter
+    (fun jobs ->
+      let resumed = Campaign.run fig1_spec ~n ~jobs ~journal [] in
+      let sup = resumed.Campaign.supervision in
+      Alcotest.(check bool)
+        (Printf.sprintf "runs were resumed (jobs=%d)" jobs)
+        true (sup.Campaign.sup_resumed > 0);
+      Alcotest.(check int) "complete" n sup.Campaign.sup_done;
+      Alcotest.(check string)
+        (Printf.sprintf "resumed digest = clean digest (jobs=%d)" jobs)
+        (Campaign.digest clean) (Campaign.digest resumed))
+    [ 1; 2 ];
+  Sys.remove journal
+
+let test_resume_tolerates_torn_tail () =
+  let n = 12 in
+  let clean = Campaign.run fig1_spec ~n [] in
+  let journal = jpath () in
+  ignore (Campaign.run fig1_spec ~n ~journal []);
+  (* simulate a crash mid-append: drop the tail of the last line *)
+  let ic = open_in_bin journal in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin journal in
+  output_string oc (String.sub s 0 (String.length s - 9));
+  close_out oc;
+  let resumed = Campaign.run fig1_spec ~n ~journal [] in
+  let sup = resumed.Campaign.supervision in
+  Alcotest.(check bool) "torn line counted" true
+    (sup.Campaign.sup_journal_dropped > 0);
+  Alcotest.(check int) "complete despite damage" n sup.Campaign.sup_done;
+  Alcotest.(check string) "digest survives the torn tail"
+    (Campaign.digest clean) (Campaign.digest resumed);
+  Sys.remove journal
+
+let test_resume_rejects_mismatched_campaign () =
+  let journal = jpath () in
+  ignore (Campaign.run fig1_spec ~n:5 ~journal []);
+  (match Campaign.run fig1_spec ~n:9 ~journal [] with
+  | _ -> Alcotest.fail "expected a header mismatch"
+  | exception Invalid_argument _ -> ());
+  Sys.remove journal
+
+(* The real thing: SIGKILL a campaign mid-flight, then resume from its
+   journal and reproduce the uninterrupted digest bit for bit. *)
+let test_sigkill_then_resume_digest () =
+  let n = 40 in
+  (* per-run dawdle so the kill lands mid-campaign, not after it *)
+  let slow =
+    {
+      fig1_spec with
+      Campaign.label = "fig1-sigkill";
+      instance =
+        (fun i ->
+          Unix.sleepf 0.004;
+          fig1_spec.Campaign.instance i);
+    }
+  in
+  let clean = Campaign.run slow ~n [] in
+  let journal = jpath () in
+  (* Unix.fork is off-limits once the pool has ever spawned a domain,
+     so the victim is a dedicated executable running the same spec. *)
+  let child =
+    Filename.concat (Filename.dirname Sys.executable_name) "resume_child.exe"
+  in
+  let pid =
+    Unix.create_process child
+      [| child; journal; string_of_int n |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.sleepf 0.06;
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  let resumed = Campaign.run slow ~n ~journal [] in
+  Alcotest.(check int) "complete after resume" n
+    resumed.Campaign.supervision.Campaign.sup_done;
+  Alcotest.(check string) "SIGKILLed-then-resumed digest = clean digest"
+    (Campaign.digest clean) (Campaign.digest resumed);
+  Sys.remove journal
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "campaign"
@@ -171,5 +383,31 @@ let () =
             test_runner_compat_across_jobs;
           Alcotest.test_case "faultsweep rows jobs-stable" `Quick
             test_faultsweep_deterministic_across_jobs;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "map_opt full = map" `Quick
+            test_map_opt_full_matches_map;
+          Alcotest.test_case "map_opt cancel is partial" `Quick
+            test_map_opt_cancelled_is_partial;
+          Alcotest.test_case "deadline => timeout outcomes" `Quick
+            test_deadline_turns_wedged_runs_into_timeouts;
+          Alcotest.test_case "tick budget jobs-stable" `Quick
+            test_tick_budget_is_deterministic;
+          Alcotest.test_case "crash quarantined after retries" `Quick
+            test_crash_is_quarantined_not_fatal;
+          Alcotest.test_case "quarantine jobs-stable" `Quick
+            test_quarantine_deterministic_across_jobs;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "resume reproduces digest" `Quick
+            test_resume_reproduces_digest;
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_resume_tolerates_torn_tail;
+          Alcotest.test_case "header mismatch rejected" `Quick
+            test_resume_rejects_mismatched_campaign;
+          Alcotest.test_case "SIGKILL then resume = clean digest" `Quick
+            test_sigkill_then_resume_digest;
         ] );
     ]

@@ -79,7 +79,8 @@ let test_kind_names_distinct () =
 let m1 =
   {
     Metrics.m_ticks = 1; m_waits = 2; m_preemptions = 3; m_evictions = 4;
-    m_stale_reads = 5; m_det_checks = 6; m_desyncs = 7;
+    m_stale_reads = 5; m_det_checks = 6; m_desyncs = 7; m_timeouts = 8;
+    m_retries = 9; m_salvages = 10;
   }
 
 let test_metrics_monoid () =
@@ -102,7 +103,7 @@ let test_metrics_json () =
          let rec go i = i + n <= h && (String.sub j i n = k || go (i + 1)) in
          go 0)
        [ "ticks"; "waits"; "preemptions"; "evictions"; "stale_reads";
-         "detector_checks"; "desyncs" ]);
+         "detector_checks"; "desyncs"; "timeouts"; "retries"; "salvages" ]);
   match Chrome.validate (Printf.sprintf "{\"traceEvents\": [], \"m\": %s}" j)
   with
   | Ok () -> ()

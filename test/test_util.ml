@@ -349,6 +349,186 @@ let test_codec_missing_file () =
     (Codec.read_lines "/nonexistent/definitely/FILE")
 
 (* ------------------------------------------------------------------ *)
+(* Crc *)
+
+let test_crc_vector () =
+  (* The CRC-32 (IEEE, reflected) check value from the catalogue. *)
+  check Alcotest.string "123456789" "CBF43926"
+    (Crc.to_hex (Crc.string "123456789"))
+
+let test_crc_empty () =
+  check Alcotest.string "empty" "00000000" (Crc.to_hex (Crc.string ""))
+
+let test_crc_hex_roundtrip () =
+  check (Alcotest.option Alcotest.int) "roundtrip" (Some 0xCBF43926)
+    (Crc.of_hex "CBF43926");
+  check (Alcotest.option Alcotest.int) "too short" None (Crc.of_hex "CBF4");
+  check (Alcotest.option Alcotest.int) "not hex" None (Crc.of_hex "CBF4392G")
+
+let raw_string_arb = QCheck.make ~print:String.escaped string_gen
+
+let crc_update_incremental =
+  QCheck.Test.make ~name:"crc over split = crc over whole" ~count:300
+    (QCheck.pair raw_string_arb raw_string_arb)
+    (fun (a, b) ->
+      let whole = Crc.string (a ^ b) in
+      let split = Crc.update (Crc.update 0 a 0 (String.length a)) b 0 (String.length b) in
+      whole = split)
+
+let crc_detects_bit_flip =
+  QCheck.Test.make ~name:"crc detects any single bit flip" ~count:300
+    QCheck.(pair raw_string_arb (pair small_nat (int_range 0 7)))
+    (fun (s, (i, bit)) ->
+      String.length s = 0
+      ||
+      let i = i mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code s.[i] lxor (1 lsl bit)));
+      Crc.string s <> Crc.string (Bytes.to_string b))
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let jtmp () =
+  let f = Filename.temp_file "t11r_journal" ".jsonl" in
+  Sys.remove f;
+  f
+
+let test_journal_roundtrip () =
+  let path = jtmp () in
+  let w = Journal.create path in
+  let payloads = [ "plain"; ""; "with \"quotes\" and \\backslash"; "\x00\x01\xff bin" ] in
+  List.iter (fun p -> Journal.append w { Journal.kind = "test"; payload = p }) payloads;
+  Journal.close w;
+  let entries, dropped = Journal.read path in
+  check Alcotest.int "nothing dropped" 0 dropped;
+  check Alcotest.(list string) "payloads survive" payloads
+    (List.map (fun e -> e.Journal.payload) entries);
+  check Alcotest.bool "kinds survive" true
+    (List.for_all (fun e -> e.Journal.kind = "test") entries)
+
+let test_journal_append_resumes () =
+  let path = jtmp () in
+  let w = Journal.create path in
+  Journal.append w { Journal.kind = "a"; payload = "1" };
+  Journal.close w;
+  let w = Journal.create path in
+  Journal.append w { Journal.kind = "b"; payload = "2" };
+  Journal.close w;
+  let entries, dropped = Journal.read path in
+  check Alcotest.int "no drops" 0 dropped;
+  check Alcotest.(list string) "both entries, in order" [ "a"; "b" ]
+    (List.map (fun e -> e.Journal.kind) entries)
+
+let test_journal_torn_tail_dropped () =
+  let path = jtmp () in
+  let w = Journal.create path in
+  Journal.append w { Journal.kind = "good"; payload = "one" };
+  Journal.append w { Journal.kind = "good"; payload = "two" };
+  Journal.close w;
+  (* simulate a crash mid-append: truncate the last line *)
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub s 0 (String.length s - 7));
+  close_out oc;
+  let entries, dropped = Journal.read path in
+  check Alcotest.int "torn line dropped" 1 dropped;
+  check Alcotest.(list string) "intact prefix kept" [ "one" ]
+    (List.map (fun e -> e.Journal.payload) entries)
+
+let test_journal_corrupt_line_dropped () =
+  let path = jtmp () in
+  let w = Journal.create path in
+  Journal.append w { Journal.kind = "k"; payload = "first" };
+  Journal.append w { Journal.kind = "k"; payload = "second" };
+  Journal.close w;
+  (* flip a payload byte without fixing the CRC *)
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let i = ref (-1) in
+  String.iteri (fun j c -> if !i < 0 && c = 'f' then i := j) s;
+  let b = Bytes.of_string s in
+  Bytes.set b !i 'X';
+  let oc = open_out_bin path in
+  output_string oc (Bytes.to_string b);
+  close_out oc;
+  let entries, dropped = Journal.read path in
+  check Alcotest.int "corrupt line dropped" 1 dropped;
+  check Alcotest.(list string) "valid line kept" [ "second" ]
+    (List.map (fun e -> e.Journal.payload) entries)
+
+let test_journal_rejects_bad_kind () =
+  let path = jtmp () in
+  let w = Journal.create path in
+  Alcotest.check_raises "kind with space"
+    (Invalid_argument "Journal.append: bad kind \"bad kind\"") (fun () ->
+      Journal.append w { Journal.kind = "bad kind"; payload = "" });
+  Journal.close w
+
+let journal_fuzz_roundtrip =
+  QCheck.Test.make ~name:"journal roundtrips arbitrary payload bytes" ~count:300
+    raw_string_arb
+    (fun payload ->
+      let path = jtmp () in
+      let w = Journal.create path in
+      Journal.append w { Journal.kind = "fuzz"; payload };
+      Journal.close w;
+      let entries, dropped = Journal.read path in
+      Sys.remove path;
+      dropped = 0
+      && List.map (fun e -> e.Journal.payload) entries = [ payload ])
+
+(* ------------------------------------------------------------------ *)
+(* Tmp *)
+
+let test_tmp_with_dir_cleans_up () =
+  let captured = ref "" in
+  Tmp.with_dir ~prefix:"t11r_wd" (fun dir ->
+      captured := dir;
+      check Alcotest.bool "exists inside" true (Sys.is_directory dir));
+  check Alcotest.bool "removed after" false (Sys.file_exists !captured)
+
+let test_tmp_with_dir_cleans_up_on_raise () =
+  let captured = ref "" in
+  (try
+     Tmp.with_dir ~prefix:"t11r_wd" (fun dir ->
+         captured := dir;
+         let oc = open_out (Filename.concat dir "junk") in
+         output_string oc "x";
+         close_out oc;
+         failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "removed even on raise" false (Sys.file_exists !captured)
+
+let test_tmp_gc_reclaims_dead_claims () =
+  let base = Filename.get_temp_dir_name () in
+  (* fabricate a claim by a pid that cannot be alive *)
+  let stale = Filename.concat base "t11r_gctest.999999999.0" in
+  (try Unix.mkdir stale 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out (Filename.concat stale "leftover") in
+  output_string oc "x";
+  close_out oc;
+  (* and a live claim of our own, which must survive *)
+  let live = Tmp.fresh_dir ~prefix:"t11r_gctest" () in
+  let removed = Tmp.gc ~prefix:"t11r_gctest" () in
+  check Alcotest.bool "stale dir removed" false (Sys.file_exists stale);
+  check Alcotest.bool "stale is reported" true (List.mem stale removed);
+  check Alcotest.bool "live claim untouched" true (Sys.file_exists live);
+  Tmp.rm_rf live
+
+let test_tmp_gc_ignores_foreign_names () =
+  let base = Filename.get_temp_dir_name () in
+  let foreign = Filename.concat base "t11r_gcforeign_notaclaim" in
+  (try Unix.mkdir foreign 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let removed = Tmp.gc ~prefix:"t11r_gcforeign" () in
+  check Alcotest.bool "foreign dir untouched" true (Sys.file_exists foreign);
+  check Alcotest.(list string) "nothing removed" [] removed;
+  Tmp.rm_rf foreign
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "util"
@@ -411,5 +591,36 @@ let () =
           Alcotest.test_case "missing file" `Quick test_codec_missing_file;
           qtest codec_roundtrip;
           qtest codec_no_spaces;
+        ] );
+      ( "crc",
+        [
+          Alcotest.test_case "check vector" `Quick test_crc_vector;
+          Alcotest.test_case "empty" `Quick test_crc_empty;
+          Alcotest.test_case "hex roundtrip" `Quick test_crc_hex_roundtrip;
+          qtest crc_update_incremental;
+          qtest crc_detects_bit_flip;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "append resumes" `Quick test_journal_append_resumes;
+          Alcotest.test_case "torn tail dropped" `Quick
+            test_journal_torn_tail_dropped;
+          Alcotest.test_case "corrupt line dropped" `Quick
+            test_journal_corrupt_line_dropped;
+          Alcotest.test_case "rejects bad kind" `Quick
+            test_journal_rejects_bad_kind;
+          qtest journal_fuzz_roundtrip;
+        ] );
+      ( "tmp",
+        [
+          Alcotest.test_case "with_dir cleans up" `Quick
+            test_tmp_with_dir_cleans_up;
+          Alcotest.test_case "with_dir cleans up on raise" `Quick
+            test_tmp_with_dir_cleans_up_on_raise;
+          Alcotest.test_case "gc reclaims dead claims" `Quick
+            test_tmp_gc_reclaims_dead_claims;
+          Alcotest.test_case "gc ignores foreign names" `Quick
+            test_tmp_gc_ignores_foreign_names;
         ] );
     ]
