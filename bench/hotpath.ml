@@ -21,6 +21,7 @@ module Atomics = T11r_mem.Atomics
 module Memord = T11r_mem.Memord
 module Tstate = T11r_mem.Tstate
 module Detector = T11r_race.Detector
+module Coverage = T11r_race.Coverage
 module Trace = T11r_obs.Trace
 
 (* ------------------------------------------------------------------ *)
@@ -61,6 +62,12 @@ let budgets =
        off the hot path); enabled writes into preallocated rings. *)
     ("trace_emit_disabled", 0);
     ("trace_emit_enabled", 0);
+    (* Coverage fingerprinting: disabled must be free (one branch, no
+       hash computed) — the guard pattern below is exactly what the
+       interpreter compiles at every mark site; enabled sets bits in a
+       preallocated bitmap. *)
+    ("cov_mark_disabled", 0);
+    ("cov_mark_enabled", 0);
     (* Demo durability: whole-recording operations, not per-op costs.
        The generous budgets catch algorithmic regressions (an O(n^2)
        re-render, CRC over a string copy per line), not byte drift. *)
@@ -164,6 +171,13 @@ let op_benches ~iters =
     (let tr = Trace.create ~capacity:4096 () in
      bench "trace_emit_enabled" (fun () ->
          Trace.emit tr Trace.Op ~tick:1 ~tid:0 ~label:"bench" ~ts:10 ~dur:2));
+    (let cov = Coverage.disabled in
+     bench "cov_mark_disabled" (fun () ->
+         if Coverage.enabled cov then
+           Coverage.mark cov (Coverage.site_edge ~tid:1 ~obj:2)));
+    (let cov = Coverage.create () in
+     bench "cov_mark_enabled" (fun () ->
+         Coverage.mark cov (Coverage.site_edge ~tid:1 ~obj:2)));
   ]
 
 (* Demo durability: cost of a crash-atomic save (fresh sibling dir +

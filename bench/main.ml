@@ -825,6 +825,138 @@ let campaign () =
   Fmt.pr "wrote BENCH_campaign.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Coverage-guided vs random hunting: runs-to-first-race, with a
+   machine-readable comparison file (the tentpole's headline claim).    *)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let coverage () =
+  let trials = if !smoke then 5 else 25 in
+  let budget = if !smoke then 400 else 1600 in
+  let batch = 16 in
+  (* Low-race-rate litmus benchmarks: workloads where plain random
+     needs many runs per race (fig1 ~0.3% racy, chase-lev-deque ~0%),
+     so there is room for guidance to help; barrier (~30%) is the
+     sanity row where both hunters find the race almost immediately. *)
+  let names = [ "fig1"; "chase-lev-deque"; "barrier" ] in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Coverage-guided vs random: median runs to first race (%d \
+            trials, budget %d runs)"
+           trials budget)
+      ~headers:[ "benchmark"; "random"; "guided"; "winner" ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let e =
+          if name = "fig1" then T11r_litmus.Registry.fig1
+          else Option.get (T11r_litmus.Registry.find name)
+        in
+        (* Both hunters get the same per-trial world/seed discipline:
+           run i of trial t is a pure function of (t, i). *)
+        let world_of t i = World.create ~seed:(Int64.of_int ((t * budget) + i + 3)) () in
+        let random_trial t =
+          let rec go i =
+            if i > budget then budget
+            else
+              let conf =
+                Conf.with_seeds
+                  (Conf.tsan11rec ~strategy:Conf.Random ())
+                  (Int64.of_int ((t * budget) + i))
+                  (Int64.of_int ((t * budget) + i + 7919))
+              in
+              let r = Interp.run ~world:(world_of t i) conf (e.build ()) in
+              if r.Interp.race_count > 0 then i else go (i + 1)
+          in
+          go 1
+        in
+        let guided_trial t =
+          let spec =
+            {
+              Campaign.label = name;
+              conf =
+                (fun i ->
+                  Conf.with_seeds
+                    (Conf.tsan11rec ~strategy:Conf.Random ())
+                    (Int64.of_int ((t * budget) + i))
+                    (Int64.of_int ((t * budget) + i + 7919)));
+              instance = (fun i -> (world_of t i, e.build ()));
+            }
+          in
+          let g =
+            T11r_harness.Guided.hunt spec ~rounds:(budget / batch) ~batch
+              ~jobs:!jobs
+              ~salt:(Int64.of_int ((t * 7919) + 1))
+              ~stop_on_race:true ()
+          in
+          match g.T11r_harness.Guided.g_first_race with
+          | Some i -> i + 1
+          | None -> budget
+        in
+        let ts = List.init trials (fun t -> t + 1) in
+        let rnd = median (List.map random_trial ts) in
+        let gd = median (List.map guided_trial ts) in
+        Table.add_row t
+          [
+            name;
+            string_of_int rnd;
+            string_of_int gd;
+            (if gd < rnd then "guided"
+             else if gd > rnd then "RANDOM"
+             else "tie");
+          ];
+        (name, rnd, gd))
+      names
+  in
+  Table.print t;
+  let wins = List.length (List.filter (fun (_, r, g) -> g < r) rows) in
+  (* The headline: total median runs to expose every benchmark's race —
+     a whole-suite budget, so one easy benchmark cannot mask a hunter
+     that burns its budget on the hard ones. *)
+  let total_random = List.fold_left (fun a (_, r, _) -> a + r) 0 rows in
+  let total_guided = List.fold_left (fun a (_, _, g) -> a + g) 0 rows in
+  Fmt.pr
+    "guided wins %d/%d benchmarks (total median runs-to-race: random %d, \
+     guided %d)@.@."
+    wins (List.length rows) total_random total_guided;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"tsan11rec/coverage-bench/v1\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"trials\": %d,\n\
+      \  \"budget_runs\": %d,\n\
+      \  \"batch\": %d,\n\
+      \  \"benchmarks\": [\n%s\n  ],\n\
+      \  \"guided_wins\": %d,\n\
+      \  \"total_median_runs_random\": %d,\n\
+      \  \"total_median_runs_guided\": %d,\n\
+      \  \"guided_beats_random\": %b\n\
+       }\n"
+      !smoke trials budget batch
+      (String.concat ",\n"
+         (List.map
+            (fun (name, r, g) ->
+              Printf.sprintf
+                "    {\"benchmark\": \"%s\", \"median_runs_random\": %d, \
+                 \"median_runs_guided\": %d, \"guided_wins\": %b}"
+                (json_escape name) r g (g < r))
+            rows))
+      wins total_random total_guided
+      (total_guided < total_random)
+  in
+  let oc = open_out "BENCH_coverage.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_coverage.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -840,6 +972,7 @@ let experiments =
     ("micro", micro);
     ("faults", faults);
     ("campaign", campaign);
+    ("coverage", coverage);
     ("ops", fun () -> Hotpath.run ~smoke:!smoke ~jobs:!jobs);
   ]
 

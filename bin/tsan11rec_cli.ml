@@ -8,7 +8,8 @@
      replay WORKLOAD   replay a demo (reports desynchronisation;
                        --salvage recovers a truncated recording first)
      hunt WORKLOAD     repeated controlled runs hunting for races
-                       (--resume picks up an interrupted campaign)
+                       (--resume picks up an interrupted campaign;
+                       --guided breeds seeds from a coverage corpus)
      explore WORKLOAD  schedule-coverage report with race sightings
      check WORKLOAD    bounded systematic exploration (model checking)
      icb WORKLOAD      smallest preemption bound exposing a failure
@@ -24,6 +25,7 @@ module Policy = Tsan11rec.Policy
 module World = T11r_env.World
 module Workloads = T11r_harness.Workloads
 module Campaign = T11r_harness.Campaign
+module Guided = T11r_harness.Guided
 
 (* ---- exit codes ---------------------------------------------------- *)
 
@@ -96,7 +98,7 @@ let install_sigint () =
              "interrupt: draining in-flight runs (Ctrl-C again to abort)"
          end))
 
-(* ---- shared arguments --------------------------------------------- *)
+(* ---- positional / subcommand-specific arguments -------------------- *)
 
 let workload_arg =
   let doc = "Workload to run (see `list')." in
@@ -108,27 +110,69 @@ let tool_arg =
   in
   Arg.(value & opt string "tsan11rec" & info [ "tool" ] ~docv:"TOOL" ~doc)
 
-let strategy_arg =
-  let doc = "Scheduling strategy for tsan11rec: random, queue, or pct:D." in
-  Arg.(value & opt string "random" & info [ "strategy"; "s" ] ~docv:"STRAT" ~doc)
-
-let seed_arg =
-  let doc = "Scheduler PRNG seed (two seeds are derived from it)." in
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
-
-let env_seed_arg =
-  let doc = "Environment (external world) seed." in
-  Arg.(value & opt int 42 & info [ "env-seed" ] ~docv:"N" ~doc)
-
 let demo_arg =
   let doc = "Demo directory." in
   Arg.(value & opt string "demo" & info [ "demo"; "d" ] ~docv:"DIR" ~doc)
 
-let runs_arg =
+(* ---- the shared flag-spec table ------------------------------------ *)
+
+(* Every option shared by two or more subcommands is declared exactly
+   once below — one name set, one docstring, one parser, one validation
+   path — and subcommands select the rows they take by listing [flag]
+   values. Unselected rows parse as their defaults and stay out of that
+   subcommand's $(b,--help). *)
+
+type flag =
+  | Strategy
+  | Seed
+  | Env_seed
+  | Runs
+  | Jobs
+  | Deadline
+  | Tick_budget
+  | Retries
+  | Journal
+  | Fault_p
+  | Fault_seed
+  | On_desync
+
+(* The parsed, validated values of every shared flag (defaults for the
+   rows a subcommand did not select). *)
+type common = {
+  co_strategy : Conf.strategy;
+  co_strategy_name : string;
+  co_seed : int;
+  co_env_seed : int;
+  co_runs : int;
+  co_jobs : int;  (* already resolved: never 0 *)
+  co_deadline : float;
+  co_tick_budget : int option;
+  co_retries : int;
+  co_journal : string option;
+  co_fault_p : float;
+  co_fault_seed : int;
+  co_on_desync : Conf.desync_mode;
+}
+
+let strategy_row =
+  let doc =
+    "Scheduling strategy for tsan11rec: random, queue, pct:D, db:D, or pb:B."
+  in
+  Arg.(value & opt string "random" & info [ "strategy"; "s" ] ~docv:"STRAT" ~doc)
+
+let seed_row =
+  let doc = "Scheduler PRNG seed (two seeds are derived from it)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let env_seed_row =
+  let doc = "Environment (external world) seed." in
+  Arg.(value & opt int 42 & info [ "env-seed" ] ~docv:"N" ~doc)
+
+let runs_row =
   let doc = "Number of runs." in
   Arg.(value & opt int 100 & info [ "runs"; "n" ] ~docv:"N" ~doc)
 
-let jobs_arg =
+let jobs_row =
   let doc =
     "Worker domains for campaign subcommands: 1 (default) runs \
      sequentially, 0 uses every core ($(b,T11R_JOBS) overrides the \
@@ -136,9 +180,7 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
 
-let resolve_jobs j = if j <= 0 then T11r_harness.Pool.default_jobs () else j
-
-let deadline_arg =
+let deadline_row =
   let doc =
     "Per-run wall-clock deadline in seconds: a wedged run is cut off with \
      a $(b,timeout) outcome (exit 4) instead of hanging its worker. 0 \
@@ -147,7 +189,7 @@ let deadline_arg =
   in
   Arg.(value & opt float 0.0 & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
-let tick_budget_arg =
+let tick_budget_row =
   let doc =
     "Deterministic per-run budget: cap every run at $(docv) critical \
      sections (a $(b,tick-limit) outcome, exit 4), identically on every \
@@ -155,7 +197,7 @@ let tick_budget_arg =
   in
   Arg.(value & opt (some int) None & info [ "tick-budget" ] ~docv:"N" ~doc)
 
-let retries_arg =
+let retries_row =
   let doc =
     "Retry a run whose worker raised up to $(docv) times (exponential \
      backoff) before quarantining it as a $(b,crashed) result; the \
@@ -163,7 +205,7 @@ let retries_arg =
   in
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
 
-let journal_arg =
+let journal_row =
   let doc =
     "Append every completed run to this checksummed JSONL journal and \
      skip runs it already holds. $(b,--resume) and $(b,--journal) are the \
@@ -176,18 +218,18 @@ let journal_arg =
     & opt (some string) None
     & info [ "resume"; "journal" ] ~docv:"FILE" ~doc)
 
-let fault_p_arg =
+let fault_p_row =
   let doc =
     "Inject environment faults (transient EAGAIN/EINTR, connection resets, \
-     short transfers) with this per-syscall probability."
+     short transfers) with this per-syscall probability (in [0,1])."
   in
   Arg.(value & opt float 0.0 & info [ "fault-p" ] ~docv:"P" ~doc)
 
-let fault_seed_arg =
+let fault_seed_row =
   let doc = "Seed for the fault plan's PRNG." in
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
 
-let on_desync_arg =
+let on_desync_row =
   let doc =
     "Replay divergence handling: abort (stop with a hard desync, the \
      default), diagnose (stop with a structured divergence report), or \
@@ -195,53 +237,103 @@ let on_desync_arg =
   in
   Arg.(value & opt string "abort" & info [ "on-desync" ] ~docv:"MODE" ~doc)
 
-let desync_mode_of name =
-  match Conf.desync_mode_of_name name with
-  | Some m -> m
-  | None ->
-      Fmt.epr "unknown desync mode %S (abort|diagnose|resync)@." name;
-      exit 2
+let usage fmt = Fmt.kstr (fun m -> Fmt.epr "%s@." m; exit 2) fmt
+
+let strategy_of name =
+  match Conf.strategy_of_name name with
+  | Some s -> s
+  | None -> (
+      match name with
+      | "rnd" -> Conf.Random
+      | _ -> usage "unknown strategy %S (random|queue|pct:D|db:D|pb:B)" name)
+
+let resolve_jobs j =
+  if j < 0 then usage "--jobs must be >= 0 (got %d)" j
+  else if j = 0 then T11r_harness.Pool.default_jobs ()
+  else j
+
+(* One validating constructor behind every subcommand: strategy and
+   desync-mode names parse (or exit 2) here, --jobs resolves here,
+   --fault-p range-checks here — identically wherever the flag appears. *)
+let common_term flags =
+  let pick fl term default =
+    if List.mem fl flags then term else Term.const default
+  in
+  let build strategy seed env_seed runs jobs deadline tick_budget retries
+      journal fault_p fault_seed on_desync =
+    if runs < 1 then usage "--runs must be >= 1 (got %d)" runs;
+    if deadline < 0.0 then usage "--deadline must be >= 0 (got %g)" deadline;
+    if retries < 0 then usage "--retries must be >= 0 (got %d)" retries;
+    if fault_p < 0.0 || fault_p > 1.0 then
+      usage "--fault-p must be in [0,1] (got %g)" fault_p;
+    (match tick_budget with
+    | Some b when b < 1 -> usage "--tick-budget must be >= 1 (got %d)" b
+    | _ -> ());
+    {
+      co_strategy = strategy_of strategy;
+      co_strategy_name = strategy;
+      co_seed = seed;
+      co_env_seed = env_seed;
+      co_runs = runs;
+      co_jobs = resolve_jobs jobs;
+      co_deadline = deadline;
+      co_tick_budget = tick_budget;
+      co_retries = retries;
+      co_journal = journal;
+      co_fault_p = fault_p;
+      co_fault_seed = fault_seed;
+      co_on_desync =
+        (match Conf.desync_mode_of_name on_desync with
+        | Some m -> m
+        | None -> usage "unknown desync mode %S (abort|diagnose|resync)" on_desync);
+    }
+  in
+  Term.(
+    const build
+    $ pick Strategy strategy_row "random"
+    $ pick Seed seed_row 1
+    $ pick Env_seed env_seed_row 42
+    $ pick Runs runs_row 100
+    $ pick Jobs jobs_row 1
+    $ pick Deadline deadline_row 0.0
+    $ pick Tick_budget tick_budget_row None
+    $ pick Retries retries_row 0
+    $ pick Journal journal_row None
+    $ pick Fault_p fault_p_row 0.0
+    $ pick Fault_seed fault_seed_row 1
+    $ pick On_desync on_desync_row "abort")
+
+(* ---- configuration construction ------------------------------------ *)
 
 let lookup_workload name =
   match Workloads.find name with
   | Some w -> w
-  | None ->
-      Fmt.epr "unknown workload %S; try `list'@." name;
-      exit 2
+  | None -> usage "unknown workload %S; try `list'" name
 
-let strategy_of name =
-  match Conf.strategy_of_name name with
-  | Some s -> Some s
-  | None -> (
-      match name with
-      | "rnd" | "random" -> Some Conf.Random
-      | "queue" -> Some Conf.Queue
-      | _ -> None)
+(* Every configuration the CLI hands to the interpreter goes through
+   the builder API and then [Conf.validate] — a flag combination the
+   library rejects is a usage error, not a crash mid-run. *)
+let validated conf =
+  match Conf.validate conf with
+  | Ok c -> c
+  | Error msg -> usage "invalid configuration: %s" msg
 
 let base_conf ~tool ~strategy =
-  let strat =
-    match strategy_of strategy with
-    | Some s -> s
-    | None ->
-        Fmt.epr "unknown strategy %S@." strategy;
-        exit 2
-  in
   match tool with
   | "native" -> Conf.native
   | "tsan11" -> Conf.tsan11
   | "rr" -> Conf.rr_model
   | "tsan11+rr" -> Conf.tsan11_rr
-  | "tsan11rec" -> Conf.tsan11rec ~strategy:strat ()
-  | _ ->
-      Fmt.epr "unknown tool %S@." tool;
-      exit 2
+  | "tsan11rec" -> Conf.tsan11rec ~strategy ()
+  | _ -> usage "unknown tool %S" tool
 
 let prepare ~w ~conf ~seed ~env_seed ?(fault_p = 0.0) ?(fault_seed = 1) ~mode () =
-  let conf = { conf with Conf.mode } in
+  let conf = Conf.with_mode conf mode in
   let conf = Conf.with_policy conf w.Workloads.w_policy in
   let conf =
     Conf.with_seeds conf (Int64.of_int seed) (Int64.of_int (seed + 7919))
   in
+  let conf = validated conf in
   let faults =
     if fault_p > 0.0 then
       T11r_env.Fault.uniform ~seed:(Int64.of_int fault_seed) ~p:fault_p ()
@@ -284,12 +376,13 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name tool strategy seed env_seed fault_p fault_seed tsan_style =
+  let run name tool co tsan_style =
     let w = lookup_workload name in
     let conf, world, build =
       prepare ~w
-        ~conf:(base_conf ~tool ~strategy)
-        ~seed ~env_seed ~fault_p ~fault_seed ~mode:Conf.Free ()
+        ~conf:(base_conf ~tool ~strategy:co.co_strategy)
+        ~seed:co.co_seed ~env_seed:co.co_env_seed ~fault_p:co.co_fault_p
+        ~fault_seed:co.co_fault_seed ~mode:Conf.Free ()
     in
     let r = Interp.run ~world conf (build ()) in
     if tsan_style then begin
@@ -320,20 +413,22 @@ let run_cmd =
     (Cmd.info "run" ~exits:outcome_exits
        ~doc:"Run a workload once under a tool configuration")
     Term.(
-      const run $ workload_arg $ tool_arg $ strategy_arg $ seed_arg
-      $ env_seed_arg $ fault_p_arg $ fault_seed_arg $ tsan_flag)
+      const run $ workload_arg $ tool_arg
+      $ common_term [ Strategy; Seed; Env_seed; Fault_p; Fault_seed ]
+      $ tsan_flag)
 
 let record_cmd =
-  let run name strategy seed env_seed fault_p fault_seed demo =
+  let run name co demo =
     let w = lookup_workload name in
     let conf, world, build =
       prepare ~w
-        ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
-        ~seed ~env_seed ~fault_p ~fault_seed ~mode:(Conf.Record demo) ()
+        ~conf:(base_conf ~tool:"tsan11rec" ~strategy:co.co_strategy)
+        ~seed:co.co_seed ~env_seed:co.co_env_seed ~fault_p:co.co_fault_p
+        ~fault_seed:co.co_fault_seed ~mode:(Conf.Record demo) ()
     in
     let r = Interp.run ~world conf (build ()) in
     report r;
-    if fault_p > 0.0 then
+    if co.co_fault_p > 0.0 then
       Fmt.pr "faults:    %d injected@." (World.faults_injected world);
     Fmt.pr "recorded demo in %s@." demo;
     exit (exit_of r)
@@ -342,11 +437,12 @@ let record_cmd =
     (Cmd.info "record" ~exits:outcome_exits
        ~doc:"Record a demo of one execution")
     Term.(
-      const run $ workload_arg $ strategy_arg $ seed_arg $ env_seed_arg
-      $ fault_p_arg $ fault_seed_arg $ demo_arg)
+      const run $ workload_arg
+      $ common_term [ Strategy; Seed; Env_seed; Fault_p; Fault_seed ]
+      $ demo_arg)
 
 let replay_cmd =
-  let run name strategy env_seed on_desync demo salvage =
+  let run name co demo salvage =
     let w = lookup_workload name in
     let demo =
       if not salvage then demo
@@ -373,10 +469,10 @@ let replay_cmd =
     in
     let conf, world, build =
       prepare ~w
-        ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
-        ~seed:0 ~env_seed ~mode:(Conf.Replay demo) ()
+        ~conf:(base_conf ~tool:"tsan11rec" ~strategy:co.co_strategy)
+        ~seed:0 ~env_seed:co.co_env_seed ~mode:(Conf.Replay demo) ()
     in
-    let conf = { conf with Conf.on_desync = desync_mode_of on_desync } in
+    let conf = Conf.with_on_desync conf co.co_on_desync in
     let r = Interp.run ~world conf (build ()) in
     report r;
     exit (exit_of r)
@@ -395,16 +491,49 @@ let replay_cmd =
     (Cmd.info "replay" ~exits:outcome_exits
        ~doc:"Replay a recorded demo (checks for desync)")
     Term.(
-      const run $ workload_arg $ strategy_arg $ env_seed_arg $ on_desync_arg
+      const run $ workload_arg
+      $ common_term [ Strategy; Env_seed; On_desync ]
       $ demo_arg $ salvage_flag)
 
+(* hunt: the classic blind campaign, or — with --guided — the
+   coverage-guided loop breeding candidates from a corpus. *)
+
+let guided_flag =
+  Arg.(
+    value & flag
+    & info [ "guided" ]
+        ~doc:
+          "Coverage-guided hunting: collect a per-run schedule-coverage \
+           fingerprint, keep the seeds that reached new coverage in a \
+           corpus, and breed each round's candidates from it. $(b,--runs) \
+           becomes the total run budget (rounds of $(b,--batch) runs); \
+           results are bit-identical at every $(b,--jobs).")
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "With $(b,--guided): persist the corpus and per-round run \
+           journals in $(docv). Re-running with the same directory resumes \
+           a killed hunt and reproduces the uninterrupted digest.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"With $(b,--guided): candidates bred and run per round.")
+
 let hunt_cmd =
-  let run name strategy runs env_seed fault_p jobs deadline tick_budget
-      retries journal =
+  let run name co guided corpus batch =
     install_sigint ();
     let w = lookup_workload name in
     let base =
-      Conf.with_policy (base_conf ~tool:"tsan11rec" ~strategy) w.Workloads.w_policy
+      validated
+        (Conf.with_policy
+           (base_conf ~tool:"tsan11rec" ~strategy:co.co_strategy)
+           w.Workloads.w_policy)
     in
     (* The hunt's historical seed discipline, expressed as a campaign
        spec: scheduler seed i, environment seed env_seed + i, fault
@@ -418,20 +547,47 @@ let hunt_cmd =
         instance =
           (fun i ->
             let faults =
-              if fault_p > 0.0 then
-                T11r_env.Fault.uniform ~seed:(Int64.of_int i) ~p:fault_p ()
+              if co.co_fault_p > 0.0 then
+                T11r_env.Fault.uniform ~seed:(Int64.of_int i) ~p:co.co_fault_p ()
               else T11r_env.Fault.none
             in
             let world =
-              World.create ~seed:(Int64.of_int (env_seed + i)) ~faults ()
+              World.create ~seed:(Int64.of_int (co.co_env_seed + i)) ~faults ()
             in
             let build = w.Workloads.w_instance world in
             (world, build ()));
       }
     in
+    if guided then begin
+      if batch < 1 then usage "--batch must be >= 1 (got %d)" batch;
+      let rounds = max 1 ((co.co_runs + batch - 1) / batch) in
+      let g =
+        Guided.hunt spec ~rounds ~batch ~jobs:co.co_jobs ?corpus_dir:corpus
+          ~deadline_s:co.co_deadline ?tick_budget:co.co_tick_budget ~cancel ()
+      in
+      Fmt.pr "%a" Guided.pp g;
+      if g.Guided.g_interrupted then begin
+        (match corpus with
+        | Some dir ->
+            Fmt.pr "INTERRUPTED; resume with --guided --corpus %s@." dir
+        | None ->
+            Fmt.pr
+              "INTERRUPTED (no corpus directory — progress lost; use \
+               --corpus DIR next time)@.");
+        exit 130
+      end;
+      let crashed =
+        List.fold_left
+          (fun acc (k, v) -> if k = "crashed" then acc + v else acc)
+          0 g.Guided.g_outcomes
+      in
+      Fmt.pr "digest:    %s@." (Guided.digest g);
+      exit (if g.Guided.g_racy > 0 || crashed > 0 then 1 else 0)
+    end;
     let c =
-      Campaign.run spec ~n:runs ~jobs:(resolve_jobs jobs) ~first:1
-        ~deadline_s:deadline ?tick_budget ~retries ?journal ~cancel []
+      Campaign.run spec ~n:co.co_runs ~jobs:co.co_jobs ~first:1
+        ~deadline_s:co.co_deadline ?tick_budget:co.co_tick_budget
+        ~retries:co.co_retries ?journal:co.co_journal ~cancel []
     in
     let crashed =
       List.fold_left (fun acc (k, v) -> if k = "crashed" then acc + v else acc)
@@ -439,7 +595,7 @@ let hunt_cmd =
     in
     let sup = c.Campaign.supervision in
     Fmt.pr "%d runs (%s strategy): %d racy (%.1f%%), %d crashed@."
-      sup.Campaign.sup_done strategy c.Campaign.racy_runs
+      sup.Campaign.sup_done co.co_strategy_name c.Campaign.racy_runs
       (100.0
       *. float_of_int c.Campaign.racy_runs
       /. float_of_int (max 1 sup.Campaign.sup_done))
@@ -449,7 +605,7 @@ let hunt_cmd =
         sup.Campaign.sup_resumed;
     if sup.Campaign.sup_timeouts > 0 then
       Fmt.pr "timeouts:  %d run(s) hit the %.1fs deadline@."
-        sup.Campaign.sup_timeouts deadline;
+        sup.Campaign.sup_timeouts co.co_deadline;
     if sup.Campaign.sup_retried > 0 then
       Fmt.pr "retries:   %d attempt(s)@." sup.Campaign.sup_retried;
     (match sup.Campaign.sup_quarantined with
@@ -462,18 +618,18 @@ let hunt_cmd =
     | (i, msg) :: _ ->
         Fmt.pr "first crash at seed %d: %s@." i msg;
         Fmt.pr "reproduce with: record %s -s %s --seed %d --env-seed %d@." name
-          strategy i (env_seed + i)
+          co.co_strategy_name i (co.co_env_seed + i)
     | [] -> ());
     if sup.Campaign.sup_interrupted then begin
-      (match journal with
+      (match co.co_journal with
       | Some j ->
           Fmt.pr "INTERRUPTED after %d/%d runs; resume with --resume %s@."
-            sup.Campaign.sup_done runs j
+            sup.Campaign.sup_done co.co_runs j
       | None ->
           Fmt.pr
             "INTERRUPTED after %d/%d runs (no journal — progress lost; use \
              --journal FILE next time)@."
-            sup.Campaign.sup_done runs);
+            sup.Campaign.sup_done co.co_runs);
       exit 130
     end;
     Fmt.pr "digest:    %s@." (Campaign.digest c);
@@ -483,34 +639,31 @@ let hunt_cmd =
     (Cmd.info "hunt" ~exits:campaign_exits
        ~doc:"Controlled concurrency testing: many seeds, race/crash counts")
     Term.(
-      const run $ workload_arg $ strategy_arg $ runs_arg $ env_seed_arg
-      $ fault_p_arg $ jobs_arg $ deadline_arg $ tick_budget_arg $ retries_arg
-      $ journal_arg)
+      const run $ workload_arg
+      $ common_term
+          [
+            Strategy; Runs; Env_seed; Fault_p; Jobs; Deadline; Tick_budget;
+            Retries; Journal;
+          ]
+      $ guided_flag $ corpus_arg $ batch_arg)
 
 let explore_cmd =
-  let run name strategy runs jobs deadline tick_budget retries journal =
+  let run name co =
     install_sigint ();
     let w = lookup_workload name in
-    let strat =
-      match strategy_of strategy with
-      | Some s -> s
-      | None ->
-          Fmt.epr "unknown strategy %S@." strategy;
-          exit 2
-    in
     let spec =
       T11r_harness.Workloads.spec_of
-        ~base_conf:(Conf.tsan11rec ~strategy:strat ())
+        ~base_conf:(validated (Conf.tsan11rec ~strategy:co.co_strategy ()))
         w
     in
     let report =
-      T11r_harness.Explore.explore ~jobs:(resolve_jobs jobs)
-        ~deadline_s:deadline ?tick_budget ~retries ?journal ~cancel spec
-        ~n:runs
+      T11r_harness.Explore.explore ~jobs:co.co_jobs ~deadline_s:co.co_deadline
+        ?tick_budget:co.co_tick_budget ~retries:co.co_retries
+        ?journal:co.co_journal ~cancel spec ~n:co.co_runs
     in
     Fmt.pr "%a" T11r_harness.Explore.pp report;
     if Atomic.get interrupted then begin
-      (match journal with
+      (match co.co_journal with
       | Some j -> Fmt.pr "interrupted; resume with --resume %s@." j
       | None ->
           Fmt.pr
@@ -523,11 +676,12 @@ let explore_cmd =
     (Cmd.info "explore" ~exits:campaign_exits
        ~doc:"Schedule-space exploration report: coverage, races, crashes")
     Term.(
-      const run $ workload_arg $ strategy_arg $ runs_arg $ jobs_arg
-      $ deadline_arg $ tick_budget_arg $ retries_arg $ journal_arg)
+      const run $ workload_arg
+      $ common_term
+          [ Strategy; Runs; Jobs; Deadline; Tick_budget; Retries; Journal ])
 
 let check_cmd =
-  let run name max_runs jobs journal =
+  let run name max_runs co =
     install_sigint ();
     let w = lookup_workload name in
     let build () =
@@ -537,12 +691,12 @@ let check_cmd =
       w.Workloads.w_instance (World.create ~seed:0L ()) ()
     in
     let r =
-      T11r_harness.Systematic.explore ~max_runs ~jobs:(resolve_jobs jobs)
-        ?journal ~cancel ~build ()
+      T11r_harness.Systematic.explore ~max_runs ~jobs:co.co_jobs
+        ?journal:co.co_journal ~cancel ~build ()
     in
     Fmt.pr "%a" T11r_harness.Systematic.pp r;
     if Atomic.get interrupted then begin
-      (match journal with
+      (match co.co_journal with
       | Some j -> Fmt.pr "interrupted; resume with --resume %s@." j
       | None ->
           Fmt.pr
@@ -565,13 +719,26 @@ let check_cmd =
        ~doc:
          "Bounded systematic exploration (stateless model checking) of a \
           closed workload")
-    Term.(const run $ workload_arg $ max_runs $ jobs_arg $ journal_arg)
+    Term.(const run $ workload_arg $ max_runs $ common_term [ Jobs; Journal ])
 
 let icb_cmd =
-  let run name max_bound =
+  let run name max_bound corpus =
     let w = lookup_workload name in
+    let corpus =
+      match corpus with
+      | None -> None
+      | Some dir -> (
+          match Guided.load_corpus dir with
+          | Some c ->
+              Fmt.pr "seeding from corpus %s (%d seed(s))@." dir
+                (T11r_harness.Corpus.size c);
+              Some c
+          | None ->
+              Fmt.epr "no readable corpus snapshots in %s; searching blind@." dir;
+              None)
+    in
     let r =
-      T11r_harness.Minimize.find_bug ~max_bound
+      T11r_harness.Minimize.find_bug ~max_bound ?corpus
         ~build:(fun () -> w.Workloads.w_instance (World.create ~seed:0L ()) ())
         ()
     in
@@ -583,36 +750,42 @@ let icb_cmd =
       value & opt int 4
       & info [ "max-bound" ] ~docv:"B" ~doc:"Largest preemption bound to try.")
   in
+  let corpus_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Seed the search from a guided-hunt corpus directory: its \
+             proven seed pairs are tried first at every bound.")
+  in
   Cmd.v
     (Cmd.info "icb"
        ~doc:
          "Iterative context bounding: find the smallest preemption bound \
           that exposes a failure")
-    Term.(const run $ workload_arg $ max_bound)
+    Term.(const run $ workload_arg $ max_bound $ corpus_opt)
 
 let trace_cmd =
-  let run name strategy seed env_seed demo diff out capacity =
+  let run name co demo diff out capacity =
     let w = lookup_workload name in
-    if diff && demo = None then begin
-      Fmt.epr "--diff needs a recording: pass --demo DIR@.";
-      exit 2
-    end;
+    if diff && demo = None then
+      usage "--diff needs a recording: pass --demo DIR";
     let mode =
       match demo with Some d -> Conf.Replay d | None -> Conf.Free
     in
     let conf, world, build =
       prepare ~w
-        ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
-        ~seed ~env_seed ~mode ()
+        ~conf:(base_conf ~tool:"tsan11rec" ~strategy:co.co_strategy)
+        ~seed:co.co_seed ~env_seed:co.co_env_seed ~mode ()
     in
-    let conf =
-      { conf with Conf.trace_events = true; Conf.trace_capacity = capacity }
-    in
+    let conf = Conf.with_trace conf ~capacity in
     (* --diff: survive divergences (counting them) so the report covers
        the whole run, not just the prefix before the first mismatch. *)
     let conf =
-      if diff then { conf with Conf.on_desync = Conf.Resync } else conf
+      if diff then Conf.with_on_desync conf Conf.Resync else conf
     in
+    let conf = validated conf in
     let r = Interp.run ~world conf (build ()) in
     let json =
       T11r_obs.Chrome.export ~thread_names:r.Interp.thread_names
@@ -676,7 +849,8 @@ let trace_cmd =
          "Run (or replay) a workload with event tracing and export a \
           Perfetto-loadable Chrome trace")
     Term.(
-      const run $ workload_arg $ strategy_arg $ seed_arg $ env_seed_arg
+      const run $ workload_arg
+      $ common_term [ Strategy; Seed; Env_seed ]
       $ demo_opt $ diff_flag $ out_arg $ capacity_arg)
 
 let demo_info_cmd =

@@ -40,6 +40,7 @@ type t = {
   trace_events : bool;
   trace_capacity : int;
   on_desync : desync_mode;
+  coverage : bool;
 }
 
 (* Cost-model notes. Baseline visible ops take ~1µs natively. tsan11's
@@ -78,6 +79,7 @@ let default =
     trace_events = false;
     trace_capacity = 65536;
     on_desync = Abort;
+    coverage = false;
   }
 
 let native =
@@ -164,6 +166,114 @@ let tsan11rec ?(strategy = Random) ?(mode = Free) () =
 
 let with_seeds t s1 s2 = { t with seeds = Some (s1, s2) }
 let with_policy t p = { t with policy = p }
+
+(* Builder API — the canonical way to construct and adjust
+   configurations. Call sites should not spell out the record: presets
+   plus [make]/[with_*] keep them insulated from field additions. *)
+
+let make ?(base = default) ?name ?strategy ?mode ?race_detection ?emit_reports
+    ?seeds ?policy ?resched_ms ?queue_jitter_us ?max_ticks ?deadline_s
+    ?max_history ?suppressions ?debug_trace ?trace_events ?trace_capacity
+    ?on_desync ?coverage () =
+  let t = base in
+  let t = match name with Some v -> { t with name = v } | None -> t in
+  let t =
+    match strategy with Some s -> { t with sched = Controlled s } | None -> t
+  in
+  let t = match mode with Some v -> { t with mode = v } | None -> t in
+  let t =
+    match race_detection with
+    | Some v -> { t with race_detection = v }
+    | None -> t
+  in
+  let t =
+    match emit_reports with Some v -> { t with emit_reports = v } | None -> t
+  in
+  let t =
+    match seeds with Some (s1, s2) -> { t with seeds = Some (s1, s2) } | None -> t
+  in
+  let t = match policy with Some v -> { t with policy = v } | None -> t in
+  let t =
+    match resched_ms with Some v -> { t with resched_ms = v } | None -> t
+  in
+  let t =
+    match queue_jitter_us with
+    | Some v -> { t with queue_jitter_us = v }
+    | None -> t
+  in
+  let t = match max_ticks with Some v -> { t with max_ticks = v } | None -> t in
+  let t =
+    match deadline_s with Some v -> { t with deadline_s = v } | None -> t
+  in
+  let t =
+    match max_history with Some v -> { t with max_history = v } | None -> t
+  in
+  let t =
+    match suppressions with Some v -> { t with suppressions = v } | None -> t
+  in
+  let t =
+    match debug_trace with Some v -> { t with debug_trace = v } | None -> t
+  in
+  let t =
+    match trace_events with Some v -> { t with trace_events = v } | None -> t
+  in
+  let t =
+    match trace_capacity with
+    | Some v -> { t with trace_capacity = v }
+    | None -> t
+  in
+  let t = match on_desync with Some v -> { t with on_desync = v } | None -> t in
+  let t = match coverage with Some v -> { t with coverage = v } | None -> t in
+  t
+
+let with_name t name = { t with name }
+let with_strategy t s = { t with sched = Controlled s }
+let with_mode t mode = { t with mode }
+let with_race_detection t race_detection = { t with race_detection }
+let with_emit_reports t emit_reports = { t with emit_reports }
+let with_resched_ms t resched_ms = { t with resched_ms }
+let with_queue_jitter_us t queue_jitter_us = { t with queue_jitter_us }
+let with_max_ticks t max_ticks = { t with max_ticks }
+let with_deadline_s t deadline_s = { t with deadline_s }
+let with_max_history t max_history = { t with max_history }
+let with_suppressions t suppressions = { t with suppressions }
+let with_debug_trace t debug_trace = { t with debug_trace }
+let with_trace t ~capacity = { t with trace_events = true; trace_capacity = capacity }
+let with_on_desync t on_desync = { t with on_desync }
+let with_coverage t coverage = { t with coverage }
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let guided =
+    match t.sched with Controlled (Guided _) -> true | _ -> false
+  in
+  if guided && (match t.mode with Free -> false | Record _ | Replay _ -> true)
+  then err "the guided strategy cannot be recorded or replayed (use Free mode)"
+  else if t.trace_capacity <= 0 then
+    err "trace_capacity must be positive (got %d)" t.trace_capacity
+  else if t.max_history < 1 then
+    err "max_history must be at least 1 (got %d)" t.max_history
+  else if t.max_ticks < 1 then
+    err "max_ticks must be at least 1 (got %d)" t.max_ticks
+  else if t.var_cost < 0 then err "var_cost must not be negative (got %d)" t.var_cost
+  else if t.vis_cost < 0 then err "vis_cost must not be negative (got %d)" t.vis_cost
+  else if t.vis_cost_syscall < 0 then
+    err "vis_cost_syscall must not be negative (got %d)" t.vis_cost_syscall
+  else if t.record_cost < 0 then
+    err "record_cost must not be negative (got %d)" t.record_cost
+  else if t.report_cost < 0 then
+    err "report_cost must not be negative (got %d)" t.report_cost
+  else if t.invis_mult < 0. then
+    err "invis_mult must not be negative (got %g)" t.invis_mult
+  else if t.resched_ms < 0 then
+    err "resched_ms must not be negative (got %d)" t.resched_ms
+  else if t.queue_jitter_us < 0 then
+    err "queue_jitter_us must not be negative (got %d)" t.queue_jitter_us
+  else if t.startup_us < 0 then
+    err "startup_us must not be negative (got %d)" t.startup_us
+  else if t.deadline_s < 0. then
+    err "deadline_s must not be negative (got %g)" t.deadline_s
+  else Ok t
 
 let desync_mode_name = function
   | Abort -> "abort"

@@ -123,6 +123,11 @@ type t = {
           events); older events are overwritten beyond it *)
   on_desync : desync_mode;
       (** replay divergence handling; [Abort] by default *)
+  coverage : bool;
+      (** collect the per-run schedule-coverage fingerprint
+          ([T11r_race.Coverage]), surfaced in [Interp.result.coverage].
+          Off by default; when off the hot path pays one branch and
+          zero allocation per mark site. *)
 }
 
 val default : t
@@ -137,8 +142,66 @@ val rr_model : t
 val tsan11_rr : t
 val tsan11rec : ?strategy:strategy -> ?mode:mode -> unit -> t
 
+(** {2 Builders}
+
+    The canonical construction path: start from a preset (or [make]'s
+    [?base], which defaults to {!default}), override the fields you
+    care about, and never spell the record out at a call site — this
+    keeps callers insulated from field additions. *)
+
+val make :
+  ?base:t ->
+  ?name:string ->
+  ?strategy:strategy ->
+  ?mode:mode ->
+  ?race_detection:bool ->
+  ?emit_reports:bool ->
+  ?seeds:int64 * int64 ->
+  ?policy:Policy.t ->
+  ?resched_ms:int ->
+  ?queue_jitter_us:int ->
+  ?max_ticks:int ->
+  ?deadline_s:float ->
+  ?max_history:int ->
+  ?suppressions:string list ->
+  ?debug_trace:bool ->
+  ?trace_events:bool ->
+  ?trace_capacity:int ->
+  ?on_desync:desync_mode ->
+  ?coverage:bool ->
+  unit ->
+  t
+(** Build a configuration by overriding fields of [?base] (default
+    {!default}). Every argument simply replaces the corresponding
+    field; [?strategy] sets [sched] to [Controlled strategy]. *)
+
 val with_seeds : t -> int64 -> int64 -> t
 val with_policy : t -> Policy.t -> t
+val with_name : t -> string -> t
+val with_strategy : t -> strategy -> t
+val with_mode : t -> mode -> t
+val with_race_detection : t -> bool -> t
+val with_emit_reports : t -> bool -> t
+val with_resched_ms : t -> int -> t
+val with_queue_jitter_us : t -> int -> t
+val with_max_ticks : t -> int -> t
+val with_deadline_s : t -> float -> t
+val with_max_history : t -> int -> t
+val with_suppressions : t -> string list -> t
+val with_debug_trace : t -> bool -> t
+
+val with_trace : t -> capacity:int -> t
+(** Enable structured event tracing with the given ring capacity. *)
+
+val with_on_desync : t -> desync_mode -> t
+val with_coverage : t -> bool -> t
+
+val validate : t -> (t, string) result
+(** Reject inconsistent configurations: [Record]/[Replay] mode with the
+    [Guided] strategy, [trace_capacity <= 0], [max_history < 1],
+    [max_ticks < 1], and negative costs, multipliers, jitters or
+    deadlines. Returns the configuration unchanged when consistent. *)
+
 val strategy_name : strategy -> string
 val strategy_of_name : string -> strategy option
 val desync_mode_name : desync_mode -> string

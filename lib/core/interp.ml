@@ -6,6 +6,7 @@ module Atomics = T11r_mem.Atomics
 module Tstate = T11r_mem.Tstate
 module Detector = T11r_race.Detector
 module Lockorder = T11r_race.Lockorder
+module Coverage = T11r_race.Coverage
 module World = T11r_env.World
 module Trace = T11r_obs.Trace
 module Metrics = T11r_obs.Metrics
@@ -49,6 +50,7 @@ type result = {
   metrics : Metrics.t;
   events : Trace.event list;
   events_dropped : int;
+  coverage : T11r_race.Coverage.summary;
 }
 
 exception Hard of string
@@ -146,6 +148,7 @@ type ctx = {
   mutable desyncs : divergence list;  (* first 64, reversed *)
   (* observability *)
   obs : Trace.t;  (* Trace.disabled unless conf.trace_events *)
+  cov : Coverage.t;  (* Coverage.disabled unless conf.coverage *)
   mutable last_cs_start : int;  (* start of the current critical section *)
   mutable waits : int;
   mutable preemptions : int;
@@ -867,6 +870,8 @@ let wake_one_mutex_waiter ctx mid ~at =
 let acquire_mutex ctx t (m : Api.mutex) =
   let ms = mstate ctx m in
   ms.owner <- Some t.tid;
+  if Coverage.enabled ctx.cov then
+    Coverage.mark ctx.cov (Coverage.site_edge ~tid:t.tid ~obj:m.Api.mu_id);
   if ctx.conf.race_detection then begin
     Tstate.acquire t.tst ms.m_clock;
     Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:m.Api.mu_id
@@ -897,7 +902,9 @@ let wake_cond_waiter ctx t ~at ~(signaller_clock : Vclock.t) =
   (match t.cwait with
   | Some cw ->
       cw.cw_stage <- Cw_relock;
-      cw.cw_result <- Api.Signalled
+      cw.cw_result <- Api.Signalled;
+      if Coverage.enabled ctx.cov then
+        Coverage.mark ctx.cov (Coverage.site_edge ~tid:t.tid ~obj:cw.cw_cond)
   | None -> ());
   if ctx.conf.race_detection then Tstate.acquire t.tst signaller_clock;
   match t.status with
@@ -916,6 +923,8 @@ let rw_can_write rw = rw.rw_writer = None && rw.rw_readers = []
 
 let rw_acquire_read ctx t (l : Api.rwlock) rw =
   rw.rw_readers <- t.tid :: rw.rw_readers;
+  if Coverage.enabled ctx.cov then
+    Coverage.mark ctx.cov (Coverage.site_edge ~tid:t.tid ~obj:l.Api.rw_id);
   if ctx.conf.race_detection then begin
     Tstate.acquire t.tst rw.rw_clock;
     Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:l.Api.rw_id
@@ -924,6 +933,8 @@ let rw_acquire_read ctx t (l : Api.rwlock) rw =
 
 let rw_acquire_write ctx t (l : Api.rwlock) rw =
   rw.rw_writer <- Some t.tid;
+  if Coverage.enabled ctx.cov then
+    Coverage.mark ctx.cov (Coverage.site_edge ~tid:t.tid ~obj:l.Api.rw_id);
   if ctx.conf.race_detection then begin
     Tstate.acquire t.tst rw.rw_clock;
     Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:l.Api.rw_id
@@ -1098,10 +1109,19 @@ let exec_cs ctx t =
             let v =
               Atomics.load ctx.mem a.Api.a_loc t.tst mo ~choose:ctx.choose
             in
-            if Trace.enabled ctx.obs && Atomics.stale_reads ctx.mem > sr0 then
-              Trace.emit ctx.obs Trace.Stale_read ~tick:ctx.tick ~tid:t.tid
-                ~label:(Atomics.loc_name a.Api.a_loc) ~ts:ctx.last_cs_start
-                ~dur:0;
+            if
+              (Trace.enabled ctx.obs || Coverage.enabled ctx.cov)
+              && Atomics.stale_reads ctx.mem > sr0
+            then begin
+              if Trace.enabled ctx.obs then
+                Trace.emit ctx.obs Trace.Stale_read ~tick:ctx.tick ~tid:t.tid
+                  ~label:(Atomics.loc_name a.Api.a_loc) ~ts:ctx.last_cs_start
+                  ~dur:0;
+              if Coverage.enabled ctx.cov then
+                Coverage.mark ctx.cov
+                  (Coverage.site_stale ~tid:t.tid
+                     ~var:(Atomics.loc_name a.Api.a_loc))
+            end;
             finish_cs ctx t k (Api.req_label r) fin v
         | Some (P ((Api.A_store (a, mo, v)) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
@@ -1118,10 +1138,19 @@ let exec_cs ctx t =
               Atomics.cas ctx.mem a.Api.a_loc t.tst ~success:succ
                 ~failure:fail_ ~expected ~desired ~choose:ctx.choose
             in
-            if Trace.enabled ctx.obs && Atomics.stale_reads ctx.mem > sr0 then
-              Trace.emit ctx.obs Trace.Stale_read ~tick:ctx.tick ~tid:t.tid
-                ~label:(Atomics.loc_name a.Api.a_loc) ~ts:ctx.last_cs_start
-                ~dur:0;
+            if
+              (Trace.enabled ctx.obs || Coverage.enabled ctx.cov)
+              && Atomics.stale_reads ctx.mem > sr0
+            then begin
+              if Trace.enabled ctx.obs then
+                Trace.emit ctx.obs Trace.Stale_read ~tick:ctx.tick ~tid:t.tid
+                  ~label:(Atomics.loc_name a.Api.a_loc) ~ts:ctx.last_cs_start
+                  ~dur:0;
+              if Coverage.enabled ctx.cov then
+                Coverage.mark ctx.cov
+                  (Coverage.site_stale ~tid:t.tid
+                     ~var:(Atomics.loc_name a.Api.a_loc))
+            end;
             finish_cs ctx t k (Api.req_label r) fin res
         | Some (P ((Api.Fence mo) as r, k)) ->
             let fin = cs_timing ctx t ~recorded:false in
@@ -1290,6 +1319,11 @@ let exec_cs ctx t =
             | Some child -> (
                 match child.status with
                 | Done | Dead _ ->
+                    (* join edges live in the edge family, negated so
+                       child tids don't collide with lock ids *)
+                    if Coverage.enabled ctx.cov then
+                      Coverage.mark ctx.cov
+                        (Coverage.site_edge ~tid:t.tid ~obj:(lnot target));
                     if ctx.conf.race_detection then
                       Tstate.acquire t.tst (Tstate.clock child.tst);
                     t.ltime <- max t.ltime child.ltime;
@@ -1486,6 +1520,7 @@ let make_ctx conf world replay_demo =
         (if conf.Conf.trace_events then
            Trace.create ~capacity:conf.Conf.trace_capacity ()
          else Trace.disabled);
+      cov = (if conf.Conf.coverage then Coverage.create () else Coverage.disabled);
       last_cs_start = 0;
       waits = 0;
       preemptions = 0;
@@ -1508,6 +1543,15 @@ let make_ctx conf world replay_demo =
         in
         Trace.emit ctx.obs Trace.Race ~tick:ctx.tick ~tid
           ~label:r.T11r_race.Report.var ~ts:ctx.gclock ~dur:0);
+  if Coverage.enabled ctx.cov then
+    Detector.on_report ctx.det (fun r ->
+        let open T11r_race.Report in
+        let kind =
+          match r.kind with Write_write -> 0 | Write_read -> 1 | Read_write -> 2
+        in
+        Coverage.mark ctx.cov
+          (Coverage.site_race ~var:r.var ~kind ~first_tid:r.first_tid
+             ~second_tid:r.second_tid));
   (match replay with
   | Some d ->
       (match d.Demo.queue with
@@ -1572,6 +1616,7 @@ let result_of_outcome outcome =
     metrics = Metrics.zero;
     events = [];
     events_dropped = 0;
+    coverage = Coverage.empty;
   }
 
 (* A corrupt or missing demo is a usability (or durability) error, not
@@ -1683,6 +1728,7 @@ let run ?world conf (program : Api.program) =
       done;
       !m
     in
+    let coverage = Coverage.summarize ctx.cov in
     {
       outcome;
       makespan_us =
@@ -1713,9 +1759,13 @@ let run ?world conf (program : Api.program) =
           m_timeouts = (match outcome with Timeout -> 1 | _ -> 0);
           m_retries = 0;
           m_salvages = 0;
+          m_cov_bits = Coverage.popcount coverage;
+          m_corpus_adds = 0;
+          m_energy = 0;
         };
       events = Trace.to_list ctx.obs;
       events_dropped = Trace.dropped ctx.obs;
+      coverage;
     }
   in
   try
@@ -1784,7 +1834,10 @@ let run ?world conf (program : Api.program) =
                    preemption; switches at blocking points are free. *)
                 (match thread_opt ctx ctx.last_sched with
                 | Some prev when prev.status = Ready ->
-                    ctx.preemptions <- ctx.preemptions + 1
+                    ctx.preemptions <- ctx.preemptions + 1;
+                    if Coverage.enabled ctx.cov then
+                      Coverage.mark ctx.cov
+                        (Coverage.site_preempt ~prev:prev.tid ~next:t.tid)
                 | _ -> ());
                 Trace.emit ctx.obs Trace.Sched ~tick:ctx.tick ~tid:t.tid
                   ~label:t.tname ~ts:ctx.gclock ~dur:0

@@ -87,6 +87,9 @@ type result = {
           [Conf.trace_events] was set; export with [T11r_obs.Chrome] *)
   events_dropped : int;
       (** events lost to the trace ring buffer's capacity *)
+  coverage : T11r_race.Coverage.summary;
+      (** the run's schedule-coverage fingerprint —
+          [T11r_race.Coverage.empty] unless [Conf.coverage] was set *)
 }
 
 val run : ?world:T11r_env.World.t -> Conf.t -> T11r_vm.Api.program -> result

@@ -89,6 +89,7 @@ type report = {
   sightings : sighting list;
   crashes : (int * string) list;
   metrics : T11r_obs.Metrics.t;
+  coverage : T11r_race.Coverage.summary;
   supervision : supervision;
 }
 
@@ -183,6 +184,13 @@ let aggregate ~label ~n ~first ~jobs ~wall_s ?(supervision = no_supervision)
         (fun acc (r : Interp.result) ->
           T11r_obs.Metrics.add acc r.Interp.metrics)
         T11r_obs.Metrics.zero results;
+    coverage =
+      (* Union is commutative, but folding in index order anyway keeps
+         the whole aggregate under one discipline. *)
+      Array.fold_left
+        (fun acc (r : Interp.result) ->
+          T11r_race.Coverage.union acc r.Interp.coverage)
+        T11r_race.Coverage.empty results;
     supervision;
   }
 
@@ -196,7 +204,7 @@ let aggregate ~label ~n ~first ~jobs ~wall_s ?(supervision = no_supervision)
    resumed campaign's digest is bit-identical to an uninterrupted
    one's. Bump [journal_schema] whenever Interp.result (or anything it
    contains) changes layout. *)
-let journal_schema = 1
+let journal_schema = 2
 
 type journal_header = {
   jh_schema : int;
@@ -379,7 +387,8 @@ let fingerprint r =
       r.outcomes,
       r.sightings,
       r.crashes,
-      r.metrics ) )
+      r.metrics,
+      r.coverage ) )
 
 let equal a b = fingerprint a = fingerprint b
 

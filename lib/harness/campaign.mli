@@ -98,6 +98,10 @@ type report = {
           summed in run-index order (a commutative-looking but
           deliberately ordered monoid fold), so the totals are
           bit-identical whatever [jobs] was *)
+  coverage : T11r_race.Coverage.summary;
+      (** union of every run's schedule-coverage fingerprint, folded in
+          run-index order; [T11r_race.Coverage.empty] unless the
+          campaign's configurations enabled [Conf.coverage] *)
   supervision : supervision;
       (** excluded from {!equal}/{!digest}, like [wall_s] and [jobs] *)
 }

@@ -1,0 +1,77 @@
+(** Coverage-guided schedule hunting.
+
+    Each round breeds a batch of candidate (strategy, seed-pair)
+    inputs from the {!Corpus} (portfolio rotation while the corpus is
+    empty), runs the batch as one [Campaign], and folds every run's
+    coverage fingerprint back into the corpus in run-index order.
+    Candidate breeding is a pure function of (salt, round, corpus), and
+    coverage merging is a commutative monoid folded in index order, so
+    the corpus and the report digest are bit-identical at every worker
+    count.
+
+    With [?corpus_dir] the hunt is durable: the fold state is
+    snapshotted into a CRC-framed journal after each round, and each
+    round's campaign writes its own run journal — a SIGKILL loses at
+    most the in-flight run, and re-running with the same directory
+    resumes and reproduces the uninterrupted digest. *)
+
+module Conf = Tsan11rec.Conf
+module Coverage = T11r_race.Coverage
+module Metrics = T11r_obs.Metrics
+
+type report = {
+  g_label : string;
+  g_rounds_done : int;
+  g_batch : int;
+  g_runs : int;
+  g_racy : int;
+  g_first_race : int option;
+      (** global run index of the first racy run, if any *)
+  g_corpus : Corpus.t;
+  g_coverage : Coverage.summary;  (** union over every run *)
+  g_outcomes : (string * int) list;  (** outcome histogram, sorted *)
+  g_sightings : Campaign.sighting list;  (** distinct races, most-sighted first *)
+  g_metrics : Metrics.t;
+      (** summed per-run counters, with [m_corpus_adds] and [m_energy]
+          filled in from the corpus *)
+  g_wall_s : float;  (** excluded from {!digest} *)
+  g_interrupted : bool;  (** excluded from {!digest} *)
+}
+
+val hunt :
+  Campaign.spec ->
+  ?rounds:int ->
+  ?batch:int ->
+  ?jobs:int ->
+  ?corpus_dir:string ->
+  ?salt:int64 ->
+  ?stop_on_race:bool ->
+  ?deadline_s:float ->
+  ?tick_budget:int ->
+  ?cancel:(unit -> bool) ->
+  unit ->
+  report
+(** Run a guided hunt over the spec's workload. The spec's per-index
+    configuration is overridden per candidate (strategy, seeds,
+    coverage forced on). [?salt] decorrelates otherwise identical
+    hunts; [?stop_on_race] ends the hunt at the first round that found
+    a race (the runs-to-first-race experiment); [?cancel] is polled
+    between rounds and inside each round's campaign.
+
+    @raise Invalid_argument when [rounds < 1], [batch < 1], or
+    [?corpus_dir] holds a journal from a different hunt or schema. *)
+
+val digest : report -> string
+(** Hex MD5 over everything except [g_wall_s] and [g_interrupted] —
+    the determinism witness compared across worker counts and across
+    SIGKILL+resume. *)
+
+val pp : Format.formatter -> report -> unit
+
+val corpus_journal_path : string -> string
+(** The snapshot journal inside a corpus directory. *)
+
+val load_corpus : string -> Corpus.t option
+(** The corpus of the newest intact snapshot in a corpus directory —
+    [None] when the directory has no readable snapshots. Read-only:
+    header pins are not checked. *)

@@ -54,8 +54,26 @@ let derive_seeds ~bound ~try_ =
   let s2 = splitmix_next state in
   (s1, s2)
 
+(* When a guided corpus is available, its seed pairs — already proven
+   to reach novel schedule coverage — are tried first at each bound
+   (highest energy first, admission order on ties) before falling back
+   to the blind SplitMix64 sweep. They count against [tries_per_bound],
+   so the search stays bounded and fully deterministic. *)
+let corpus_seeds corpus =
+  match corpus with
+  | None -> [||]
+  | Some c ->
+      Corpus.entries c
+      |> List.sort (fun (a : Corpus.entry) b ->
+             match compare b.Corpus.e_energy a.Corpus.e_energy with
+             | 0 -> compare a.Corpus.e_id b.Corpus.e_id
+             | o -> o)
+      |> List.map (fun (e : Corpus.entry) -> (e.Corpus.e_seed1, e.Corpus.e_seed2))
+      |> Array.of_list
+
 let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
-    ?(world_seed = 7L) ~build () =
+    ?(world_seed = 7L) ?corpus ~build () =
+  let seeded = corpus_seeds corpus in
   let runs = ref 0 in
   let result = ref None in
   let bound = ref 0 in
@@ -63,7 +81,10 @@ let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
     let try_ = ref 1 in
     while !result = None && !try_ <= tries_per_bound do
       incr runs;
-      let seed, seed2 = derive_seeds ~bound:!bound ~try_:!try_ in
+      let seed, seed2 =
+        if !try_ - 1 < Array.length seeded then seeded.(!try_ - 1)
+        else derive_seeds ~bound:!bound ~try_:!try_
+      in
       let conf =
         Conf.with_seeds
           (Conf.tsan11rec ~strategy:(Conf.Preempt_bounded !bound) ())

@@ -32,11 +32,14 @@ val find_bug :
   ?max_bound:int ->
   ?tries_per_bound:int ->
   ?world_seed:int64 ->
+  ?corpus:Corpus.t ->
   build:(unit -> T11r_vm.Api.program) ->
   unit ->
   result
 (** Randomised search under [Conf.Preempt_bounded b] for
     [b = 0 .. max_bound] (default 4), [tries_per_bound] seeds each
-    (default 100). *)
+    (default 100). With [?corpus], each bound tries the guided
+    corpus' seed pairs first (highest energy first) before the blind
+    SplitMix64 sweep — they count against [tries_per_bound]. *)
 
 val pp : Format.formatter -> result -> unit

@@ -9,6 +9,9 @@ type t = {
   m_timeouts : int;
   m_retries : int;
   m_salvages : int;
+  m_cov_bits : int;
+  m_corpus_adds : int;
+  m_energy : int;
 }
 
 let zero =
@@ -23,6 +26,9 @@ let zero =
     m_timeouts = 0;
     m_retries = 0;
     m_salvages = 0;
+    m_cov_bits = 0;
+    m_corpus_adds = 0;
+    m_energy = 0;
   }
 
 let add a b =
@@ -37,6 +43,9 @@ let add a b =
     m_timeouts = a.m_timeouts + b.m_timeouts;
     m_retries = a.m_retries + b.m_retries;
     m_salvages = a.m_salvages + b.m_salvages;
+    m_cov_bits = a.m_cov_bits + b.m_cov_bits;
+    m_corpus_adds = a.m_corpus_adds + b.m_corpus_adds;
+    m_energy = a.m_energy + b.m_energy;
   }
 
 let equal (a : t) (b : t) = a = b
@@ -44,14 +53,18 @@ let equal (a : t) (b : t) = a = b
 let pp fmt m =
   Format.fprintf fmt
     "%d ticks, %d waits, %d preemptions, %d evictions, %d stale reads, %d \
-     detector checks, %d desyncs, %d timeouts, %d retries, %d salvages"
+     detector checks, %d desyncs, %d timeouts, %d retries, %d salvages, %d \
+     coverage bits, %d corpus adds, %d energy"
     m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
     m.m_det_checks m.m_desyncs m.m_timeouts m.m_retries m.m_salvages
+    m.m_cov_bits m.m_corpus_adds m.m_energy
 
 let to_json m =
   Printf.sprintf
     "{\"ticks\": %d, \"waits\": %d, \"preemptions\": %d, \"evictions\": %d, \
      \"stale_reads\": %d, \"detector_checks\": %d, \"desyncs\": %d, \
-     \"timeouts\": %d, \"retries\": %d, \"salvages\": %d}"
+     \"timeouts\": %d, \"retries\": %d, \"salvages\": %d, \
+     \"coverage_bits\": %d, \"corpus_adds\": %d, \"energy\": %d}"
     m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
     m.m_det_checks m.m_desyncs m.m_timeouts m.m_retries m.m_salvages
+    m.m_cov_bits m.m_corpus_adds m.m_energy

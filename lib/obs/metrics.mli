@@ -26,6 +26,15 @@ type t = {
   m_salvages : int;
       (** salvaged inputs consumed (campaign-level: journal lines
           dropped; always 0 in a raw interpreter result) *)
+  m_cov_bits : int;
+      (** bits set in the run's schedule-coverage fingerprint; 0 when
+          coverage collection is off *)
+  m_corpus_adds : int;
+      (** seeds admitted to the guided corpus (campaign-level; always 0
+          in a raw interpreter result) *)
+  m_energy : int;
+      (** power-schedule energy spent by guided hunting
+          (campaign-level; always 0 in a raw interpreter result) *)
 }
 
 val zero : t

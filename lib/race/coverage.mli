@@ -1,0 +1,73 @@
+(** Per-run schedule-coverage fingerprints.
+
+    A fingerprint is a fixed 4096-bit hash set over the events that
+    distinguish one schedule from another: racing-pair sites,
+    happens-before edges between distinct (tid, object) pairs,
+    stale-read sites, and preemption points. The interpreter marks
+    bits during the run; harness code works with the immutable
+    {!summary} extracted at the end.
+
+    The mutable collector follows [T11r_obs.Trace]'s discipline: the
+    interpreter threads a handle through every run, and when coverage
+    is off ({!disabled}) each {!mark} is a single branch with zero
+    allocation — enforced by the [bench ops] budgets. *)
+
+type t
+(** A mutable per-run bit collector. *)
+
+val disabled : t
+(** The shared no-op collector: {!mark} returns immediately. *)
+
+val create : unit -> t
+(** A fresh all-zero collector. *)
+
+val enabled : t -> bool
+
+val marks : t -> int
+(** Marks issued so far, counting duplicates. *)
+
+val mark : t -> int -> unit
+(** Set the bit addressed by a site hash (mod the bitmap width). One
+    branch and no allocation when the collector is {!disabled}. *)
+
+(** {2 Site hashes}
+
+    Deterministic FNV-1a site addresses, one salt per event family.
+    All are allocation-free. *)
+
+val site_race : var:string -> kind:int -> first_tid:int -> second_tid:int -> int
+val site_edge : tid:int -> obj:int -> int
+val site_stale : tid:int -> var:string -> int
+val site_preempt : prev:int -> next:int -> int
+
+(** {2 Summaries} *)
+
+type summary = string
+(** An immutable fingerprint: either the empty string (coverage was
+    disabled, or nothing merged yet — the {!union} identity) or the
+    raw 512-byte bitmap. Plain data: marshal-stable, structurally
+    comparable, safe inside campaign journals and digests. *)
+
+val empty : summary
+
+val summarize : t -> summary
+(** Snapshot a collector. {!empty} for a {!disabled} collector. *)
+
+val union : summary -> summary -> summary
+(** Bitwise or — commutative and associative with identity {!empty},
+    so any merge order over the same multiset of summaries produces
+    identical bytes.
+    @raise Invalid_argument on width mismatch. *)
+
+val new_bits : base:summary -> summary -> int
+(** Bits set in the summary but not in [base] — the corpus admission
+    test. *)
+
+val popcount : summary -> int
+val is_empty : summary -> bool
+
+val equal : summary -> summary -> bool
+(** Structural equality ({!empty} equals an explicit all-zero bitmap). *)
+
+val digest : summary -> string
+(** Hex MD5 of the bitmap bytes. *)

@@ -26,6 +26,11 @@ let () =
   | [| _; journal; n |] ->
       ignore (Campaign.run slow_fig1 ~n:(int_of_string n) ~journal []);
       exit 0
+  | [| _; "guided"; corpus_dir; rounds; batch |] ->
+      ignore
+        (T11r_harness.Guided.hunt slow_fig1 ~rounds:(int_of_string rounds)
+           ~batch:(int_of_string batch) ~corpus_dir ());
+      exit 0
   | _ ->
-      prerr_endline "usage: resume_child <journal> <n>";
+      prerr_endline "usage: resume_child <journal> <n> | guided <dir> <rounds> <batch>";
       exit 2

@@ -358,6 +358,121 @@ let test_sigkill_then_resume_digest () =
   Sys.remove journal
 
 (* ------------------------------------------------------------------ *)
+(* Coverage-guided hunting                                             *)
+
+module Coverage = T11r_race.Coverage
+module Corpus = T11r_harness.Corpus
+module Guided = T11r_harness.Guided
+
+(* Corpus admission/merge is pure and order-disciplined: the same
+   consider sequence always yields the same corpus digest, repeat
+   coverage is never admitted, and union is commutative. *)
+let test_corpus_admission () =
+  let cov_a = Coverage.create () in
+  Coverage.mark cov_a (Coverage.site_edge ~tid:1 ~obj:2);
+  let a = Coverage.summarize cov_a in
+  let cov_b = Coverage.create () in
+  Coverage.mark cov_b
+    (Coverage.site_race ~var:"x" ~kind:0 ~first_tid:1 ~second_tid:2);
+  let b = Coverage.summarize cov_b in
+  let c0 = Corpus.empty in
+  let c1, fresh1 = Corpus.consider c0 ~strategy:Corpus.S_random ~seed1:1L ~seed2:2L ~round:0 a in
+  Alcotest.(check bool) "new coverage admitted" true fresh1;
+  let c2, fresh2 = Corpus.consider c1 ~strategy:Corpus.S_queue ~seed1:3L ~seed2:4L ~round:0 a in
+  Alcotest.(check bool) "repeat coverage rejected" false fresh2;
+  Alcotest.(check int) "size unchanged on reject" 1 (Corpus.size c2);
+  let c3, fresh3 =
+    Corpus.consider c2 ~strategy:(Corpus.S_pct 3) ~seed1:5L ~seed2:6L ~round:1 b
+  in
+  Alcotest.(check bool) "disjoint coverage admitted" true fresh3;
+  Alcotest.(check int) "both kept" 2 (Corpus.size c3);
+  Alcotest.(check string) "union commutes"
+    (Coverage.digest (Coverage.union a b))
+    (Coverage.digest (Coverage.union b a));
+  (* replaying the same consider sequence reproduces the digest *)
+  let replay =
+    List.fold_left
+      (fun c (s, s1, s2, r, cov) -> fst (Corpus.consider c ~strategy:s ~seed1:s1 ~seed2:s2 ~round:r cov))
+      Corpus.empty
+      [ (Corpus.S_random, 1L, 2L, 0, a); (Corpus.S_queue, 3L, 4L, 0, a);
+        (Corpus.S_pct 3, 5L, 6L, 1, b) ]
+  in
+  Alcotest.(check string) "consider sequence deterministic" (Corpus.digest c3)
+    (Corpus.digest replay)
+
+let test_guided_deterministic_across_jobs () =
+  let g1 = Guided.hunt fig1_spec ~rounds:4 ~batch:8 ~jobs:1 () in
+  let g4 = Guided.hunt fig1_spec ~rounds:4 ~batch:8 ~jobs:4 () in
+  Alcotest.(check int) "all runs executed" 32 g1.Guided.g_runs;
+  Alcotest.(check string) "guided digest: -j4 = -j1" (Guided.digest g1)
+    (Guided.digest g4);
+  Alcotest.(check string) "corpus digest: -j4 = -j1"
+    (Corpus.digest g1.Guided.g_corpus)
+    (Corpus.digest g4.Guided.g_corpus);
+  (* a different salt decorrelates the hunt *)
+  let g_salt = Guided.hunt fig1_spec ~rounds:4 ~batch:8 ~jobs:1 ~salt:99L () in
+  Alcotest.(check bool) "salt changes the hunt" true
+    (Guided.digest g_salt <> Guided.digest g1)
+
+let cpath () =
+  let d = Filename.temp_file "t11r_corpus" "" in
+  Sys.remove d;
+  d
+
+let test_guided_corpus_resume () =
+  (* A completed hunt's corpus directory replays entirely from the
+     journals: re-running returns instantly with the identical report. *)
+  let dir = cpath () in
+  let clean = Guided.hunt fig1_spec ~rounds:3 ~batch:8 ~jobs:1 () in
+  let first = Guided.hunt fig1_spec ~rounds:3 ~batch:8 ~jobs:1 ~corpus_dir:dir () in
+  Alcotest.(check string) "journalled = unjournalled" (Guided.digest clean)
+    (Guided.digest first);
+  let resumed = Guided.hunt fig1_spec ~rounds:3 ~batch:8 ~jobs:4 ~corpus_dir:dir () in
+  Alcotest.(check string) "re-run from snapshots = clean" (Guided.digest clean)
+    (Guided.digest resumed);
+  (match Guided.load_corpus dir with
+  | Some c ->
+      Alcotest.(check string) "load_corpus sees the final corpus"
+        (Corpus.digest clean.Guided.g_corpus) (Corpus.digest c)
+  | None -> Alcotest.fail "no corpus snapshot found");
+  T11r_util.Tmp.rm_rf dir
+
+(* SIGKILL a guided hunt mid-flight; resuming from its corpus
+   directory must reproduce the uninterrupted digest bit for bit. *)
+let test_guided_sigkill_then_resume_digest () =
+  let rounds = 3 and batch = 10 in
+  let slow =
+    {
+      fig1_spec with
+      Campaign.label = "fig1-sigkill";
+      instance =
+        (fun i ->
+          Unix.sleepf 0.004;
+          fig1_spec.Campaign.instance i);
+    }
+  in
+  let clean = Guided.hunt slow ~rounds ~batch () in
+  let dir = cpath () in
+  let child =
+    Filename.concat (Filename.dirname Sys.executable_name) "resume_child.exe"
+  in
+  let pid =
+    Unix.create_process child
+      [| child; "guided"; dir; string_of_int rounds; string_of_int batch |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.sleepf 0.06;
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  let resumed = Guided.hunt slow ~rounds ~batch ~jobs:2 ~corpus_dir:dir () in
+  Alcotest.(check string) "SIGKILLed guided hunt resumes to the clean digest"
+    (Guided.digest clean) (Guided.digest resumed);
+  Alcotest.(check string) "and to the clean corpus"
+    (Corpus.digest clean.Guided.g_corpus)
+    (Corpus.digest resumed.Guided.g_corpus);
+  T11r_util.Tmp.rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "campaign"
@@ -409,5 +524,16 @@ let () =
             test_resume_rejects_mismatched_campaign;
           Alcotest.test_case "SIGKILL then resume = clean digest" `Quick
             test_sigkill_then_resume_digest;
+        ] );
+      ( "guided",
+        [
+          Alcotest.test_case "corpus admission + merge" `Quick
+            test_corpus_admission;
+          Alcotest.test_case "guided digest: -j4 = -j1" `Quick
+            test_guided_deterministic_across_jobs;
+          Alcotest.test_case "corpus dir replays to clean digest" `Quick
+            test_guided_corpus_resume;
+          Alcotest.test_case "SIGKILL guided hunt, resume = clean" `Quick
+            test_guided_sigkill_then_resume_digest;
         ] );
     ]

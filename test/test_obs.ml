@@ -80,7 +80,8 @@ let m1 =
   {
     Metrics.m_ticks = 1; m_waits = 2; m_preemptions = 3; m_evictions = 4;
     m_stale_reads = 5; m_det_checks = 6; m_desyncs = 7; m_timeouts = 8;
-    m_retries = 9; m_salvages = 10;
+    m_retries = 9; m_salvages = 10; m_cov_bits = 11; m_corpus_adds = 12;
+    m_energy = 13;
   }
 
 let test_metrics_monoid () =
@@ -103,7 +104,8 @@ let test_metrics_json () =
          let rec go i = i + n <= h && (String.sub j i n = k || go (i + 1)) in
          go 0)
        [ "ticks"; "waits"; "preemptions"; "evictions"; "stale_reads";
-         "detector_checks"; "desyncs"; "timeouts"; "retries"; "salvages" ]);
+         "detector_checks"; "desyncs"; "timeouts"; "retries"; "salvages";
+         "coverage_bits"; "corpus_adds"; "energy" ]);
   match Chrome.validate (Printf.sprintf "{\"traceEvents\": [], \"m\": %s}" j)
   with
   | Ok () -> ()
