@@ -79,7 +79,7 @@ type status = Ready | Disabled of block_reason | Done | Dead of string
 
 type thread = {
   tid : int;
-  tname : string;
+  mutable tname : string;
   tst : Tstate.t;
   mutable status : status;
   mutable pending : pending option;
@@ -108,7 +108,11 @@ type ctx = {
   world : World.t;
   mem : Atomics.t;
   det : Detector.t;
-  lockorder : Lockorder.t;
+  (* [lockorder], [obs] and [cov] are mutable for snapshot resume: while
+     fast-forwarding the deterministic prefix they point at shared
+     disabled instances, and the snapshot's state is installed at the
+     fork tick. Everything else runs normally during fast-forward. *)
+  mutable lockorder : Lockorder.t;
   rng : Prng.t;
   choose : int -> int;  (* scheduler PRNG draw, shared with the memory model *)
   mutable tvec : thread option array;  (* index = tid; dense, threads never leave *)
@@ -147,8 +151,8 @@ type ctx = {
   mutable desync_count : int;
   mutable desyncs : divergence list;  (* first 64, reversed *)
   (* observability *)
-  obs : Trace.t;  (* Trace.disabled unless conf.trace_events *)
-  cov : Coverage.t;  (* Coverage.disabled unless conf.coverage *)
+  mutable obs : Trace.t;  (* Trace.disabled unless conf.trace_events *)
+  mutable cov : Coverage.t;  (* Coverage.disabled unless conf.coverage *)
   mutable last_cs_start : int;  (* start of the current critical section *)
   mutable waits : int;
   mutable preemptions : int;
@@ -365,36 +369,64 @@ let start_fiber ctx t f ~on_return = match_with f () (fiber_handler ctx t ~on_re
 let new_thread ctx ~name ~parent_st ~at body =
   let tid = ctx.next_tid in
   ctx.next_tid <- tid + 1;
-  let tst =
-    match parent_st with
-    | Some p -> Tstate.fork ~parent:p ~tid
-    | None -> Tstate.create ~tid
-  in
-  let t =
-    {
-      tid;
-      tname = name;
-      tst;
-      status = Ready;
-      pending = None;
-      shelved = [];
-      arrival = at;
-      ltime = at;
-      invis_acc = 0;
-      cwait = None;
-      sigq = [];
-      last_tick = -1;
-      disabled_at = -1;
-      priority = 0;
-    }
-  in
-  t.priority <- draw ctx 1_000_000;
   if tid >= Array.length ctx.tvec then begin
     let a = Array.make (max 8 (2 * Array.length ctx.tvec)) None in
     Array.blit ctx.tvec 0 a 0 (Array.length ctx.tvec);
     ctx.tvec <- a
   end;
-  ctx.tvec.(tid) <- Some t;
+  let t =
+    match ctx.tvec.(tid) with
+    | Some t ->
+        (* Recycled record from a previous run on this arena (slot
+           [tid] always holds the thread with that tid, so the
+           immutable [tid] field is already right). Every other field
+           is re-initialised to the fresh-record values; the previous
+           run's parked continuation (if any) is dropped, exactly as a
+           fresh run drops it by never referencing it. *)
+        (match parent_st with
+        | Some p -> Tstate.reinit_fork t.tst ~parent:p ~tid
+        | None -> Tstate.reinit t.tst ~tid);
+        t.tname <- name;
+        t.status <- Ready;
+        t.pending <- None;
+        t.shelved <- [];
+        t.arrival <- at;
+        t.ltime <- at;
+        t.invis_acc <- 0;
+        t.cwait <- None;
+        t.sigq <- [];
+        t.last_tick <- -1;
+        t.disabled_at <- -1;
+        t.priority <- 0;
+        t
+    | None ->
+        let tst =
+          match parent_st with
+          | Some p -> Tstate.fork ~parent:p ~tid
+          | None -> Tstate.create ~tid
+        in
+        let t =
+          {
+            tid;
+            tname = name;
+            tst;
+            status = Ready;
+            pending = None;
+            shelved = [];
+            arrival = at;
+            ltime = at;
+            invis_acc = 0;
+            cwait = None;
+            sigq = [];
+            last_tick = -1;
+            disabled_at = -1;
+            priority = 0;
+          }
+        in
+        ctx.tvec.(tid) <- Some t;
+        t
+  in
+  t.priority <- draw ctx 1_000_000;
   let on_return () =
     t.status <- Done;
     t.pending <- None;
@@ -1451,43 +1483,181 @@ let build_demo ctx app_name =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Run arenas                                                           *)
+
+(* A domain-local bundle of every allocation-heavy structure [make_ctx]
+   needs, recycled across runs: the weak memory, the two race
+   detectors, the PRNG, the observability buffers, the object tables
+   and the thread vector (whose thread records — including their
+   vector clocks and fiber bookkeeping — are re-initialised in place by
+   [new_thread]). OWNERSHIP: an arena belongs to exactly one domain and
+   at most one live run at a time; results escape a run by value
+   (strings, lists, fresh records), never by reference into the arena,
+   which is what makes recycling observationally invisible. *)
+type arena = {
+  mutable a_mem : Atomics.t; (* rebuilt if conf.max_history changes *)
+  a_det : Detector.t;
+  a_lockorder : Lockorder.t;
+  a_rng : Prng.t;
+  mutable a_obs : Trace.t; (* rebuilt if capacity / enablement changes *)
+  mutable a_cov : Coverage.t;
+  a_mutexes : (int, mstate) Hashtbl.t;
+  a_conds : (int, cstate) Hashtbl.t;
+  a_rwlocks : (int, rwstate) Hashtbl.t;
+  a_handlers : (int, unit -> unit) Hashtbl.t;
+  a_fd_classes : (int, Policy.fd_class) Hashtbl.t;
+  a_rep_queue_next : (int, int) Hashtbl.t;
+  mutable a_tvec : thread option array;
+  mutable a_ready : thread option array;
+}
+
+let create_arena () =
+  {
+    a_mem = Atomics.create ();
+    a_det = Detector.create ();
+    a_lockorder = Lockorder.create ();
+    a_rng = Prng.create ~seed1:1L ~seed2:2L;
+    a_obs = Trace.disabled;
+    a_cov = Coverage.disabled;
+    a_mutexes = Hashtbl.create 8;
+    a_conds = Hashtbl.create 8;
+    a_rwlocks = Hashtbl.create 4;
+    a_handlers = Hashtbl.create 4;
+    a_fd_classes = Hashtbl.create 8;
+    a_rep_queue_next = Hashtbl.create 8;
+    a_tvec = Array.make 8 None;
+    a_ready = Array.make 8 None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+
+(* What a snapshot physically holds: the fork tick, the seeds it is
+   valid for, and copies of exactly the state that resume suppresses
+   while fast-forwarding (lock-order graph, coverage bits, trace ring).
+   Everything else — scheduler vector, vclock epochs, store windows,
+   detector shadow arrays, PRNG bytes, world state — is reproduced by
+   deterministically re-executing the prefix, because OCaml effect
+   continuations are one-shot: a parked fiber cannot be copied, so the
+   machine state attached to fibers can only be rebuilt by running.
+   Restore therefore costs a prefix re-execution with the pure
+   observers off, plus an O(state) install of these copies. *)
+type snapshot = {
+  sn_tick : int;
+  sn_seeds : int64 * int64;
+  sn_lockorder : Lockorder.t;
+  sn_cov : Coverage.t;
+  sn_obs : Trace.t;
+}
+
+(* ------------------------------------------------------------------ *)
 (* Main loop                                                            *)
 
-let make_ctx conf world replay_demo =
+let make_ctx ?arena conf world replay_demo =
   let program_seeds_override =
     Option.map (fun d -> (d.Demo.meta.seed1, d.Demo.meta.seed2)) replay_demo
   in
-  let rng =
+  let seeds =
     match program_seeds_override with
-    | Some (s1, s2) -> Prng.create ~seed1:s1 ~seed2:s2
+    | Some _ as s -> s
+    | None -> conf.Conf.seeds
+  in
+  let rng =
+    match arena with
     | None -> (
-        match conf.Conf.seeds with
+        match seeds with
         | Some (s1, s2) -> Prng.create ~seed1:s1 ~seed2:s2
         | None -> Prng.of_time ())
+    | Some a ->
+        let s1, s2 =
+          match seeds with
+          | Some (s1, s2) -> (s1, s2)
+          | None -> Prng.seeds (Prng.of_time ())
+        in
+        Prng.reseed a.a_rng ~seed1:s1 ~seed2:s2;
+        a.a_rng
+  in
+  let mem =
+    match arena with
+    | None -> Atomics.create ~max_history:conf.Conf.max_history ()
+    | Some a ->
+        if Atomics.max_history a.a_mem <> conf.Conf.max_history then
+          a.a_mem <- Atomics.create ~max_history:conf.Conf.max_history ()
+        else Atomics.reset a.a_mem;
+        a.a_mem
+  in
+  let det =
+    match arena with
+    | None -> Detector.create ()
+    | Some a ->
+        Detector.reset a.a_det;
+        a.a_det
+  in
+  Detector.set_suppressions det conf.Conf.suppressions;
+  let lockorder =
+    match arena with
+    | None -> Lockorder.create ()
+    | Some a ->
+        Lockorder.reset a.a_lockorder;
+        a.a_lockorder
+  in
+  let obs =
+    if not conf.Conf.trace_events then Trace.disabled
+    else
+      match arena with
+      | None -> Trace.create ~capacity:conf.Conf.trace_capacity ()
+      | Some a ->
+          if
+            Trace.enabled a.a_obs
+            && Trace.capacity a.a_obs = conf.Conf.trace_capacity
+          then Trace.reset a.a_obs
+          else a.a_obs <- Trace.create ~capacity:conf.Conf.trace_capacity ();
+          a.a_obs
+  in
+  let cov =
+    if not conf.Conf.coverage then Coverage.disabled
+    else
+      match arena with
+      | None -> Coverage.create ()
+      | Some a ->
+          if Coverage.enabled a.a_cov then Coverage.reset a.a_cov
+          else a.a_cov <- Coverage.create ();
+          a.a_cov
+  in
+  let clear_or_create ~size = function
+    | None -> Hashtbl.create size
+    | Some tbl ->
+        (* [Hashtbl.clear] keeps the grown bucket array, so recycled
+           tables are automatically sized by their high-water mark. *)
+        Hashtbl.clear tbl;
+        tbl
   in
   let replay = replay_demo in
   let ctx =
     {
       conf;
       world;
-      mem = Atomics.create ~max_history:conf.Conf.max_history ();
-      det =
-        (let d = Detector.create () in
-         Detector.set_suppressions d conf.Conf.suppressions;
-         d);
-      lockorder = Lockorder.create ();
+      mem;
+      det;
+      lockorder;
       rng;
       choose = (fun n -> if n <= 0 then 0 else Prng.int rng n);
-      tvec = Array.make 8 None;
-      ready_scratch = Array.make 8 None;
+      tvec =
+        (match arena with None -> Array.make 8 None | Some a -> a.a_tvec);
+      ready_scratch =
+        (match arena with None -> Array.make 8 None | Some a -> a.a_ready);
       ready_n = 0;
       next_tid = 0;
       next_obj = 0;
-      mutexes = Hashtbl.create 8;
-      conds = Hashtbl.create 8;
-      rwlocks = Hashtbl.create 4;
-      handlers = Hashtbl.create 4;
-      fd_classes = Hashtbl.create 8;
+      mutexes =
+        clear_or_create ~size:8 (Option.map (fun a -> a.a_mutexes) arena);
+      conds = clear_or_create ~size:8 (Option.map (fun a -> a.a_conds) arena);
+      rwlocks =
+        clear_or_create ~size:4 (Option.map (fun a -> a.a_rwlocks) arena);
+      handlers =
+        clear_or_create ~size:4 (Option.map (fun a -> a.a_handlers) arena);
+      fd_classes =
+        clear_or_create ~size:8 (Option.map (fun a -> a.a_fd_classes) arena);
       gclock = 0;
       makespan = 0;
       tick = 0;
@@ -1502,7 +1672,8 @@ let make_ctx conf world replay_demo =
       rec_syscalls = [];
       rec_asyncs = [];
       replay;
-      rep_queue_next = Hashtbl.create 8;
+      rep_queue_next =
+        clear_or_create ~size:8 (Option.map (fun a -> a.a_rep_queue_next) arena);
       rep_queue_list = [];
       rep_signals = [];
       rep_syscalls = [];
@@ -1516,11 +1687,8 @@ let make_ctx conf world replay_demo =
       last_sched = -1;
       desync_count = 0;
       desyncs = [];
-      obs =
-        (if conf.Conf.trace_events then
-           Trace.create ~capacity:conf.Conf.trace_capacity ()
-         else Trace.disabled);
-      cov = (if conf.Conf.coverage then Coverage.create () else Coverage.disabled);
+      obs;
+      cov;
       last_cs_start = 0;
       waits = 0;
       preemptions = 0;
@@ -1625,7 +1793,8 @@ let result_of_outcome outcome =
 let corrupt_demo_result c =
   result_of_outcome (Corrupt_demo (Demo.corruption_to_string c))
 
-let run ?world conf (program : Api.program) =
+let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
+    =
   (* Generated names must be a function of the program alone, not of
      prior runs on this domain — see Api.reset_auto_names. *)
   Api.reset_auto_names ();
@@ -1644,10 +1813,58 @@ let run ?world conf (program : Api.program) =
     | Conf.Replay dir -> Ok (Some (Demo.load ~dir))
     | _ -> Ok None)
   with
-  | exception Demo.Corrupt c -> corrupt_demo_result c
+  | exception Demo.Corrupt c -> (corrupt_demo_result c, None)
   | Error _ -> assert false
   | Ok replay_demo ->
-  let ctx = make_ctx conf world replay_demo in
+  let ctx = make_ctx ?arena conf world replay_demo in
+  (* Snapshot resume: fast-forward the deterministic prefix with the
+     pure observer layers (trace, coverage, lock-order graph) replaced
+     by shared disabled instances, then install the snapshot's copies
+     at the fork tick. Everything that feeds back into execution —
+     detector (whose report charge advances thread time), atomics,
+     vclocks, PRNG, world, demo recording — runs normally, so the
+     machine state at the fork tick is bit-identical to the capturing
+     run's. *)
+  let real_cov = ctx.cov in
+  let real_obs = ctx.obs in
+  let ff_until =
+    match resume with
+    | None -> -1
+    | Some s ->
+        if Prng.seeds ctx.rng <> s.sn_seeds then
+          invalid_arg "Interp.run: snapshot was captured under other seeds";
+        ctx.lockorder <- Lockorder.disabled;
+        ctx.cov <- Coverage.disabled;
+        ctx.obs <- Trace.disabled;
+        s.sn_tick
+  in
+  let installed = ref (ff_until < 0) in
+  let install s =
+    ctx.lockorder <- Lockorder.copy s.sn_lockorder;
+    Coverage.restore ~src:s.sn_cov ~dst:real_cov;
+    ctx.cov <- real_cov;
+    Trace.restore ~src:s.sn_obs ~dst:real_obs;
+    ctx.obs <- real_obs
+  in
+  let captured = ref None in
+  let snap_hook () =
+    if not !installed && ctx.tick >= ff_until then begin
+      (match resume with Some s -> install s | None -> ());
+      installed := true
+    end;
+    match capture_at with
+    | Some at when ctx.tick = at && !installed && Option.is_none !captured ->
+        captured :=
+          Some
+            {
+              sn_tick = at;
+              sn_seeds = Prng.seeds ctx.rng;
+              sn_lockorder = Lockorder.copy ctx.lockorder;
+              sn_cov = Coverage.copy ctx.cov;
+              sn_obs = Trace.copy ctx.obs;
+            }
+    | _ -> ()
+  in
   let finish outcome =
     let demo =
       match (conf.Conf.mode, outcome) with
@@ -1768,6 +1985,27 @@ let run ?world conf (program : Api.program) =
       coverage;
     }
   in
+  let finish outcome =
+    (* Keep grown scheduler arrays (and their recyclable thread
+       records) for the next run on this arena. *)
+    (match arena with
+    | Some a ->
+        a.a_tvec <- ctx.tvec;
+        a.a_ready <- ctx.ready_scratch
+    | None -> ());
+    (if not !installed then
+       (* The fork tick was never reached: the snapshot's precondition
+          (same seeds, conf, world behaviour and schedule prefix as the
+          capturing run) was violated, or supervision cut the run short
+          mid-prefix. Only the latter is legitimate. *)
+       match outcome with
+       | Timeout | Tick_limit -> ()
+       | _ ->
+           invalid_arg
+             "Interp.run: snapshot fork tick never reached — resumed run \
+              diverged from the capturing run");
+    (finish outcome, !captured)
+  in
   try
     let _main =
       new_thread ctx ~name:"main" ~parent_st:None ~at:0 program.Api.main
@@ -1777,6 +2015,7 @@ let run ?world conf (program : Api.program) =
       match ctx.finished with
       | Some o -> o
       | None ->
+          snap_hook ();
           if ctx.tick >= conf.Conf.max_ticks then Tick_limit
           else if
             (* Supervision backstop for wedged runs; checked every 64
@@ -1865,5 +2104,19 @@ let run ?world conf (program : Api.program) =
               d.div_tid d.div_site d.div_expected d.div_actual))
   | Unsupported_run msg -> finish (Unsupported_app msg)
   | World.Unsupported msg -> finish (Unsupported_app msg)
+
+module Snapshot = struct
+  type t = snapshot
+
+  let tick s = s.sn_tick
+  let seeds s = s.sn_seeds
+end
+
+let run ?world ?arena ?resume conf program =
+  fst (run_internal ?world ?arena ?resume conf program)
+
+let run_capturing ?world ?arena ?resume ~at conf program =
+  if at < 0 then invalid_arg "Interp.run_capturing: negative fork tick";
+  run_internal ?world ?arena ?resume ~capture_at:at conf program
 
 let completed r = r.outcome = Completed

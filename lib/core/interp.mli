@@ -92,11 +92,80 @@ type result = {
           [T11r_race.Coverage.empty] unless [Conf.coverage] was set *)
 }
 
-val run : ?world:T11r_env.World.t -> Conf.t -> T11r_vm.Api.program -> result
+type arena
+(** A domain-local bundle of the allocation-heavy structures a run
+    needs (weak memory, detectors, PRNG, object tables, thread vector,
+    observability buffers), recycled across runs: passing the same
+    arena to consecutive {!run}s reuses all of it in place, so a short
+    run allocates close to nothing beyond the program's own state.
+
+    Ownership rules: an arena belongs to one domain and at most one
+    live run at a time; never share one across domains or pass it to a
+    run while another run on it is still executing. Results never
+    alias arena state (everything escaping a run is copied), so
+    recycling is observationally invisible — a run with an arena is
+    bit-identical to one without. *)
+
+val create_arena : unit -> arena
+
+(** Snapshots of deterministic machine state at a chosen tick, for
+    forking many runs off a shared schedule prefix.
+
+    A snapshot holds the fork tick, the scheduler seeds it is valid
+    for, and copies of the pure observer state (lock-order graph,
+    coverage bits, trace ring). Resuming re-executes the prefix
+    deterministically with those observers suppressed — OCaml effect
+    continuations are one-shot, so parked fibers cannot be copied and
+    the fiber-attached machine state can only be rebuilt by running —
+    then installs the copies at the fork tick in O(state). The resumed
+    run's result is bit-identical to an uninterrupted run.
+
+    Validity precondition: the resuming run must execute the same
+    schedule prefix as the capturing run — same seeds (checked), same
+    configuration up to the decisions beyond the fork tick, and a
+    world whose behaviour the prefix cannot observe differently (the
+    guided strategy ignores arrival jitter, so syscall-free programs
+    may share across per-index world seeds; anything else should share
+    only across identical worlds). *)
+module Snapshot : sig
+  type t
+
+  val tick : t -> int
+  (** The fork tick the snapshot was captured at. *)
+
+  val seeds : t -> int64 * int64
+  (** Scheduler seeds of the capturing run (resume re-checks them). *)
+end
+
+val run :
+  ?world:T11r_env.World.t ->
+  ?arena:arena ->
+  ?resume:Snapshot.t ->
+  Conf.t ->
+  T11r_vm.Api.program ->
+  result
 (** Execute [program] under the given configuration. [world] defaults
     to a fresh wall-seeded world; experiments pass seeded worlds. In
     [Record dir] mode the demo is also saved to [dir]; in [Replay dir]
-    mode it is loaded from [dir] and enforced. *)
+    mode it is loaded from [dir] and enforced. [arena] recycles run
+    state (see {!arena}); [resume] fast-forwards to a snapshot's fork
+    tick (see {!Snapshot}).
+    @raise Invalid_argument if [resume]'s seeds do not match the run's,
+    or if the fork tick is never reached (a violated sharing
+    precondition), except when supervision ends the run first. *)
+
+val run_capturing :
+  ?world:T11r_env.World.t ->
+  ?arena:arena ->
+  ?resume:Snapshot.t ->
+  at:int ->
+  Conf.t ->
+  T11r_vm.Api.program ->
+  result * Snapshot.t option
+(** Like {!run}, additionally capturing a snapshot at the first arrival
+    at tick [at] (before that tick's scheduling decision). [None] if
+    the run ended before reaching [at]. Capturing is observationally
+    free: the result is bit-identical to {!run}'s. *)
 
 val completed : result -> bool
 (** [outcome = Completed]. *)

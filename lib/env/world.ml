@@ -35,7 +35,7 @@ type fd_obj =
 
 type t = {
   rng : Prng.t;
-  deterministic_alloc : bool;
+  mutable deterministic_alloc : bool;
   fds : (int, fd_obj) Hashtbl.t;
   mutable next_fd : int;
   files : (string, string) Hashtbl.t;
@@ -85,6 +85,33 @@ let create ?seed ?(deterministic_alloc = false) ?(faults = Fault.none) () =
   in
   Hashtbl.replace t.fds stdout_fd Std_out;
   t
+
+(* In-place [create]: every field is restored to exactly what [create]
+   would build, in the same order — in particular the rng is reseeded
+   *before* [alloc_base] is drawn, so the environment PRNG stream is
+   identical to a fresh world's. Table storage and the output buffer
+   are kept (cleared), which is the point: a recycled world allocates
+   almost nothing. *)
+let reset ?(deterministic_alloc = false) ?(faults = Fault.none) t ~seed =
+  Prng.reseed t.rng ~seed1:seed ~seed2:(Int64.lognot seed);
+  t.deterministic_alloc <- deterministic_alloc;
+  Hashtbl.clear t.fds;
+  Hashtbl.replace t.fds stdout_fd Std_out;
+  t.next_fd <- 3;
+  Hashtbl.clear t.files;
+  Hashtbl.clear t.proc_files;
+  t.pending_conns <- [];
+  t.signals <- [];
+  Buffer.clear t.out;
+  t.alloc_base <-
+    (if deterministic_alloc then 0x10000000
+     else 0x10000000 + (Prng.int t.rng 0xFFFF * 0x1000));
+  t.alloc_off <- 0;
+  Hashtbl.clear t.alloc_used;
+  t.forbid_opaque_ioctl <- false;
+  t.gpu_frames <- 0;
+  t.net_events <- 0;
+  t.faults <- faults
 
 let prng t = t.rng
 let set_faults t f = t.faults <- f

@@ -31,6 +31,13 @@ val create :
     allocator with a deterministic one — the §5.5 workaround.
     [faults] installs a {!Fault} plan (default {!Fault.none}). *)
 
+val reset : ?deterministic_alloc:bool -> ?faults:Fault.t -> t -> seed:int64 -> unit
+(** Reinitialise [t] in place to exactly the state
+    [create ~seed ?deterministic_alloc ?faults ()] would build — same
+    PRNG stream, same allocator base — while keeping its table and
+    buffer storage, so recycling a world across campaign runs is both
+    allocation-free and observationally invisible. *)
+
 val prng : t -> T11r_util.Prng.t
 
 val set_faults : t -> Fault.t -> unit

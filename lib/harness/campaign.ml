@@ -21,6 +21,32 @@ let scheduler_seeds base i =
 
 let world_seed i = Int64.of_int ((i * 7919) + 3)
 
+(* -- domain-local run recycling -------------------------------------- *)
+
+(* One arena and one default-config world per worker domain, reused by
+   every run that domain executes. Both recycles are observationally
+   invisible (Interp.run results never alias arena state; World.reset
+   reproduces World.create bit-for-bit), so campaigns with and without
+   them have identical digests — recycling is therefore always on. *)
+let dls_arena : Interp.arena Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Interp.create_arena ())
+
+let domain_arena () = Domain.DLS.get dls_arena
+
+let dls_world : World.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let recycled_world ~seed =
+  let slot = Domain.DLS.get dls_world in
+  match !slot with
+  | Some w ->
+      World.reset w ~seed;
+      w
+  | None ->
+      let w = World.create ~seed () in
+      slot := Some w;
+      w
+
 let spec_io ~label ?base_conf prepare =
   let base = match base_conf with Some c -> c | None -> Conf.default in
   {
@@ -28,7 +54,7 @@ let spec_io ~label ?base_conf prepare =
     conf = scheduler_seeds base;
     instance =
       (fun i ->
-        let world = World.create ~seed:(world_seed i) () in
+        let world = recycled_world ~seed:(world_seed i) in
         let build = prepare i world in
         (world, build ()));
   }
@@ -37,6 +63,23 @@ let spec ~label ?base_conf ?(setup_world = fun _ -> ()) build =
   spec_io ~label ?base_conf (fun _ w ->
       setup_world w;
       build)
+
+(* -- prefix sharing --------------------------------------------------- *)
+
+(* A share key names a schedule prefix several runs are promised to
+   execute identically: the scheduler seeds plus the head of guided
+   decisions. The first run of a group a domain executes captures an
+   [Interp.Snapshot.t] at tick [Array.length k_head]; later runs of the
+   same group on that domain resume from it. Snapshot resume is
+   bit-identical to fresh execution, so sharing never changes a digest
+   — only wall clock. The cache is one slot per domain, invalidated
+   across campaigns by a generation counter. *)
+type share_key = { k_seeds : int64 * int64; k_head : int array }
+
+let share_generation = Atomic.make 0
+
+let dls_snap : (int * share_key * Interp.Snapshot.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 (* ------------------------------------------------------------------ *)
 
@@ -254,8 +297,12 @@ let open_journal (s : spec) ~n ~first path =
   let had_header =
     List.exists (fun (e : Journal.entry) -> e.Journal.kind = "campaign") entries
   in
-  let w = Journal.create path in
-  if not had_header then
+  (* Buffered writer: one append per run must not serialise the pool
+     on write(2). The buffer drains when full and on close (normal end
+     and SIGINT both reach close); a SIGKILL loses at most the buffered
+     suffix, which the next resume re-executes. *)
+  let w = Journal.create ~buffer:(256 * 1024) path in
+  if not had_header then begin
     Journal.append w
       {
         Journal.kind = "campaign";
@@ -264,12 +311,17 @@ let open_journal (s : spec) ~n ~first path =
             { jh_schema = journal_schema; jh_label = s.label; jh_n = n; jh_first = first }
             [];
       };
+    (* The header pins the campaign identity — make it durable before
+       any run executes. *)
+    Journal.flush w
+  end;
   (w, cached, !dropped)
 
 let run s ~n ?(jobs = 1) ?(first = 0) ?(deadline_s = 0.) ?tick_budget
-    ?(retries = 0) ?(backoff_s = 0.05) ?journal ?cancel observers =
+    ?(retries = 0) ?(backoff_s = 0.05) ?journal ?share ?cancel observers =
   if n < 1 then invalid_arg "Campaign.run: n < 1";
   let t0 = Unix.gettimeofday () in
+  let generation = 1 + Atomic.fetch_and_add share_generation 1 in
   let conf_of i =
     let c = s.conf i in
     let c =
@@ -312,7 +364,24 @@ let run s ~n ?(jobs = 1) ?(first = 0) ?(deadline_s = 0.) ?tick_budget
           match
             Outcome.protect (fun () ->
                 let world, program = s.instance i in
-                Interp.run ~world (conf_of i) program)
+                let arena = domain_arena () in
+                let conf = conf_of i in
+                match Option.bind share (fun f -> f i) with
+                | None -> Interp.run ~world ~arena conf program
+                | Some key -> (
+                    let slot = Domain.DLS.get dls_snap in
+                    match !slot with
+                    | Some (g, k, snap) when g = generation && k = key ->
+                        Interp.run ~world ~arena ~resume:snap conf program
+                    | _ ->
+                        let r, sn =
+                          Interp.run_capturing ~world ~arena
+                            ~at:(Array.length key.k_head) conf program
+                        in
+                        (match sn with
+                        | Some snap -> slot := Some (generation, key, snap)
+                        | None -> ());
+                        r))
           with
           | r -> r
           | exception e ->
@@ -339,7 +408,22 @@ let run s ~n ?(jobs = 1) ?(first = 0) ?(deadline_s = 0.) ?tick_budget
         | None -> ());
         r
   in
-  let slots = Pool.map_opt ~jobs ?should_stop:cancel n exec in
+  (* Campaign-scoped GC pacing: every result stays live until
+     [aggregate], so the default space_overhead keeps re-marking a
+     monotonically growing live set — measured at microseconds per run
+     on litmus-sized workloads. Relaxing the overhead for the duration
+     of the run phase defers that marking to the aggregate phase (and
+     to the caller's own pacing, restored below); no observable output
+     changes. *)
+  let gc0 = Gc.get () in
+  let slots =
+    Fun.protect
+      ~finally:(fun () -> Gc.set gc0)
+      (fun () ->
+        if gc0.Gc.space_overhead < 2000 then
+          Gc.set { gc0 with Gc.space_overhead = 2000 };
+        Pool.map_opt ~jobs ?should_stop:cancel n exec)
+  in
   (match jw with Some w -> Journal.close w | None -> ());
   let wall_s = Unix.gettimeofday () -. t0 in
   let pairs =

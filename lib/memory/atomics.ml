@@ -15,8 +15,8 @@ type store = {
 }
 
 type loc = {
-  id : int;
-  name : string;
+  mutable id : int;
+  mutable name : string;
   ring : store array; (* capacity = max_history; [dummy] until used *)
   mutable len : int; (* live stores *)
   mutable start : int; (* ring slot of the oldest live store *)
@@ -31,12 +31,26 @@ type t = {
   mutable sc_clock : Vclock.t; (* global clock threaded through SC fences *)
   mutable evictions : int; (* stores pushed out of a full history ring *)
   mutable stale_reads : int; (* loads that chose an older admissible store *)
+  (* Registry of every location ever created, indexed by id. After
+     [reset], [fresh_loc] re-initialises registered locations in place
+     instead of allocating — location ids restart from 0, so id [k] of
+     the new run recycles the record that was id [k] before. *)
+  mutable reg : loc array;
+  mutable reg_n : int;
 }
+
+let max_history t = t.max_history
 
 let create ?(max_history = 8) () =
   if max_history < 1 then invalid_arg "Atomics.create: max_history < 1";
   { max_history; next_loc = 0; sc_clock = Vclock.empty; evictions = 0;
-    stale_reads = 0 }
+    stale_reads = 0; reg = [||]; reg_n = 0 }
+
+let reset t =
+  t.next_loc <- 0;
+  t.sc_clock <- Vclock.empty;
+  t.evictions <- 0;
+  t.stale_reads <- 0
 
 let evictions t = t.evictions
 let stale_reads t = t.stale_reads
@@ -46,13 +60,48 @@ let stale_reads t = t.stale_reads
 let dummy =
   { value = 0; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = -1 }
 
+let register t l =
+  if t.reg_n >= Array.length t.reg then begin
+    let a = Array.make (max 8 (2 * Array.length t.reg)) l in
+    Array.blit t.reg 0 a 0 t.reg_n;
+    t.reg <- a
+  end;
+  t.reg.(t.reg_n) <- l;
+  t.reg_n <- t.reg_n + 1
+
 let fresh_loc t ~name ~init =
   let id = t.next_loc in
   t.next_loc <- id + 1;
-  let ring = Array.make t.max_history dummy in
-  ring.(0) <-
-    { value = init; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = 0 };
-  { id; name; ring; len = 1; start = 0; base = 0; floors = [||]; last_sc = -1 }
+  if id < t.reg_n then begin
+    (* Recycled location: every observable field is re-initialised; the
+       stale ring slots beyond [len] are dead (append overwrites every
+       field of a non-dummy slot before it becomes live again). *)
+    let l = t.reg.(id) in
+    l.id <- id;
+    l.name <- name;
+    let s0 = l.ring.(0) in
+    s0.value <- init;
+    s0.s_tid <- -1;
+    s0.epoch <- 0;
+    s0.rel_clock <- Vclock.empty;
+    s0.index <- 0;
+    l.len <- 1;
+    l.start <- 0;
+    l.base <- 0;
+    Array.fill l.floors 0 (Array.length l.floors) 0;
+    l.last_sc <- -1;
+    l
+  end
+  else begin
+    let ring = Array.make t.max_history dummy in
+    ring.(0) <-
+      { value = init; s_tid = -1; epoch = 0; rel_clock = Vclock.empty; index = 0 };
+    let l =
+      { id; name; ring; len = 1; start = 0; base = 0; floors = [||]; last_sc = -1 }
+    in
+    register t l;
+    l
+  end
 
 let loc_name l = l.name
 let loc_id l = l.id

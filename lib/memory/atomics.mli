@@ -33,6 +33,17 @@ val create : ?max_history:int -> unit -> t
 (** [max_history] bounds how far back in modification order a load may
     read (default 8, tsan11 uses a similarly small ring). *)
 
+val max_history : t -> int
+(** The bound this memory was created with. *)
+
+val reset : t -> unit
+(** In-place reset to the post-[create] state, recycling every location
+    ever created: after [reset], [fresh_loc] hands back the existing
+    location records (ids restart at 0) re-initialised in place, so a
+    run executed against a reset memory allocates nothing for locations
+    it has space for. Observable behaviour is identical to a fresh
+    [create] with the same [max_history]. *)
+
 val fresh_loc : t -> name:string -> init:int -> loc
 (** New location, initialised with a store visible to every thread. *)
 

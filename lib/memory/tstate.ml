@@ -1,7 +1,7 @@
 open T11r_util
 
 type t = {
-  tid : int;
+  mutable tid : int;
   mut : Vclock.Mut.mut;
   mutable snap : Vclock.t;
   mutable snap_ok : bool;
@@ -64,3 +64,28 @@ let fork ~parent ~tid =
   in
   tick parent;
   child
+
+(* In-place equivalents of [create]/[fork] for recycled thread states:
+   observable state after a reinit is indistinguishable from the fresh
+   constructor's result. *)
+
+let reinit t ~tid =
+  Vclock.Mut.reset t.mut;
+  Vclock.Mut.incr t.mut tid;
+  t.tid <- tid;
+  t.snap <- Vclock.empty;
+  t.snap_ok <- false;
+  t.ep <- 1;
+  t.acq_pending <- Vclock.empty;
+  t.rel_fence <- Vclock.empty
+
+let reinit_fork t ~parent ~tid =
+  Vclock.Mut.reset_to t.mut (clock parent);
+  Vclock.Mut.incr t.mut tid;
+  t.tid <- tid;
+  t.snap <- Vclock.empty;
+  t.snap_ok <- false;
+  t.ep <- Vclock.Mut.get t.mut tid;
+  t.acq_pending <- Vclock.empty;
+  t.rel_fence <- Vclock.empty;
+  tick parent

@@ -18,7 +18,7 @@
     [int] so timestamping an access reads one field. *)
 
 type t = {
-  tid : int;
+  mutable tid : int;
   mut : T11r_util.Vclock.Mut.mut;
   mutable snap : T11r_util.Vclock.t;
   mutable snap_ok : bool;
@@ -60,3 +60,12 @@ val fork : parent:t -> tid:int -> t
 (** Child thread state at creation: inherits the parent's clock (thread
     creation synchronises-with the start of the child), then both sides
     tick. *)
+
+val reinit : t -> tid:int -> unit
+(** In-place [create]: after [reinit t ~tid], [t] is observably
+    identical to [create ~tid] (recycling the clock's backing array).
+    Used by run arenas to reuse thread states across campaign runs. *)
+
+val reinit_fork : t -> parent:t -> tid:int -> unit
+(** In-place [fork] with the same post-state as [fork ~parent ~tid]
+    (including the parent tick). *)

@@ -26,6 +26,18 @@ val enabled : t -> bool
 val marks : t -> int
 (** Marks issued so far, counting duplicates. *)
 
+val reset : t -> unit
+(** Clear all bits and the mark counter in place (no-op on
+    {!disabled}). *)
+
+val copy : t -> t
+(** Independent copy; {!disabled} copies to itself. *)
+
+val restore : src:t -> dst:t -> unit
+(** Overwrite [dst]'s bits and mark count with [src]'s (no-op when
+    [dst] is {!disabled}) — snapshot restore into a recycled
+    collector. *)
+
 val mark : t -> int -> unit
 (** Set the bit addressed by a site hash (mod the bitmap width). One
     branch and no allocation when the collector is {!disabled}. *)

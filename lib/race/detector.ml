@@ -14,8 +14,8 @@ let tid_mask = (1 lsl tid_bits) - 1
 let max_epoch = max_int asr tid_bits
 
 type var = {
-  id : int;
-  name : string;
+  mutable id : int;
+  mutable name : string;
   mutable w_packed : int; (* epoch lsl tid_bits lor tid; -1 = no write *)
   mutable reads : int array; (* tid -> epoch of read since last write *)
   mutable nreads : int; (* live prefix of [reads] (rest is zero) *)
@@ -30,6 +30,10 @@ type t = {
   mutable suppressions : string list;
   mutable suppressed_count : int;
   mutable checks : int; (* shadow-state checks (one per read/write) *)
+  (* Registry of every var ever created, indexed by id, for in-place
+     recycling after [reset] (ids restart at 0). *)
+  mutable reg : var array;
+  mutable reg_n : int;
 }
 
 let create () =
@@ -42,7 +46,19 @@ let create () =
     suppressions = [];
     suppressed_count = 0;
     checks = 0;
+    reg = [||];
+    reg_n = 0;
   }
+
+let reset t =
+  t.next_var <- 0;
+  t.reports_rev <- [];
+  t.n_reports <- 0;
+  Hashtbl.clear t.seen;
+  t.callbacks <- [];
+  t.suppressions <- [];
+  t.suppressed_count <- 0;
+  t.checks <- 0
 
 let checks t = t.checks
 
@@ -81,10 +97,34 @@ let suppressed t var =
       else pat = var)
     t.suppressions
 
+let register t v =
+  if t.reg_n >= Array.length t.reg then begin
+    let a = Array.make (max 8 (2 * Array.length t.reg)) v in
+    Array.blit t.reg 0 a 0 t.reg_n;
+    t.reg <- a
+  end;
+  t.reg.(t.reg_n) <- v;
+  t.reg_n <- t.reg_n + 1
+
 let fresh_var t ~name =
   let id = t.next_var in
   t.next_var <- id + 1;
-  { id; name; w_packed = -1; reads = [||]; nreads = 0 }
+  if id < t.reg_n then begin
+    let v = t.reg.(id) in
+    v.id <- id;
+    v.name <- name;
+    v.w_packed <- -1;
+    (* Clear the FULL array, not just [nreads]: stale epochs below a
+       regrown [nreads] would otherwise surface as phantom reads. *)
+    Array.fill v.reads 0 (Array.length v.reads) 0;
+    v.nreads <- 0;
+    v
+  end
+  else begin
+    let v = { id; name; w_packed = -1; reads = [||]; nreads = 0 } in
+    register t v;
+    v
+  end
 
 let var_name v = v.name
 

@@ -17,6 +17,12 @@ type var
 
 val create : unit -> t
 
+val reset : t -> unit
+(** In-place reset to the post-[create] state (reports, dedup table,
+    callbacks, suppressions, counters all cleared), recycling shadow
+    vars: after [reset], [fresh_var] re-initialises previously created
+    var records in place (ids restart at 0) instead of allocating. *)
+
 val fresh_var : t -> name:string -> var
 val var_name : var -> string
 

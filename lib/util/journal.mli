@@ -13,17 +13,28 @@ type entry = { kind : string; payload : string }
 
 type writer
 
-val create : ?fsync_every:int -> string -> writer
+val create : ?fsync_every:int -> ?buffer:int -> string -> writer
 (** Open (creating parent directories and the file as needed) for
-    appending. Every append is flushed to the kernel — a SIGKILL loses
-    nothing already appended — and an fsync is issued every
-    [fsync_every] appends (default 32; 0 disables) and on {!close} to
-    bound machine-crash loss. *)
+    appending. By default ([buffer = 0]) every append is flushed to
+    the kernel — a SIGKILL loses nothing already appended — and an
+    fsync is issued every [fsync_every] appends (default 32; 0
+    disables) and on {!close} to bound machine-crash loss.
+
+    [buffer > 0] bounds an in-process buffer (bytes) instead: appends
+    accumulate and are drained when the buffer fills, on {!flush} and
+    on {!close}, so journaling a hot loop does not serialise on
+    write(2). Whole lines reach the file in single writes either way,
+    so a kill tears at most the final line (dropped by {!read}) and
+    loses at most the buffered suffix — which a resume re-executes. *)
 
 val append : writer -> entry -> unit
 (** Serialise and append one entry. Safe to call from multiple domains
     (appends are mutex-serialised).
     @raise Invalid_argument on a malformed kind. *)
+
+val flush : writer -> unit
+(** Drain the buffer to the file and fsync — the batch-boundary /
+    SIGINT durability point for buffered writers. *)
 
 val close : writer -> unit
 

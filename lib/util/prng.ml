@@ -5,8 +5,8 @@
    operation order as is, or every recorded demo stops replaying. *)
 type t = {
   st : Bytes.t; (* s0 at 0, s1 at 8, s2 at 16, s3 at 24; native endian *)
-  seed1 : int64;
-  seed2 : int64;
+  mutable seed1 : int64;
+  mutable seed2 : int64;
   mutable draws : int;
 }
 
@@ -23,20 +23,29 @@ let splitmix_next (state : int64 ref) : int64 =
 let rotl (x : int64) (k : int) : int64 =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
-let create ~seed1 ~seed2 =
-  let st = ref (Int64.logxor seed1 (Int64.mul seed2 0x2545F4914F6CDD1DL)) in
-  let s0 = splitmix_next st in
-  let s1 = splitmix_next st in
-  let s2 = splitmix_next st in
-  let s3 = splitmix_next st in
+let expand_into st ~seed1 ~seed2 =
+  let mix = ref (Int64.logxor seed1 (Int64.mul seed2 0x2545F4914F6CDD1DL)) in
+  let s0 = splitmix_next mix in
+  let s1 = splitmix_next mix in
+  let s2 = splitmix_next mix in
+  let s3 = splitmix_next mix in
   (* xoshiro must not start from the all-zero state. *)
   let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
-  let st = Bytes.create 32 in
   Bytes.set_int64_ne st 0 s0;
   Bytes.set_int64_ne st 8 s1;
   Bytes.set_int64_ne st 16 s2;
-  Bytes.set_int64_ne st 24 s3;
+  Bytes.set_int64_ne st 24 s3
+
+let create ~seed1 ~seed2 =
+  let st = Bytes.create 32 in
+  expand_into st ~seed1 ~seed2;
   { st; seed1; seed2; draws = 0 }
+
+let reseed t ~seed1 ~seed2 =
+  expand_into t.st ~seed1 ~seed2;
+  t.seed1 <- seed1;
+  t.seed2 <- seed2;
+  t.draws <- 0
 
 let of_time () =
   let t = Unix.gettimeofday () in

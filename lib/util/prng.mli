@@ -46,3 +46,9 @@ val pick_list : t -> 'a list -> 'a
 
 val copy : t -> t
 (** Independent copy with the same state and draw count. *)
+
+val reseed : t -> seed1:int64 -> seed2:int64 -> unit
+(** In-place re-initialisation: after [reseed t ~seed1 ~seed2] the
+    generator's state, seeds and draw count are indistinguishable from
+    a fresh [create ~seed1 ~seed2]. Used by run arenas to recycle the
+    generator across campaign runs without allocating. *)

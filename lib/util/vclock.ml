@@ -122,6 +122,26 @@ module Mut = struct
 
   let create () = { a = [||]; n = 0 }
 
+  let reset m =
+    (* Zero the live prefix before shrinking [n]: [ensure] only grows
+       the array, so everything at and beyond [n] must really be 0. *)
+    Array.fill m.a 0 m.n 0;
+    m.n <- 0
+
+  let reset_to m (c : t) =
+    let lc = Array.length c in
+    if lc > Array.length m.a then begin
+      Array.fill m.a 0 m.n 0;
+      let a = Array.make (max 4 lc) 0 in
+      Array.blit c 0 a 0 lc;
+      m.a <- a
+    end
+    else begin
+      Array.blit c 0 m.a 0 lc;
+      if m.n > lc then Array.fill m.a lc (m.n - lc) 0
+    end;
+    m.n <- lc
+
   let of_imm (c : t) =
     let n = Array.length c in
     let a = Array.make (max 4 n) 0 in

@@ -77,6 +77,13 @@ module Mut : sig
   val create : unit -> mut
   (** The zero clock. *)
 
+  val reset : mut -> unit
+  (** Back to the zero clock in place, keeping the backing array. *)
+
+  val reset_to : mut -> t -> unit
+  (** [reset_to m c] makes [m] equal to [c] in place — the recycled
+      equivalent of [of_imm]. *)
+
   val of_imm : t -> mut
   (** Mutable copy of an immutable clock. *)
 

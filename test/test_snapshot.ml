@@ -1,0 +1,280 @@
+(* Snapshot forking and run-context recycling. The load-bearing
+   property: a run forked from an [Interp.Snapshot] at any tick, and a
+   run executed on a recycled arena, are observationally identical to
+   an uninterrupted run on fresh state — same outcome, metrics,
+   coverage fingerprint, and (in record mode) demo bytes. The qcheck
+   suites drive random workloads, seeds and fork ticks through all
+   three execution shapes and compare full result fingerprints. *)
+
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module World = T11r_env.World
+module Fault = T11r_env.Fault
+module Campaign = T11r_harness.Campaign
+module Guided = T11r_harness.Guided
+module Httpd = T11r_apps.Httpd
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Everything except the demo handle (compared separately, as saved
+   bytes): outcome, races, output, metrics, coverage summary, trace,
+   rng draws — if any of it drifts, the fingerprint drifts. *)
+let fingerprint (r : Interp.result) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string { r with Interp.demo = None } [ Marshal.No_sharing ]))
+
+let litmus_names = [| "fig1"; "mcs-lock"; "dekker-fences"; "barrier"; "ms-queue" |]
+
+let litmus wi =
+  let name = litmus_names.(wi mod Array.length litmus_names) in
+  if name = "fig1" then T11r_litmus.Registry.fig1
+  else Option.get (T11r_litmus.Registry.find name)
+
+let base_conf ~s1 ~s2 =
+  Conf.with_seeds
+    (Conf.with_coverage (Conf.tsan11rec ~strategy:Conf.Random ()) true)
+    s1 s2
+
+(* ------------------------------------------------------------------ *)
+(* Fork at a random tick = uninterrupted run                            *)
+
+(* One arena shared by every qcheck iteration — each case also
+   exercises recycling across workloads and seeds. *)
+let shared_arena = Interp.create_arena ()
+
+let fork_equals_uninterrupted ~name ~count ~world ~build =
+  QCheck.Test.make ~name ~count
+    QCheck.(triple int64 int64 (int_range 0 10_000))
+    (fun (s1, s2, fork_raw) ->
+      let conf = base_conf ~s1 ~s2 in
+      let r0 = Interp.run ~world:(world ()) conf (build ()) in
+      let at = if r0.Interp.ticks <= 1 then 0 else fork_raw mod r0.Interp.ticks in
+      let r1, sn =
+        Interp.run_capturing ~world:(world ()) ~arena:shared_arena ~at conf
+          (build ())
+      in
+      let snap = Option.get sn in
+      let r2 =
+        Interp.run ~world:(world ()) ~arena:shared_arena ~resume:snap conf
+          (build ())
+      in
+      let f0 = fingerprint r0 in
+      if f0 <> fingerprint r1 then
+        QCheck.Test.fail_reportf "capturing run diverged (fork tick %d)" at;
+      if f0 <> fingerprint r2 then
+        QCheck.Test.fail_reportf "resumed run diverged (fork tick %d)" at;
+      true)
+
+let litmus_fork_test =
+  QCheck.Test.make ~name:"fork at random tick = uninterrupted (litmus)"
+    ~count:80
+    QCheck.(quad (int_range 0 4) int64 int64 (int_range 0 10_000))
+    (fun (wi, s1, s2, fork_raw) ->
+      let e = litmus wi in
+      let world () = World.create ~seed:17L () in
+      let conf = base_conf ~s1 ~s2 in
+      let r0 = Interp.run ~world:(world ()) conf (e.build ()) in
+      let at = if r0.Interp.ticks <= 1 then 0 else fork_raw mod r0.Interp.ticks in
+      let r1, sn =
+        Interp.run_capturing ~world:(world ()) ~arena:shared_arena ~at conf
+          (e.build ())
+      in
+      let snap = Option.get sn in
+      let r2 =
+        Interp.run ~world:(world ()) ~arena:shared_arena ~resume:snap conf
+          (e.build ())
+      in
+      let f0 = fingerprint r0 in
+      if f0 <> fingerprint r1 then
+        QCheck.Test.fail_reportf "%s: capturing run diverged (fork tick %d)"
+          e.T11r_litmus.Registry.name at;
+      if f0 <> fingerprint r2 then
+        QCheck.Test.fail_reportf "%s: resumed run diverged (fork tick %d)"
+          e.T11r_litmus.Registry.name at;
+      true)
+
+(* httpd under fault injection: world setup opens connections, the
+   fault plan injects syscall failures, and the fast-forward replays
+   all of it — the stress case for snapshot soundness outside the
+   syscall-free litmus suite. *)
+let httpd_fork_test =
+  let cfg = { Httpd.default_config with queries = 8; clients = 2; workers = 2 } in
+  let world () =
+    let w =
+      World.create ~seed:23L ~faults:(Fault.uniform ~seed:5L ~p:0.05 ()) ()
+    in
+    Httpd.setup_world cfg w;
+    w
+  in
+  fork_equals_uninterrupted ~name:"fork at random tick = uninterrupted (faulty httpd)"
+    ~count:25 ~world ~build:(fun () -> Httpd.program ~cfg ())
+
+(* ------------------------------------------------------------------ *)
+(* Demo bytes across the fork                                           *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let dir_bytes dir =
+  let files = Sys.readdir dir in
+  Array.sort compare files;
+  String.concat "|"
+    (Array.to_list
+       (Array.map
+          (fun f ->
+            f ^ ":" ^ Digest.to_hex (Digest.string (read_file (Filename.concat dir f))))
+          files))
+
+let demo_bytes_fork_test =
+  QCheck.Test.make ~name:"record mode: forked run writes identical demo bytes"
+    ~count:25
+    QCheck.(quad (int_range 0 4) int64 int64 (int_range 0 10_000))
+    (fun (wi, s1, s2, fork_raw) ->
+      let e = litmus wi in
+      let base = T11r_util.Tmp.fresh_dir ~prefix:"t11r-snapfork" () in
+      Fun.protect
+        ~finally:(fun () -> T11r_util.Tmp.rm_rf base)
+        (fun () ->
+          let run ?arena ?resume ?capture ~dir () =
+            let conf =
+              Conf.with_seeds
+                (Conf.tsan11rec ~strategy:Conf.Random
+                   ~mode:(Conf.Record (Filename.concat base dir))
+                   ())
+                s1 s2
+            in
+            let world = World.create ~seed:17L () in
+            match capture with
+            | None -> (Interp.run ~world ?arena ?resume conf (e.build ()), None)
+            | Some at ->
+                let r, sn =
+                  Interp.run_capturing ~world ?arena ~at conf (e.build ())
+                in
+                (r, sn)
+          in
+          let r0, _ = run ~dir:"plain" () in
+          let at =
+            if r0.Interp.ticks <= 1 then 0 else fork_raw mod r0.Interp.ticks
+          in
+          let _, sn = run ~arena:shared_arena ~capture:at ~dir:"capture" () in
+          let snap = Option.get sn in
+          let _, _ = run ~arena:shared_arena ~resume:snap ~dir:"resumed" () in
+          let b0 = dir_bytes (Filename.concat base "plain") in
+          if b0 <> dir_bytes (Filename.concat base "capture") then
+            QCheck.Test.fail_reportf "%s: capturing demo bytes differ (fork %d)"
+              e.T11r_litmus.Registry.name at;
+          if b0 <> dir_bytes (Filename.concat base "resumed") then
+            QCheck.Test.fail_reportf "%s: resumed demo bytes differ (fork %d)"
+              e.T11r_litmus.Registry.name at;
+          true))
+
+(* ------------------------------------------------------------------ *)
+(* Arena recycling differential                                         *)
+
+let arena_differential_test =
+  QCheck.Test.make
+    ~name:"recycled arena run = fresh-state run (mixed workloads)" ~count:120
+    QCheck.(triple (int_range 0 4) int64 int64)
+    (fun (wi, s1, s2) ->
+      let e = litmus wi in
+      let conf = base_conf ~s1 ~s2 in
+      let fresh =
+        Interp.run ~world:(World.create ~seed:3L ()) conf (e.build ())
+      in
+      let recycled =
+        Interp.run ~world:(World.create ~seed:3L ()) ~arena:shared_arena conf
+          (e.build ())
+      in
+      if fingerprint fresh <> fingerprint recycled then
+        QCheck.Test.fail_reportf "%s: arena run diverged from fresh state"
+          e.T11r_litmus.Registry.name;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign-level prefix sharing                                        *)
+
+let test_campaign_share_digest_identical () =
+  (* A guided family with a common 3-decision head over one seed pair
+     and a fixed world seed — exactly the shape [Corpus.shared_heads]
+     emits. The share path must change nothing observable at any
+     worker count. *)
+  let head = [| 1; 0; 2 |] in
+  let spec =
+    {
+      Campaign.label = "fig1-share";
+      conf =
+        (fun i ->
+          let prefix = Array.append head [| i mod 3; i / 3 mod 3 |] in
+          Conf.with_seeds
+            (Conf.tsan11rec
+               ~strategy:(Conf.Guided { prefix; observed = ref [] })
+               ())
+            7L 9L);
+      instance =
+        (fun _ -> (World.create ~seed:42L (), T11r_litmus.Registry.fig1.build ()));
+    }
+  in
+  let share _ = Some { Campaign.k_seeds = (7L, 9L); k_head = head } in
+  let plain = Campaign.run spec ~n:24 ~jobs:1 [] in
+  List.iter
+    (fun jobs ->
+      let shared = Campaign.run spec ~n:24 ~jobs ~share [] in
+      Alcotest.(check string)
+        (Printf.sprintf "share digest at jobs=%d" jobs)
+        (Campaign.digest plain) (Campaign.digest shared))
+    [ 1; 4 ]
+
+let test_guided_fork_prefixes_digest_identical () =
+  let spec =
+    {
+      Campaign.label = "fig1-guided-fork";
+      conf =
+        (fun i ->
+          Conf.with_seeds
+            (Conf.tsan11rec ~strategy:Conf.Random ())
+            (Int64.of_int i)
+            (Int64.of_int (i + 7919)));
+      instance =
+        (fun i ->
+          ( World.create ~seed:(Int64.of_int (i + 3)) (),
+            T11r_litmus.Registry.fig1.build () ));
+    }
+  in
+  let digest_of ~jobs ~fork_prefixes =
+    Guided.digest
+      (Guided.hunt spec ~rounds:8 ~batch:16 ~jobs ~salt:11L ~fork_prefixes ())
+  in
+  let reference = digest_of ~jobs:1 ~fork_prefixes:false in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "fork_prefixes digest at jobs=%d" jobs)
+        reference
+        (digest_of ~jobs ~fork_prefixes:true))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "fork",
+        [
+          qtest litmus_fork_test;
+          qtest httpd_fork_test;
+          qtest demo_bytes_fork_test;
+        ] );
+      ("arena", [ qtest arena_differential_test ]);
+      ( "sharing",
+        [
+          Alcotest.test_case "campaign ?share: digest identical (j1, j4)" `Quick
+            test_campaign_share_digest_identical;
+          Alcotest.test_case "guided fork_prefixes: digest identical (j1, j4)"
+            `Quick test_guided_fork_prefixes_digest_identical;
+        ] );
+    ]
