@@ -975,6 +975,141 @@ let coverage () =
 
 (* ------------------------------------------------------------------ *)
 
+let systematic () =
+  let budget = if !smoke then 2_000 else 10_000 in
+  let entries =
+    if !smoke then
+      T11r_litmus.Registry.fig1
+      :: List.filter_map T11r_litmus.Registry.find [ "barrier" ]
+    else
+      T11r_litmus.Registry.fig1
+      :: (T11r_litmus.Registry.all @ T11r_litmus.Registry.fixed)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Systematic exploration: runs to exhaustion, naive vs DPOR \
+            (budget %d runs)"
+           budget)
+      ~headers:[ "benchmark"; "naive"; "dpor"; "reduction"; "dpor sound" ]
+  in
+  let show (r : T11r_harness.Systematic.result) =
+    Printf.sprintf "%d%s" r.T11r_harness.Systematic.runs
+      (if r.T11r_harness.Systematic.complete then "" else "+")
+  in
+  let rows =
+    List.map
+      (fun (e : T11r_litmus.Registry.entry) ->
+        let explore ~dpor =
+          T11r_harness.Systematic.explore ~max_runs:budget ~jobs:!jobs ~dpor
+            ~tick_budget:500_000 ~build:e.build ()
+        in
+        let naive = explore ~dpor:false in
+        let dp = explore ~dpor:true in
+        (* Soundness oracle: when both walks exhaust the space, DPOR
+           must see exactly the naive walk's distinct outcomes and
+           distinct races — just deduplicated by Mazurkiewicz trace. *)
+        let keys (r : T11r_harness.Systematic.result) =
+          List.sort_uniq compare (List.map fst r.outcomes)
+        in
+        let raceset (r : T11r_harness.Systematic.result) =
+          List.sort_uniq compare r.races
+        in
+        let exhausted =
+          naive.T11r_harness.Systematic.complete
+          && dp.T11r_harness.Systematic.complete
+        in
+        let sound =
+          if not exhausted then None
+          else
+            Some
+              (keys naive = keys dp
+              && raceset naive = raceset dp
+              && dp.T11r_harness.Systematic.runs
+                 <= naive.T11r_harness.Systematic.runs)
+        in
+        let reduction =
+          if exhausted then
+            Some
+              (float_of_int naive.T11r_harness.Systematic.runs
+              /. float_of_int (max 1 dp.T11r_harness.Systematic.runs))
+          else None
+        in
+        Table.add_row t
+          [
+            e.name;
+            show naive;
+            show dp;
+            (match reduction with
+            | Some f -> Printf.sprintf "%.1fx" f
+            | None -> "n/a");
+            (match sound with
+            | Some true -> "yes"
+            | Some false -> "NO"
+            | None -> "budget");
+          ];
+        (e.name, naive, dp, sound, reduction))
+      entries
+  in
+  Table.print t;
+  let unsound =
+    List.filter (fun (_, _, _, s, _) -> s = Some false) rows
+  in
+  let big_wins =
+    List.filter
+      (fun (_, _, _, s, red) ->
+        s = Some true && match red with Some f -> f >= 2.0 | None -> false)
+      rows
+  in
+  Fmt.pr
+    "dpor sound on %d/%d exhausted benchmarks; >=2x reduction on %d@.@."
+    (List.length rows - List.length unsound
+    - List.length (List.filter (fun (_, _, _, s, _) -> s = None) rows))
+    (List.length (List.filter (fun (_, _, _, s, _) -> s <> None) rows))
+    (List.length big_wins);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"tsan11rec/systematic-bench/v1\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"budget_runs\": %d,\n\
+      \  \"benchmarks\": [\n%s\n  ],\n\
+      \  \"dpor_unsound\": %d,\n\
+      \  \"benchmarks_2x_or_better\": %d\n\
+       }\n"
+      !smoke budget
+      (String.concat ",\n"
+         (List.map
+            (fun (name, (naive : T11r_harness.Systematic.result),
+                  (dp : T11r_harness.Systematic.result), sound, reduction) ->
+              Printf.sprintf
+                "    {\"benchmark\": \"%s\", \"runs_naive\": %d, \
+                 \"complete_naive\": %b, \"runs_dpor\": %d, \
+                 \"complete_dpor\": %b, \"distinct_races_naive\": %d, \
+                 \"distinct_races_dpor\": %d, \"dpor_sound\": %s, \
+                 \"reduction\": %s}"
+                (json_escape name) naive.runs naive.complete dp.runs
+                dp.complete
+                (List.length naive.races)
+                (List.length dp.races)
+                (match sound with
+                | Some b -> string_of_bool b
+                | None -> "null")
+                (match reduction with
+                | Some f -> Printf.sprintf "%.2f" f
+                | None -> "null"))
+            rows))
+      (List.length unsound)
+      (List.length big_wins)
+  in
+  let oc = open_out "BENCH_systematic.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_systematic.json@."
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [
     ("table1", table1);
@@ -990,6 +1125,7 @@ let experiments =
     ("faults", faults);
     ("campaign", campaign);
     ("coverage", coverage);
+    ("systematic", systematic);
     ("ops", fun () -> Hotpath.run ~smoke:!smoke ~jobs:!jobs);
   ]
 

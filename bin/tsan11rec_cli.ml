@@ -135,6 +135,7 @@ type flag =
   | Fault_p
   | Fault_seed
   | On_desync
+  | Dpor
 
 (* The parsed, validated values of every shared flag (defaults for the
    rows a subcommand did not select). *)
@@ -152,6 +153,7 @@ type common = {
   co_fault_p : float;
   co_fault_seed : int;
   co_on_desync : Conf.desync_mode;
+  co_dpor : bool;
 }
 
 let strategy_row =
@@ -237,6 +239,23 @@ let on_desync_row =
   in
   Arg.(value & opt string "abort" & info [ "on-desync" ] ~docv:"MODE" ~doc)
 
+let dpor_row =
+  let on =
+    Arg.info [ "dpor" ]
+      ~doc:
+        "Dynamic partial-order reduction for $(b,check) (the default): \
+         prune schedules that only reorder independent operations. The \
+         reduced exploration reports the same distinct outcomes and \
+         races as the exhaustive one, in far fewer runs."
+  in
+  let off =
+    Arg.info [ "no-dpor" ]
+      ~doc:
+        "Disable partial-order reduction: try every enabled thread at \
+         every scheduling point. Slower; useful as a soundness oracle."
+  in
+  Arg.(value & vflag true [ (true, on); (false, off) ])
+
 let usage fmt = Fmt.kstr (fun m -> Fmt.epr "%s@." m; exit 2) fmt
 
 let strategy_of name =
@@ -260,7 +279,7 @@ let common_term flags =
     if List.mem fl flags then term else Term.const default
   in
   let build strategy seed env_seed runs jobs deadline tick_budget retries
-      journal fault_p fault_seed on_desync =
+      journal fault_p fault_seed on_desync dpor =
     if runs < 1 then usage "--runs must be >= 1 (got %d)" runs;
     if deadline < 0.0 then usage "--deadline must be >= 0 (got %g)" deadline;
     if retries < 0 then usage "--retries must be >= 0 (got %d)" retries;
@@ -286,6 +305,7 @@ let common_term flags =
         (match Conf.desync_mode_of_name on_desync with
         | Some m -> m
         | None -> usage "unknown desync mode %S (abort|diagnose|resync)" on_desync);
+      co_dpor = dpor;
     }
   in
   Term.(
@@ -301,7 +321,8 @@ let common_term flags =
     $ pick Journal journal_row None
     $ pick Fault_p fault_p_row 0.0
     $ pick Fault_seed fault_seed_row 1
-    $ pick On_desync on_desync_row "abort")
+    $ pick On_desync on_desync_row "abort"
+    $ pick Dpor dpor_row true)
 
 (* ---- configuration construction ------------------------------------ *)
 
@@ -705,7 +726,9 @@ let check_cmd =
     in
     let r =
       T11r_harness.Systematic.explore ~max_runs ~jobs:co.co_jobs
-        ?journal:co.co_journal ~cancel ~build ()
+        ~dpor:co.co_dpor ~deadline_s:co.co_deadline
+        ?tick_budget:co.co_tick_budget ?journal:co.co_journal ~cancel ~build
+        ()
     in
     Fmt.pr "%a" T11r_harness.Systematic.pp r;
     if Atomic.get interrupted then begin
@@ -732,10 +755,12 @@ let check_cmd =
        ~doc:
          "Bounded systematic exploration (stateless model checking) of a \
           closed workload")
-    Term.(const run $ workload_arg $ max_runs $ common_term [ Jobs; Journal ])
+    Term.(
+      const run $ workload_arg $ max_runs
+      $ common_term [ Jobs; Journal; Deadline; Tick_budget; Dpor ])
 
 let icb_cmd =
-  let run name max_bound corpus =
+  let run name max_bound corpus co =
     let w = lookup_workload name in
     let corpus =
       match corpus with
@@ -751,7 +776,8 @@ let icb_cmd =
               None)
     in
     let r =
-      T11r_harness.Minimize.find_bug ~max_bound ?corpus
+      T11r_harness.Minimize.find_bug ~max_bound ~deadline_s:co.co_deadline
+        ?tick_budget:co.co_tick_budget ?corpus
         ~build:(fun () -> w.Workloads.w_instance (World.create ~seed:0L ()) ())
         ()
     in
@@ -777,7 +803,9 @@ let icb_cmd =
        ~doc:
          "Iterative context bounding: find the smallest preemption bound \
           that exposes a failure")
-    Term.(const run $ workload_arg $ max_bound $ corpus_opt)
+    Term.(
+      const run $ workload_arg $ max_bound $ corpus_opt
+      $ common_term [ Deadline; Tick_budget ])
 
 let trace_cmd =
   let run name co demo diff out capacity =

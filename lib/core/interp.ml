@@ -31,6 +31,31 @@ type divergence = {
   div_trail : (int * int * string) list;
 }
 
+(* Per-decision metadata for systematic exploration (DPOR). Captured
+   only under the Guided strategy; every other configuration pays one
+   predictable branch per tick and allocates nothing. *)
+type access = Acc_read | Acc_write | Acc_update
+
+type footprint =
+  | F_local  (* no shared effect the explorer can see *)
+  | F_atomic of int * access  (* atomic location id *)
+  | F_fence
+  | F_sync of int * int
+      (* mutex/condvar/rwlock object id(s); second is -1 when the op
+         touches a single object (ids share one allocation space) *)
+  | F_spawn of int  (* created tid *)
+  | F_join of int  (* joined tid *)
+  | F_syscall of int  (* Syscall.footprint_id; treated as global *)
+  | F_global  (* world-coupled op: signals, timed waits *)
+
+type decision = {
+  d_tid : int;  (* thread whose visible op executed at this tick *)
+  d_enabled : int array;  (* tids enabled at the scheduling point, ascending *)
+  d_foot : footprint;
+  d_draws : int;  (* scheduler-PRNG draws the op consumed *)
+  d_rand : bool;  (* some draw chose among >= 2 behaviour-relevant options *)
+}
+
 type result = {
   outcome : outcome;
   makespan_us : int;
@@ -51,6 +76,7 @@ type result = {
   events : Trace.event list;
   events_dropped : int;
   coverage : T11r_race.Coverage.summary;
+  decisions : decision array;
 }
 
 exception Hard of string
@@ -157,6 +183,10 @@ type ctx = {
   mutable waits : int;
   mutable preemptions : int;
   mutable faults_seen : int;  (* World.faults_injected already traced *)
+  (* decision capture for systematic exploration (Guided strategy only) *)
+  dec_on : bool;
+  mutable decisions : decision list;  (* reversed *)
+  mutable dec_rand : bool;  (* current op drew among >= 2 live waiters *)
 }
 
 let thread_opt ctx tid =
@@ -201,6 +231,15 @@ let rget ctx i =
 let is_replay ctx = ctx.replay <> None
 let is_record ctx = match ctx.conf.mode with Conf.Record _ -> true | _ -> false
 let draw ctx n = if n <= 0 then 0 else Prng.int ctx.rng n
+
+(* A draw whose value picks among [n] live alternatives (waiter wakes).
+   With [n >= 2] the choice is behaviour-relevant, so decision capture
+   marks the current visible op as randomized — the DPOR dependence
+   relation then keeps it ordered against every other draw-consuming
+   op, which pins its position in the PRNG stream. *)
+let draw_pick ctx n =
+  if ctx.dec_on && n >= 2 then ctx.dec_rand <- true;
+  draw ctx n
 let hard ctx msg = raise (Hard (Printf.sprintf "tick %d: %s" ctx.tick msg))
 
 (* Note a replay divergence at [site] (QUEUE/SYSCALL/SIGNAL/ASYNC).
@@ -894,7 +933,7 @@ let wake_one_mutex_waiter ctx mid ~at =
                          Some t
                        else Some b)
                  None ws)
-        | _ -> List.nth ws (draw ctx (List.length ws))
+        | _ -> List.nth ws (draw_pick ctx (List.length ws))
       in
       t.status <- Ready;
       t.arrival <- max t.arrival at
@@ -1123,6 +1162,46 @@ let lock_attempt ctx t (k : (Api.timeout_result, unit) continuation) cw fin =
     block ctx t (On_mutex cw.cw_mutex)
   end
 
+(* Dependency footprint of the visible operation thread [t] is about
+   to execute, read off the parked request before [exec_cs] runs it.
+   Conservative wherever the op couples to the environment: syscalls,
+   signal deliveries, signal plumbing and timed waits conflict with
+   everything (the world's PRNG and signal clock are shared state the
+   explorer cannot factor). CAS counts as an update even when it
+   fails — the failure path is a load, but whether it fails depends on
+   the newest store, which is exactly the same-location dependence. *)
+let footprint_of_next ctx t =
+  if t.sigq <> [] then F_global
+  else
+    match t.pending with
+    | None -> F_local
+    | Some (P (r, _)) -> (
+        match r with
+        | Api.A_load (a, _) -> F_atomic (Atomics.loc_id a.Api.a_loc, Acc_read)
+        | Api.A_store (a, _, _) ->
+            F_atomic (Atomics.loc_id a.Api.a_loc, Acc_write)
+        | Api.A_rmw (a, _, _) ->
+            F_atomic (Atomics.loc_id a.Api.a_loc, Acc_update)
+        | Api.A_cas (a, _, _, _, _) ->
+            F_atomic (Atomics.loc_id a.Api.a_loc, Acc_update)
+        | Api.Fence _ -> F_fence
+        | Api.Mutex_lock m | Api.Mutex_trylock m | Api.Mutex_unlock m ->
+            F_sync (m.Api.mu_id, -1)
+        | Api.Rw_rdlock l | Api.Rw_wrlock l | Api.Rw_tryrdlock l
+        | Api.Rw_trywrlock l | Api.Rw_unlock l ->
+            F_sync (l.Api.rw_id, -1)
+        | Api.Cond_wait (c, m, timeout) -> (
+            match timeout with
+            | Some _ -> F_global (* timer-vs-signal couples to world time *)
+            | None -> F_sync (c.Api.cv_id, m.Api.mu_id))
+        | Api.Cond_signal c | Api.Cond_broadcast c ->
+            F_sync (c.Api.cv_id, -1)
+        | Api.Spawn _ -> F_spawn ctx.next_tid
+        | Api.Join target -> F_join target
+        | Api.Syscall req -> F_syscall (Syscall.footprint_id req)
+        | Api.Set_signal_handler _ | Api.Raise_sync _ -> F_global
+        | _ -> F_local)
+
 (* Execute one critical section for thread [t]. *)
 let exec_cs ctx t =
   if t.sigq <> [] then exec_signal_entry ctx t
@@ -1319,7 +1398,7 @@ let exec_cs ctx t =
                                  then Some x
                                  else Some b)
                            None ws)
-                  | _ -> List.nth ws (draw ctx (List.length ws))
+                  | _ -> List.nth ws (draw_pick ctx (List.length ws))
                 in
                 wake_cond_waiter ctx w ~at:fin ~signaller_clock:cs.c_clock);
             finish_cs ctx t k (Api.req_label r) fin ()
@@ -1693,6 +1772,12 @@ let make_ctx ?arena conf world replay_demo =
       waits = 0;
       preemptions = 0;
       faults_seen = 0;
+      dec_on =
+        (match conf.Conf.sched with
+        | Conf.Controlled (Conf.Guided _) -> true
+        | _ -> false);
+      decisions = [];
+      dec_rand = false;
     }
   in
   (* Emitting a race report costs the reporting thread real time
@@ -1785,6 +1870,7 @@ let result_of_outcome outcome =
     events = [];
     events_dropped = 0;
     coverage = Coverage.empty;
+    decisions = [||];
   }
 
 (* A corrupt or missing demo is a usability (or durability) error, not
@@ -1983,6 +2069,9 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
       events = Trace.to_list ctx.obs;
       events_dropped = Trace.dropped ctx.obs;
       coverage;
+      decisions =
+        (if ctx.dec_on then Array.of_list (List.rev ctx.decisions)
+         else [||]);
     }
   in
   let finish outcome =
@@ -2083,7 +2172,31 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
               end;
               ctx.last_sched <- t.tid;
               let tickno = ctx.tick in
-              exec_cs ctx t;
+              if ctx.dec_on then begin
+                (* Decision capture for DPOR: enabled set and footprint
+                   before the op runs, draw counts as deltas around it.
+                   Off this branch (every non-Guided strategy) the tick
+                   pays one load+branch and allocates nothing. *)
+                let enabled =
+                  Array.init ctx.ready_n (fun i -> (rget ctx i).tid)
+                in
+                let foot = footprint_of_next ctx t in
+                let draws0 = Prng.draws ctx.rng in
+                let rand0 = Atomics.rand_choices ctx.mem in
+                ctx.dec_rand <- false;
+                exec_cs ctx t;
+                ctx.decisions <-
+                  {
+                    d_tid = t.tid;
+                    d_enabled = enabled;
+                    d_foot = foot;
+                    d_draws = Prng.draws ctx.rng - draws0;
+                    d_rand =
+                      ctx.dec_rand || Atomics.rand_choices ctx.mem > rand0;
+                  }
+                  :: ctx.decisions
+              end
+              else exec_cs ctx t;
               consume_queue_entry ctx t;
               ctx.tick <- tickno + 1;
               replay_signals_after_cs ctx ~tickno ~tid:t.tid;

@@ -47,6 +47,52 @@ type divergence = {
   div_trail : (int * int * string) list;
 }
 
+(** {2 Decision metadata for systematic exploration}
+
+    Under the [Conf.Guided] strategy — and only there — every
+    scheduling point records the chosen thread, the enabled set and a
+    {e dependency footprint} of the visible operation executed, the raw
+    material for dynamic partial-order reduction in
+    [T11r_harness.Systematic]. Every other configuration pays one
+    branch per tick and allocates nothing ([bench ops] budgets are
+    unchanged). *)
+
+type access = Acc_read | Acc_write | Acc_update
+
+type footprint =
+  | F_local  (** no shared effect the explorer can observe *)
+  | F_atomic of int * access  (** atomic location id + access kind *)
+  | F_fence
+  | F_sync of int * int
+      (** mutex/condvar/rwlock object id(s) — ids share one allocation
+          space, so they never collide across kinds; the second id is
+          [-1] unless the op touches two objects (condvar waits touch
+          the condvar and its mutex) *)
+  | F_spawn of int  (** created tid *)
+  | F_join of int  (** joined tid *)
+  | F_syscall of int
+      (** [Syscall.footprint_id]; conservatively global — all syscalls
+          share the world's state and PRNG stream *)
+  | F_global
+      (** other world-coupled ops (signal plumbing, timed waits):
+          dependent on everything *)
+
+(** One scheduling decision: at the tick where it was recorded, the
+    threads in [d_enabled] (ascending tids, matching the Guided
+    strategy's index order) were runnable, [d_tid]'s visible op
+    executed with footprint [d_foot], consuming [d_draws] scheduler-
+    PRNG draws. [d_rand] marks draws that actually chose among two or
+    more behaviour-relevant alternatives (an atomic load offered
+    several admissible stores, a wake picking among several waiters) —
+    forced single-option draws keep the stream aligned but commute. *)
+type decision = {
+  d_tid : int;
+  d_enabled : int array;
+  d_foot : footprint;
+  d_draws : int;
+  d_rand : bool;
+}
+
 type result = {
   outcome : outcome;
   makespan_us : int;  (** simulated wall-clock of the whole run *)
@@ -90,6 +136,9 @@ type result = {
   coverage : T11r_race.Coverage.summary;
       (** the run's schedule-coverage fingerprint —
           [T11r_race.Coverage.empty] unless [Conf.coverage] was set *)
+  decisions : decision array;
+      (** one entry per executed tick, in order — empty unless the run
+          used the [Conf.Guided] strategy (systematic exploration) *)
 }
 
 type arena

@@ -72,11 +72,19 @@ let corpus_seeds corpus =
       |> Array.of_list
 
 let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
-    ?(world_seed = 7L) ?corpus ~build () =
+    ?(deadline_s = 0.) ?tick_budget ?(world_seed = 7L) ?corpus ~build () =
   let seeded = corpus_seeds corpus in
   let runs = ref 0 in
   let result = ref None in
   let bound = ref 0 in
+  (* Every try goes through the recycled world and the domain arena —
+     the same run-context plumbing Campaign uses — so a long ICB sweep
+     allocates per run what a campaign run does, not a fresh World and
+     detector state each time. Results are unaffected: recycled worlds
+     and arenas are observationally identical to fresh ones, so the
+     found seed pair still reproduces against [World.create
+     ~seed:world_seed]. *)
+  let arena = Campaign.domain_arena () in
   while !result = None && !bound <= max_bound do
     let try_ = ref 1 in
     while !result = None && !try_ <= tries_per_bound do
@@ -90,7 +98,24 @@ let find_bug ?(failure = Any) ?(max_bound = 4) ?(tries_per_bound = 100)
           (Conf.tsan11rec ~strategy:(Conf.Preempt_bounded !bound) ())
           seed seed2
       in
-      let r = Interp.run ~world:(World.create ~seed:world_seed ()) conf (build ()) in
+      let conf =
+        if deadline_s > 0. then Conf.with_deadline_s conf deadline_s else conf
+      in
+      let conf =
+        match tick_budget with
+        | Some b -> Conf.with_max_ticks conf b
+        | None -> conf
+      in
+      (* A supervised cut-off ([Timeout]/[Tick_limit]) or a harness-
+         level exception mapped by [Outcome.protect] is "no match" —
+         the sweep moves on to the next seed instead of crashing or
+         wedging on one pathological schedule. *)
+      let r =
+        Outcome.protect (fun () ->
+            Interp.run
+              ~world:(Campaign.recycled_world ~seed:world_seed)
+              ~arena conf (build ()))
+      in
       if matches failure r then
         result :=
           Some

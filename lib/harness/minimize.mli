@@ -31,6 +31,8 @@ val find_bug :
   ?failure:failure ->
   ?max_bound:int ->
   ?tries_per_bound:int ->
+  ?deadline_s:float ->
+  ?tick_budget:int ->
   ?world_seed:int64 ->
   ?corpus:Corpus.t ->
   build:(unit -> T11r_vm.Api.program) ->
@@ -40,6 +42,14 @@ val find_bug :
     [b = 0 .. max_bound] (default 4), [tries_per_bound] seeds each
     (default 100). With [?corpus], each bound tries the guided
     corpus' seed pairs first (highest energy first) before the blind
-    SplitMix64 sweep — they count against [tries_per_bound]. *)
+    SplitMix64 sweep — they count against [tries_per_bound].
+
+    Runs execute on the campaign run-context plumbing (recycled world,
+    domain arena), so a sweep allocates per run what a campaign run
+    does. [deadline_s] / [tick_budget] bound each individual try via
+    [Conf.with_deadline_s] / [Conf.with_max_ticks]; a try cut short
+    ([Timeout], [Tick_limit]) — like a harness-level failure mapped by
+    [Outcome.protect] — counts as "no match" and the sweep continues
+    with the next seed. *)
 
 val pp : Format.formatter -> result -> unit

@@ -1,25 +1,55 @@
-(** Bounded systematic schedule exploration — stateless model checking
-    in the CHESS tradition (§2, §6 of the paper).
+(** Systematic schedule exploration with dynamic partial-order
+    reduction (DPOR) — stateless model checking in the CHESS tradition
+    (§2, §6 of the paper).
 
     Where the random strategy samples the schedule space, this explorer
-    enumerates it: depth-first over the tree of scheduling choices, one
-    run per distinct schedule, until the tree is exhausted or a budget
-    runs out. For closed programs within the bounds the result is a
-    *verification*: an empty race list means no schedule (with the
-    given weak-memory read seed) exhibits a race, and a deadlock in the
-    histogram means the deadlock was actually reachable — the kind of
-    guarantee random testing cannot give.
+    enumerates it: depth-first over the tree of scheduling decisions,
+    one run per distinct schedule, until the tree is exhausted or a
+    budget runs out. Each node is reached by a {e guided prefix} (an
+    index per tick into the ascending-tid enabled set, [Conf.Guided])
+    and each edge carries the {!Interp.decision} the interpreter
+    recorded for it — chosen tid, enabled set, dependency footprint,
+    scheduler-PRNG draws. For closed programs within the bounds the
+    result is a *verification*: an empty race list means no explored-
+    equivalent schedule (with the given weak-memory read seed) exhibits
+    a race.
+
+    By default the walk performs sleep-set DPOR (Flanagan–Godefroid
+    style, applied to whole recorded runs): when the new event of a
+    descent is in a reversible race with an earlier event of the
+    current path, the earlier node's backtrack set gains the first
+    thread of the reordered segment; sleep sets prune siblings whose
+    subtrees would only re-interleave independent operations. Two
+    decisions are dependent when their footprints conflict (same atomic
+    location with a write, shared lock/condvar/rwlock object, fences,
+    spawn/join against the affected thread, anything world-coupled) or
+    when PRNG coupling could change behaviour (an op whose draw chose
+    among two or more live alternatives against any other
+    draw-consuming op). DPOR visits at least one run per Mazurkiewicz
+    trace, so it reports the same distinct outcomes and the same
+    distinct races as the exhaustive walk ([~dpor:false]) whenever both
+    exhaust the space — usually in far fewer runs.
+
+    Execution reuses the snapshot machinery: sibling prefixes fork from
+    a shared per-domain snapshot of the parent prefix instead of
+    re-running it from scratch. With [jobs > 1] the analysis itself
+    stays strictly sequential; extra workers speculatively pre-execute
+    the prefixes the walk is predicted to need next (pending backtrack
+    children, deepest first), so every counter, every journal byte and
+    the final result are identical at every [jobs] value.
 
     Caveats, also true of CHESS: the program must be closed (fixed
     input, no environment nondeterminism — exploration runs in [Free]
     mode with a fixed world seed), and weak-memory read choices are
     driven by the scheduler PRNG rather than enumerated, so the
-    exploration is systematic over schedules, randomized over reads. *)
+    exploration is systematic over schedules, randomized over reads
+    (the PRNG-coupling dependence keeps the reduction sound for that
+    randomization). *)
 
 type result = {
-  runs : int;  (** distinct schedules executed *)
+  runs : int;  (** distinct schedules executed or replayed from journal *)
   resumed_runs : int;  (** of those, replayed from a resume journal *)
-  complete : bool;  (** the choice tree was exhausted within budget *)
+  complete : bool;  (** the (reduced) choice tree was exhausted in budget *)
   racy_schedules : int;
   races : T11r_race.Report.t list;  (** distinct, in discovery order *)
   deadlock_schedules : int;
@@ -31,6 +61,9 @@ type result = {
 val explore :
   ?max_runs:int ->
   ?jobs:int ->
+  ?dpor:bool ->
+  ?deadline_s:float ->
+  ?tick_budget:int ->
   ?world_seed:int64 ->
   ?seeds:int64 * int64 ->
   ?journal:string ->
@@ -38,21 +71,34 @@ val explore :
   build:(unit -> T11r_vm.Api.program) ->
   unit ->
   result
-(** DFS over scheduling choices. [max_runs] bounds the number of
+(** DFS over scheduling decisions. [max_runs] bounds the number of
     executions (default 2000); [seeds] fixes the PRNG used for
-    weak-memory read choices. [jobs] (default 1) executes each
-    frontier wave of up to [jobs] independent prefixes on the domain
-    pool: at [jobs = 1] this is the classic sequential DFS; at
-    [jobs > 1] a {e completed} exploration visits the same schedule
-    set, while a budget-truncated one may cover a different same-sized
-    slice of the tree (traversal order changes).
+    weak-memory read choices.
 
-    [journal] makes the exploration resumable: each executed prefix is
-    appended (checksummed, with its result and observed choice counts)
-    and a rerun with the same seeds replays journalled prefixes
-    instead of executing them — the cache is keyed on the prefix, so
-    [jobs] may differ between the original run and the resume.
-    [cancel] is polled between waves; a cancelled exploration returns
-    [complete = false] and can be resumed from its journal. *)
+    [dpor] (default [true]) enables sleep-set partial-order reduction;
+    [~dpor:false] restores the exhaustive walk (every enabled thread
+    tried at every node), which visits the same distinct outcomes and
+    races in more runs — useful as a soundness oracle.
+
+    [deadline_s] (default off) and [tick_budget] (default off) bound
+    each individual run via [Conf.with_deadline_s] /
+    [Conf.with_max_ticks], so one livelocking schedule cannot wedge the
+    whole exploration; a run cut short is aggregated under its
+    [Timeout] / [Tick_limit] outcome, is treated as a leaf of the
+    tree, and its journal entry resumes identically.
+
+    [jobs] (default 1) sizes the domain pool used for speculative
+    pre-execution; the result is identical at every value (see the
+    module comment).
+
+    [journal] makes the exploration crash-safe and resumable: each
+    analyzed prefix is appended (checksummed, with its result and
+    observed choice counts) and a rerun with the same seeds replays
+    journalled prefixes instead of executing them ([resumed_runs]
+    counts them, on the supervising domain only). The journal pins
+    seeds, world seed and schema; reusing it with different parameters
+    raises [Invalid_argument]. [cancel] is polled between descents; a
+    cancelled exploration returns [complete = false] and can be
+    resumed from its journal. *)
 
 val pp : Format.formatter -> result -> unit

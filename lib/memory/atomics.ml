@@ -31,6 +31,7 @@ type t = {
   mutable sc_clock : Vclock.t; (* global clock threaded through SC fences *)
   mutable evictions : int; (* stores pushed out of a full history ring *)
   mutable stale_reads : int; (* loads that chose an older admissible store *)
+  mutable rand_choices : int; (* choose calls offered >= 2 admissible stores *)
   (* Registry of every location ever created, indexed by id. After
      [reset], [fresh_loc] re-initialises registered locations in place
      instead of allocating — location ids restart from 0, so id [k] of
@@ -44,16 +45,18 @@ let max_history t = t.max_history
 let create ?(max_history = 8) () =
   if max_history < 1 then invalid_arg "Atomics.create: max_history < 1";
   { max_history; next_loc = 0; sc_clock = Vclock.empty; evictions = 0;
-    stale_reads = 0; reg = [||]; reg_n = 0 }
+    stale_reads = 0; rand_choices = 0; reg = [||]; reg_n = 0 }
 
 let reset t =
   t.next_loc <- 0;
   t.sc_clock <- Vclock.empty;
   t.evictions <- 0;
-  t.stale_reads <- 0
+  t.stale_reads <- 0;
+  t.rand_choices <- 0
 
 let evictions t = t.evictions
 let stale_reads t = t.stale_reads
+let rand_choices t = t.rand_choices
 
 (* Shared placeholder for not-yet-used ring slots; never mutated (a
    slot is replaced by a fresh record before its first write). *)
@@ -218,6 +221,7 @@ let read_sync (st : Tstate.t) mo s =
 let load t l (st : Tstate.t) mo ~choose =
   let lo = admissible_floor l st mo in
   let n = newest_index l - lo + 1 in
+  if n >= 2 then t.rand_choices <- t.rand_choices + 1;
   let k = choose n in
   if k < 0 || k >= n then invalid_arg "Atomics.load: choose out of range";
   if k < n - 1 then t.stale_reads <- t.stale_reads + 1;

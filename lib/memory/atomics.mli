@@ -109,3 +109,12 @@ val evictions : t -> int
 val stale_reads : t -> int
 (** Loads (including failed-CAS loads) that observed an admissible
     store older than the newest one. *)
+
+val rand_choices : t -> int
+(** Loads (including failed-CAS loads) whose [choose] call was offered
+    two or more admissible stores — i.e. draws whose {e value}
+    actually influenced behaviour, as opposed to forced [choose 1]
+    calls made only to keep the PRNG stream aligned. Systematic
+    exploration uses the delta of this counter across one visible
+    operation to decide whether the operation's scheduler-PRNG draws
+    are behaviour-relevant (see {!Interp.decision}). *)

@@ -55,6 +55,26 @@ let kind_to_string = function
   | Close -> "close"
   | Pipe -> "pipe"
 
+(* Dependency-footprint id for systematic exploration: the channel a
+   request touches, as one stable integer. Requests on a live fd are
+   keyed by the fd; fd-less requests (open, pipe, clock_gettime, …)
+   are keyed by a negative per-kind tag so they never collide with a
+   descriptor. The schedule explorer currently treats every syscall as
+   dependent on every other one (they all share the world's state and
+   PRNG stream), so this id is informational — but it is emitted with
+   each decision so a finer per-channel conflict relation can be
+   switched on without re-recording anything. *)
+let footprint_id (r : request) =
+  if r.fd >= 0 then r.fd
+  else
+    let tag = function
+      | Read -> 1 | Write -> 2 | Recv -> 3 | Send -> 4 | Recvmsg -> 5
+      | Sendmsg -> 6 | Poll -> 7 | Select -> 8 | Epoll_wait -> 9
+      | Accept -> 10 | Accept4 -> 11 | Bind -> 12 | Clock_gettime -> 13
+      | Ioctl -> 14 | Open_ -> 15 | Close -> 16 | Pipe -> 17
+    in
+    -tag r.kind
+
 let kind_of_string = function
   | "read" -> Some Read
   | "write" -> Some Write

@@ -61,6 +61,14 @@ val ok : ?data:bytes -> ?elapsed:int -> int -> result
 val error : ?elapsed:int -> errno:int -> unit -> result
 (** [ret = -1] result with the given errno. *)
 
+val footprint_id : request -> int
+(** Dependency-footprint id for systematic exploration: the fd for
+    requests made on a live descriptor, a negative per-kind tag for
+    fd-less requests. Emitted with every explored scheduling decision
+    (see {!Interp.decision}); the explorer conservatively treats all
+    syscalls as mutually dependent, so this only labels the decision
+    today but supports a per-channel conflict relation later. *)
+
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
 val pp_request : Format.formatter -> request -> unit

@@ -23,6 +23,19 @@ let slow_fig1 =
 
 let () =
   match Sys.argv with
+  | [| _; "systematic"; journal; max_runs |] ->
+      (* Journalled DPOR exploration of fig1, dawdling per run so
+         test_systematic's SIGKILL lands mid-exploration. The sleep is
+         at build time, outside the interpreter's simulated clock, so
+         every journalled result is identical to an un-slowed run's. *)
+      let slow_build () =
+        Unix.sleepf 0.003;
+        T11r_litmus.Registry.fig1.build ()
+      in
+      ignore
+        (T11r_harness.Systematic.explore ~max_runs:(int_of_string max_runs)
+           ~journal ~build:slow_build ());
+      exit 0
   | [| _; journal; n |] ->
       ignore (Campaign.run slow_fig1 ~n:(int_of_string n) ~journal []);
       exit 0
@@ -32,5 +45,7 @@ let () =
            ~batch:(int_of_string batch) ~corpus_dir ());
       exit 0
   | _ ->
-      prerr_endline "usage: resume_child <journal> <n> | guided <dir> <rounds> <batch>";
+      prerr_endline
+        "usage: resume_child <journal> <n> | systematic <journal> <max-runs> \
+         | guided <dir> <rounds> <batch>";
       exit 2

@@ -107,6 +107,196 @@ let test_exploration_deterministic () =
   check Alcotest.bool "same outcomes" true (r1.outcomes = r2.outcomes)
 
 (* ------------------------------------------------------------------ *)
+(* Dynamic partial-order reduction *)
+
+let distinct_outcome_keys (r : Systematic.result) =
+  List.sort_uniq compare (List.map fst r.Systematic.outcomes)
+
+let distinct_races (r : Systematic.result) =
+  List.sort_uniq compare r.Systematic.races
+
+(* The DPOR correctness bar: on every litmus benchmark whose schedule
+   space the exhaustive walk exhausts within budget, the reduced walk
+   must exhaust too, reach exactly the same distinct outcomes and the
+   same distinct races, and spend no more runs. *)
+let test_dpor_equals_exhaustive_on_litmus () =
+  let budget = 5000 in
+  let entries = T11r_litmus.Registry.fig1 :: T11r_litmus.Registry.all in
+  let exhausted = ref 0 in
+  List.iter
+    (fun (e : T11r_litmus.Registry.entry) ->
+      let naive =
+        Systematic.explore ~max_runs:budget ~dpor:false ~build:e.build ()
+      in
+      if naive.complete then begin
+        incr exhausted;
+        let dp = Systematic.explore ~max_runs:budget ~build:e.build () in
+        check Alcotest.bool (e.name ^ ": dpor complete") true dp.complete;
+        check Alcotest.bool
+          (Printf.sprintf "%s: dpor runs (%d) <= naive runs (%d)" e.name
+             dp.runs naive.runs)
+          true (dp.runs <= naive.runs);
+        check
+          Alcotest.(list string)
+          (e.name ^ ": same distinct outcomes")
+          (distinct_outcome_keys naive) (distinct_outcome_keys dp);
+        check Alcotest.bool (e.name ^ ": same distinct races") true
+          (distinct_races naive = distinct_races dp)
+      end)
+    entries;
+  check Alcotest.bool "at least one benchmark exhausted" true (!exhausted >= 1)
+
+(* Same property as a qcheck sweep over scheduler seed pairs: the
+   reduction must not depend on which weak-memory read stream the run
+   happens to draw (the PRNG-coupling clause of the dependence
+   relation is what makes this hold). *)
+let qcheck_dpor_equiv_seeds =
+  QCheck.Test.make ~count:8 ~name:"dpor = exhaustive across seeds"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let seeds = (Int64.of_int (a + 1), Int64.of_int (b + 101)) in
+      List.for_all
+        (fun build ->
+          let naive =
+            Systematic.explore ~max_runs:5000 ~dpor:false ~seeds ~build ()
+          in
+          let dp = Systematic.explore ~max_runs:5000 ~seeds ~build () in
+          naive.Systematic.complete && dp.Systematic.complete
+          && distinct_outcome_keys naive = distinct_outcome_keys dp
+          && distinct_races naive = distinct_races dp
+          && dp.Systematic.runs <= naive.Systematic.runs)
+        [ two_by_two; abba ])
+
+let test_dpor_actually_reduces () =
+  let naive = Systematic.explore ~max_runs:5000 ~dpor:false ~build:abba () in
+  let dp = Systematic.explore ~max_runs:5000 ~build:abba () in
+  check Alcotest.bool "both complete" true (naive.complete && dp.complete);
+  check Alcotest.bool
+    (Printf.sprintf "strictly fewer runs (%d < %d)" dp.runs naive.runs)
+    true
+    (dp.runs < naive.runs);
+  check Alcotest.bool "deadlock still found" true (dp.deadlock_schedules > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Journal resume and jobs-independence *)
+
+let tmp_journal tag =
+  let f = Filename.temp_file ("systematic-" ^ tag) ".journal" in
+  Sys.remove f;
+  f
+
+let read_file f =
+  let ic = open_in_bin f in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_jobs_identical_results_and_journal () =
+  let j1 = tmp_journal "j1" and j4 = tmp_journal "j4" in
+  let r1 = Systematic.explore ~jobs:1 ~journal:j1 ~build:abba () in
+  let r4 = Systematic.explore ~jobs:4 ~journal:j4 ~build:abba () in
+  check Alcotest.bool "results identical at jobs 1 and 4" true (r1 = r4);
+  check Alcotest.bool "journal bytes identical at jobs 1 and 4" true
+    (read_file j1 = read_file j4);
+  Sys.remove j1;
+  Sys.remove j4
+
+(* The resumed-runs counter regression: cache hits used to be counted
+   with [incr] on pool worker domains, losing updates at --jobs > 1.
+   Now every hit is counted on the supervising domain, so the count is
+   exact — a full resume replays every run — at every jobs value. *)
+let test_resumed_counts_exact () =
+  let j = tmp_journal "resume" in
+  let fresh = Systematic.explore ~journal:j ~build:two_by_two () in
+  check Alcotest.int "fresh run resumes nothing" 0 fresh.resumed_runs;
+  let again1 = Systematic.explore ~jobs:1 ~journal:j ~build:two_by_two () in
+  check Alcotest.int "jobs 1: every run resumed" fresh.runs
+    again1.resumed_runs;
+  check Alcotest.int "jobs 1: same total" fresh.runs again1.runs;
+  let again4 = Systematic.explore ~jobs:4 ~journal:j ~build:two_by_two () in
+  check Alcotest.int "jobs 4: every run resumed" fresh.runs
+    again4.resumed_runs;
+  check Alcotest.int "jobs 4: same total" fresh.runs again4.runs;
+  Sys.remove j
+
+let test_resume_partial_budget () =
+  let j = tmp_journal "partial" in
+  let partial =
+    Systematic.explore ~max_runs:5 ~journal:j ~build:two_by_two ()
+  in
+  check Alcotest.int "budget respected" 5 partial.runs;
+  check Alcotest.bool "incomplete" false partial.complete;
+  let resumed = Systematic.explore ~journal:j ~build:two_by_two () in
+  check Alcotest.int "exactly the journalled prefixes resumed" 5
+    resumed.resumed_runs;
+  check Alcotest.bool "complete after resume" true resumed.complete;
+  let clean = Systematic.explore ~build:two_by_two () in
+  check Alcotest.bool "resumed result = clean result" true
+    ({ resumed with Systematic.resumed_runs = 0 } = clean);
+  Sys.remove j
+
+let test_sigkill_then_resume_dpor () =
+  let j = tmp_journal "sigkill" in
+  let max_runs = 2000 in
+  let build = T11r_litmus.Registry.fig1.build in
+  let clean = Systematic.explore ~max_runs ~build () in
+  (* Unix.fork is off-limits once the pool has ever spawned a domain,
+     so the victim is a dedicated executable exploring the same
+     workload (slowed per run so the kill lands mid-exploration). *)
+  let child =
+    Filename.concat (Filename.dirname Sys.executable_name) "resume_child.exe"
+  in
+  let pid =
+    Unix.create_process child
+      [| child; "systematic"; j; string_of_int max_runs |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.sleepf 0.08;
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  let resumed = Systematic.explore ~max_runs ~journal:j ~build () in
+  check Alcotest.bool "complete after resume" true resumed.complete;
+  check Alcotest.bool "SIGKILLed-then-resumed result = clean result" true
+    ({ resumed with Systematic.resumed_runs = 0 } = clean);
+  Sys.remove j
+
+(* ------------------------------------------------------------------ *)
+(* Per-run supervision inside the exploration *)
+
+(* A thread that spins forever: every schedule runs into the tick
+   budget, the exploration itself stays bounded, and a journalled
+   exploration of it resumes identically. *)
+let spinner () =
+  Api.program ~name:"spinner" (fun () ->
+      let a = Api.Atomic.create 0 in
+      let t =
+        Api.Thread.spawn (fun () ->
+            while Api.Atomic.load a = 0 do
+              ()
+            done)
+      in
+      Api.Thread.join t)
+
+let test_tick_budget_bounds_runs () =
+  let j = tmp_journal "ticks" in
+  let r =
+    Systematic.explore ~max_runs:50 ~tick_budget:300 ~journal:j
+      ~build:spinner ()
+  in
+  check Alcotest.bool "tick-limit outcomes seen" true
+    (List.mem_assoc "tick-limit" r.outcomes);
+  let resumed =
+    Systematic.explore ~max_runs:50 ~tick_budget:300 ~journal:j
+      ~build:spinner ()
+  in
+  check Alcotest.int "timed-out prefixes resume identically" r.runs
+    resumed.resumed_runs;
+  check Alcotest.bool "same result on resume" true
+    ({ resumed with Systematic.resumed_runs = 0 }
+    = { r with Systematic.resumed_runs = 0 });
+  Sys.remove j
+
+(* ------------------------------------------------------------------ *)
 (* Randomised exploration reports *)
 
 let test_explore_report () =
@@ -268,6 +458,21 @@ let test_icb_clean_program_not_found () =
   | Minimize.Found f ->
       Alcotest.failf "clean program 'failed' at bound %d" f.bound
 
+(* Supervision regression: a run that only ever hits its tick budget is
+   "no match" — the sweep spends its tries and reports Not_found
+   instead of wedging on the livelock (each unsupervised try would burn
+   the conf's default 5M-tick ceiling) or miscounting the cut-off as a
+   failure. *)
+let test_icb_tick_budget_is_no_match () =
+  match
+    Minimize.find_bug ~max_bound:1 ~tries_per_bound:3 ~tick_budget:500
+      ~build:spinner ()
+  with
+  | Minimize.Not_found runs -> check Alcotest.int "all tries spent" 6 runs
+  | Minimize.Found f ->
+      Alcotest.failf "tick-limited run counted as a failure at bound %d"
+        f.bound
+
 (* ------------------------------------------------------------------ *)
 (* Runner and workload registry *)
 
@@ -365,6 +570,26 @@ let () =
           Alcotest.test_case "budget" `Quick test_budget_respected;
           Alcotest.test_case "deterministic" `Quick test_exploration_deterministic;
         ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "equals exhaustive on litmus" `Slow
+            test_dpor_equals_exhaustive_on_litmus;
+          QCheck_alcotest.to_alcotest qcheck_dpor_equiv_seeds;
+          Alcotest.test_case "actually reduces" `Quick test_dpor_actually_reduces;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "jobs identical (results + journal)" `Quick
+            test_jobs_identical_results_and_journal;
+          Alcotest.test_case "resumed counts exact" `Quick
+            test_resumed_counts_exact;
+          Alcotest.test_case "partial budget resume" `Quick
+            test_resume_partial_budget;
+          Alcotest.test_case "sigkill then resume" `Slow
+            test_sigkill_then_resume_dpor;
+          Alcotest.test_case "tick budget supervision" `Quick
+            test_tick_budget_bounds_runs;
+        ] );
       ( "icb",
         [
           Alcotest.test_case "abba at bound 1" `Quick
@@ -377,6 +602,8 @@ let () =
           Alcotest.test_case "race needs stale read" `Quick
             test_icb_race_needs_stale_read;
           Alcotest.test_case "clean program" `Quick test_icb_clean_program_not_found;
+          Alcotest.test_case "tick budget is no match" `Quick
+            test_icb_tick_budget_is_no_match;
         ] );
       ( "runner",
         [
