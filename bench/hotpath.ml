@@ -77,6 +77,17 @@ let budgets =
        preallocated bitmap. *)
     ("cov_mark_disabled", 0);
     ("cov_mark_enabled", 0);
+    (* Predictive analysis: run_decisions_off pins the zero-cost claim
+       — a fig1 run on a recycled arena with decision capture off
+       (Random strategy) must allocate no more than it did before the
+       capture machinery existed (the plain-run floor, same class as
+       the snapshot rows); run_decisions_on is the same run under
+       Guided with capture live, whose budget bounds the metadata cost;
+       predict_analyze is the offline pass itself on that recording's
+       input. *)
+    ("run_decisions_off", 3_000);
+    ("run_decisions_on", 4_500);
+    ("predict_analyze", 4_000);
     (* Demo durability: whole-recording operations, not per-op costs.
        The generous budgets catch algorithmic regressions (an O(n^2)
        re-render, CRC over a string copy per line), not byte drift. *)
@@ -224,6 +235,38 @@ let op_benches ~iters =
          T11r_env.World.reset world ~seed:1L;
          ignore
            (Tsan11rec.Interp.run ~world ~arena ~resume:snap run_conf (build ()))));
+    (let arena = Tsan11rec.Interp.create_arena () in
+     let world = T11r_env.World.create ~seed:1L () in
+     let build = T11r_litmus.Registry.fig1.build in
+     bench_run "run_decisions_off" (fun () ->
+         T11r_env.World.reset world ~seed:1L;
+         ignore (Tsan11rec.Interp.run ~world ~arena run_conf (build ()))));
+    (let arena = Tsan11rec.Interp.create_arena () in
+     let world = T11r_env.World.create ~seed:1L () in
+     let build = T11r_litmus.Registry.fig1.build in
+     let guided_conf =
+       Conf.make
+         ~base:(Conf.tsan11rec ())
+         ~strategy:(Conf.Guided { prefix = [||]; observed = ref [] })
+         ~seeds:(3L, 5L) ()
+     in
+     bench_run "run_decisions_on" (fun () ->
+         T11r_env.World.reset world ~seed:1L;
+         ignore (Tsan11rec.Interp.run ~world ~arena guided_conf (build ()))));
+    (let world = T11r_env.World.create ~seed:1L () in
+     let guided_conf =
+       Conf.make
+         ~base:(Conf.tsan11rec ())
+         ~strategy:(Conf.Guided { prefix = [||]; observed = ref [] })
+         ~seeds:(3L, 5L) ()
+     in
+     let r =
+       Tsan11rec.Interp.run ~world guided_conf
+         (T11r_litmus.Registry.fig1.build ())
+     in
+     let input = Tsan11rec.Interp.to_predict_input r in
+     bench_run "predict_analyze" (fun () ->
+         ignore (T11r_race.Predict.analyze input)));
   ]
 
 (* Demo durability: cost of a crash-atomic save (fresh sibling dir +

@@ -1110,6 +1110,184 @@ let systematic () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Predictive race analysis: recorded-runs-to-first-race with the
+   offline prediction pass (record under Guided, analyze, confirm the
+   witnesses) against the guided-only hunt baseline on the racy
+   workloads. The acceptance invariants are enforced here (exit 1):
+   prediction must need no more recorded runs than the hunt, and no
+   refuted pair may ever appear among the reported races. *)
+let predict_bench () =
+  let module Predict = T11r_race.Predict in
+  let module Predictor = T11r_harness.Predictor in
+  let module Guided = T11r_harness.Guided in
+  let module Workloads = T11r_harness.Workloads in
+  let max_recordings = 5 in
+  let hunt_runs = if !smoke then 48 else 128 in
+  let batch = 16 in
+  let bench_wl name =
+    let wl = Option.get (Workloads.find name) in
+    let base = Conf.with_policy (Conf.tsan11rec ()) wl.Workloads.w_policy in
+    let instance () =
+      let w = World.create ~seed:42L () in
+      (w, wl.Workloads.w_instance w ())
+    in
+    (* Prediction path: one guided recording per seed until a witness
+       confirms a race. *)
+    let rec go seed verify_runs refuted =
+      if seed > max_recordings then (None, max_recordings, verify_runs, refuted)
+      else
+        let world = World.create ~seed:42L () in
+        let prog = wl.Workloads.w_instance world () in
+        let conf =
+          Conf.make ~base ~mode:Conf.Free
+            ~strategy:
+              (Conf.Guided
+                 { prefix = Predictor.recording_prefix seed; observed = ref [] })
+            ~seeds:(Int64.of_int seed, Int64.of_int (seed + 7919))
+            ()
+        in
+        let r = Interp.run ~world conf prog in
+        let a = Predict.analyze (Interp.to_predict_input r) in
+        if a.Predict.n_must = 0 then go (seed + 1) verify_runs refuted
+        else
+          let rep =
+            Predictor.verify ~jobs:!jobs ~attempts:48
+              ~recorded_seeds:(Int64.of_int seed, Int64.of_int (seed + 7919))
+              ~instance a
+          in
+          let verify_runs = verify_runs + rep.Predictor.r_runs in
+          let refuted = refuted + rep.Predictor.r_refuted in
+          if rep.Predictor.r_confirmed > 0 then
+            (* soundness cross-check: no refuted pair among the races *)
+            let refuted_as_races =
+              List.length
+                (List.filter
+                   (fun v ->
+                     match v.Predictor.v_verdict with
+                     | Predictor.Refuted _ ->
+                         List.exists
+                           (fun v' ->
+                             match v'.Predictor.v_verdict with
+                             | Predictor.Confirmed _ ->
+                                 T11r_race.Report.equal
+                                   v.Predictor.v_pair.Predict.p_report
+                                   v'.Predictor.v_pair.Predict.p_report
+                             | _ -> false)
+                           rep.Predictor.r_verified
+                     | _ -> false)
+                   rep.Predictor.r_verified)
+            in
+            (Some (seed, refuted_as_races), seed, verify_runs, refuted)
+          else go (seed + 1) verify_runs refuted
+    in
+    let found, recordings, verify_runs, refuted = go 1 0 0 in
+    (* Guided-only baseline: hunt until the first racy run. *)
+    let spec = Workloads.spec_of ~base_conf:(Conf.tsan11rec ()) wl in
+    let h =
+      Guided.hunt spec ~rounds:(hunt_runs / batch) ~batch ~jobs:!jobs
+        ~stop_on_race:true ()
+    in
+    let guided_first =
+      match h.Guided.g_first_race with Some i -> Some (i + 1) | None -> None
+    in
+    (name, found, recordings, verify_runs, refuted, guided_first)
+  in
+  let rows =
+    List.map bench_wl [ "fig1"; "dekker-fences"; "mcs-lock" ]
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Predictive analysis: recorded runs to first confirmed race vs \
+            guided-only hunt (<= %d recordings, hunt budget %d)"
+           max_recordings hunt_runs)
+      ~headers:
+        [ "workload"; "predict recs"; "verify runs"; "refuted"; "guided runs";
+          "no worse?" ]
+  in
+  let judged =
+    List.map
+      (fun (name, found, recordings, verify_runs, refuted, guided_first) ->
+        let pred_recs =
+          match found with Some (s, _) -> Some s | None -> None
+        in
+        let refuted_as_races =
+          match found with Some (_, n) -> n | None -> 0
+        in
+        let no_worse =
+          match (pred_recs, guided_first) with
+          | Some p, Some g -> p <= g
+          | Some _, None -> true (* prediction found it, the hunt never did *)
+          | None, None -> true
+          | None, Some _ -> false
+        in
+        let show = function Some n -> string_of_int n | None -> "-" in
+        Table.add_row t
+          [
+            name; show pred_recs; string_of_int verify_runs;
+            string_of_int refuted; show guided_first;
+            (if no_worse && refuted_as_races = 0 then "yes" else "NO");
+          ];
+        (name, pred_recs, recordings, verify_runs, refuted, refuted_as_races,
+         guided_first, no_worse))
+      rows
+  in
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"tsan11rec/predict-bench/v1\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"max_recordings\": %d,\n\
+      \  \"hunt_budget_runs\": %d,\n\
+      \  \"workloads\": [\n%s\n  ]\n}\n"
+      !smoke max_recordings hunt_runs
+      (String.concat ",\n"
+         (List.map
+            (fun (name, pred_recs, recordings, verify_runs, refuted,
+                  refuted_as_races, guided_first, no_worse) ->
+              Printf.sprintf
+                "    {\"workload\": \"%s\", \
+                 \"pred_recordings_to_first_race\": %s, \
+                 \"recordings_analyzed\": %d, \"verify_runs\": %d, \
+                 \"refuted_pairs\": %d, \"refuted_reported_as_races\": %d, \
+                 \"guided_runs_to_first_race\": %s, \
+                 \"prediction_no_worse\": %b}"
+                (json_escape name)
+                (match pred_recs with
+                | Some n -> string_of_int n
+                | None -> "null")
+                recordings verify_runs refuted refuted_as_races
+                (match guided_first with
+                | Some n -> string_of_int n
+                | None -> "null")
+                no_worse)
+            judged))
+  in
+  let oc = open_out "BENCH_predict.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_predict.json@.";
+  let bad =
+    List.filter
+      (fun (_, _, _, _, _, refuted_as_races, _, no_worse) ->
+        (not no_worse) || refuted_as_races > 0)
+      judged
+  in
+  if bad <> [] then begin
+    List.iter
+      (fun (name, _, _, _, _, rar, _, nw) ->
+        Fmt.epr
+          "predict: %s violates the acceptance bar (no_worse=%b, \
+           refuted_as_races=%d)@."
+          name nw rar)
+      bad;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [
     ("table1", table1);
@@ -1126,6 +1304,7 @@ let experiments =
     ("campaign", campaign);
     ("coverage", coverage);
     ("systematic", systematic);
+    ("predict", predict_bench);
     ("ops", fun () -> Hotpath.run ~smoke:!smoke ~jobs:!jobs);
   ]
 

@@ -15,6 +15,9 @@
      icb WORKLOAD      smallest preemption bound exposing a failure
      trace WORKLOAD    run (or replay) with event tracing, export
                        Chrome trace-event JSON for Perfetto
+     predict           offline predictive race analysis over a recorded
+                       demo (or a campaign journal); --verify confirms
+                       each predicted pair by scheduling its witness
      demo-info DIR     summarise and integrity-check a recorded demo *)
 
 open Cmdliner
@@ -26,6 +29,9 @@ module World = T11r_env.World
 module Workloads = T11r_harness.Workloads
 module Campaign = T11r_harness.Campaign
 module Guided = T11r_harness.Guided
+module Corpus = T11r_harness.Corpus
+module Predictor = T11r_harness.Predictor
+module Predict = T11r_race.Predict
 
 (* ---- exit codes ---------------------------------------------------- *)
 
@@ -438,12 +444,25 @@ let run_cmd =
       $ common_term [ Strategy; Seed; Env_seed; Fault_p; Fault_seed ]
       $ tsan_flag)
 
+(* A seed-derived pseudo-random guided prefix: recording under the
+   guided strategy is what captures the DECISIONS metadata `predict'
+   consumes, and a randomised prefix diversifies the schedules a batch
+   of recordings explores (beyond the prefix the strategy follows
+   index 0 deterministically). *)
+let guided_prefix_of_seed = Predictor.recording_prefix
+
 let record_cmd =
-  let run name co demo =
+  let run name co demo guided =
     let w = lookup_workload name in
+    let strategy =
+      if guided then
+        Conf.Guided
+          { prefix = guided_prefix_of_seed co.co_seed; observed = ref [] }
+      else co.co_strategy
+    in
     let conf, world, build =
       prepare ~w
-        ~conf:(base_conf ~tool:"tsan11rec" ~strategy:co.co_strategy)
+        ~conf:(base_conf ~tool:"tsan11rec" ~strategy)
         ~seed:co.co_seed ~env_seed:co.co_env_seed ~fault_p:co.co_fault_p
         ~fault_seed:co.co_fault_seed ~mode:(Conf.Record demo) ()
     in
@@ -452,7 +471,20 @@ let record_cmd =
     if co.co_fault_p > 0.0 then
       Fmt.pr "faults:    %d injected@." (World.faults_injected world);
     Fmt.pr "recorded demo in %s@." demo;
+    if guided then
+      Fmt.pr "decisions: %d step(s) captured — analyse with `predict --demo %s'@."
+        (Array.length r.decisions) demo;
     exit (exit_of r)
+  in
+  let guided_flag =
+    Arg.(
+      value & flag
+      & info [ "guided" ]
+          ~doc:
+            "Record under the guided strategy with a seed-derived schedule \
+             prefix. The recording then carries per-decision metadata \
+             (DECISIONS) enabling offline predictive race analysis \
+             ($(b,predict)).")
   in
   Cmd.v
     (Cmd.info "record" ~exits:outcome_exits
@@ -460,7 +492,7 @@ let record_cmd =
     Term.(
       const run $ workload_arg
       $ common_term [ Strategy; Seed; Env_seed; Fault_p; Fault_seed ]
-      $ demo_arg)
+      $ demo_arg $ guided_flag)
 
 let replay_cmd =
   let run name co demo salvage =
@@ -894,6 +926,171 @@ let trace_cmd =
       $ common_term [ Strategy; Seed; Env_seed ]
       $ demo_opt $ diff_flag $ out_arg $ capacity_arg)
 
+(* predict: offline predictive race analysis — sound HB relaxation plus
+   lockset filtering over recorded decision metadata, with optional
+   witness verification. The soundness contract is visible in the exit
+   discipline: only pairs a guided replay actually confirmed are
+   surfaced as races (exit 1); May pairs and refuted Must pairs are
+   always labelled "not a race" and never affect the exit code. *)
+let predict_cmd =
+  let run wl_opt co demo journal verify corpus attempts =
+    let verify_analysis ~app ~recorded_seeds analysis =
+      let w = lookup_workload app in
+      let base =
+        validated (Conf.with_policy (Conf.tsan11rec ()) w.Workloads.w_policy)
+      in
+      (* Every verification attempt rebuilds the same deterministic
+         world the recording ran in (--env-seed), so the report is a
+         pure function of (analysis, seeds) — byte-identical at every
+         --jobs. *)
+      let instance () =
+        let world = World.create ~seed:(Int64.of_int co.co_env_seed) () in
+        let build = w.Workloads.w_instance world in
+        (world, build ())
+      in
+      let rep =
+        Predictor.verify ~jobs:co.co_jobs ~attempts ?recorded_seeds
+          ~base_conf:base ~instance analysis
+      in
+      Fmt.pr "%a@." Predictor.pp rep;
+      (match corpus with
+      | Some dir ->
+          let c0 = Option.value (Guided.load_corpus dir) ~default:Corpus.empty in
+          let c, added = Predictor.admit c0 rep in
+          if added > 0 then Guided.save_corpus dir c;
+          Fmt.pr
+            "corpus:    %d witness(es) admitted to %s (hunt --guided and icb \
+             will seed from them)@."
+            added dir
+      | None -> ());
+      rep
+    in
+    if attempts < 1 then usage "--attempts must be >= 1 (got %d)" attempts;
+    match journal with
+    | Some path ->
+        let inputs =
+          try Predictor.inputs_of_journal path
+          with Invalid_argument msg -> usage "%s" msg
+        in
+        if inputs = [] then begin
+          Fmt.epr
+            "no journaled run carries decision metadata — run the campaign \
+             under a guided-strategy configuration to capture it@.";
+          exit 3
+        end;
+        let s = Predictor.fold_inputs inputs in
+        Fmt.pr "%a@." Predictor.pp_summary s;
+        Fmt.pr "digest:    %s@." (Predictor.summary_digest s);
+        if verify then begin
+          let app =
+            match wl_opt with
+            | Some n -> n
+            | None ->
+                usage "predict --journal --verify needs the WORKLOAD argument"
+          in
+          let rep =
+            verify_analysis ~app ~recorded_seeds:None
+              (Predictor.analysis_of_summary s)
+          in
+          exit (if rep.Predictor.r_confirmed > 0 then 1 else 0)
+        end;
+        exit 0
+    | None -> (
+        match Predictor.input_of_demo ~dir:demo with
+        | Error msg ->
+            Fmt.epr "%s@." msg;
+            exit 3
+        | Ok input ->
+            let d =
+              match Demo.load_result ~dir:demo with
+              | Ok d -> d
+              | Error c ->
+                  Fmt.epr "corrupt demo: %s@." (Demo.corruption_to_string c);
+                  exit 3
+            in
+            let analysis = Predict.analyze input in
+            Fmt.pr "%a@." Predict.pp analysis;
+            Fmt.pr "digest:    %s@." (Predict.digest analysis);
+            if verify then begin
+              let app = Option.value wl_opt ~default:d.Demo.meta.Demo.app in
+              let rep =
+                verify_analysis ~app
+                  ~recorded_seeds:
+                    (Some (d.Demo.meta.Demo.seed1, d.Demo.meta.Demo.seed2))
+                  analysis
+              in
+              exit (if rep.Predictor.r_confirmed > 0 then 1 else 0)
+            end;
+            exit 0)
+  in
+  let wl_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Workload to verify against (defaults to the demo's recorded \
+             app; required with $(b,--journal --verify)).")
+  in
+  let pjournal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Analyse every decision-carrying run of a campaign journal \
+             instead of a single demo, deduplicating predicted pairs \
+             across runs in run-index order.")
+  in
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Execute each Must pair's witness schedule under the guided \
+             strategy (adaptive prefix repair, recorded seeds first, then \
+             a deterministic seed sweep). Confirmed pairs are reported as \
+             races (exit 1); refuted ones never are.")
+  in
+  let pcorpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--verify): admit confirmed witness schedules \
+             (guided prefix + seeds + coverage) into the guided corpus in \
+             $(docv), where $(b,hunt --guided) and $(b,icb) pick them up.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"With $(b,--verify): execution budget per predicted pair.")
+  in
+  let exits =
+    [
+      Cmd.Exit.info 0
+        ~doc:"analysis (and verification, if requested) found no confirmed race.";
+      Cmd.Exit.info 1 ~doc:"at least one predicted race was confirmed by replay.";
+      Cmd.Exit.info 3
+        ~doc:
+          "the demo is corrupt, carries no decision metadata, or the \
+           journal holds none.";
+    ]
+    @ defaults_sans_ok
+  in
+  Cmd.v
+    (Cmd.info "predict" ~exits
+       ~doc:
+         "Predict races offline from recorded decision metadata (sound \
+          HB-relaxation + lockset), optionally verifying each prediction \
+          with a guided witness replay")
+    Term.(
+      const run $ wl_opt
+      $ common_term [ Env_seed; Jobs ]
+      $ demo_arg $ pjournal_arg $ verify_flag $ pcorpus_arg $ attempts_arg)
+
 let demo_info_cmd =
   let run dir =
     match Demo.load ~dir with
@@ -906,7 +1103,48 @@ let demo_info_cmd =
         Fmt.pr "  integrity:     %s@."
           (if Sys.file_exists (Filename.concat dir "MANIFEST") then
              "verified (MANIFEST + per-file checksums)"
-           else "legacy recording (no MANIFEST; line formats checked)")
+           else "legacy recording (no MANIFEST; line formats checked)");
+        (* Decision metadata: present only on guided-strategy
+           recordings, and the precondition for `predict'. *)
+        (match Demo.read_aux ~dir "DECISIONS" with
+        | [] ->
+            Fmt.pr
+              "  decisions:     none — re-record under the guided strategy \
+               (record --guided) to enable prediction@."
+        | lines -> (
+            match Predict.decode_input lines with
+            | None -> Fmt.pr "  decisions:     malformed DECISIONS metadata@."
+            | Some input ->
+                let kinds = Hashtbl.create 8 in
+                Array.iter
+                  (fun (s : Predict.step) ->
+                    let k =
+                      match s.Predict.s_foot with
+                      | Predict.P_local -> "local"
+                      | Predict.P_atomic _ -> "atomic"
+                      | Predict.P_fence -> "fence"
+                      | Predict.P_sync _ -> "sync"
+                      | Predict.P_spawn _ -> "spawn"
+                      | Predict.P_join _ -> "join"
+                      | Predict.P_syscall _ -> "syscall"
+                      | Predict.P_global -> "global"
+                    in
+                    Hashtbl.replace kinds k
+                      (1 + Option.value (Hashtbl.find_opt kinds k) ~default:0))
+                  input.Predict.steps;
+                let ks =
+                  Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+                  |> List.sort compare
+                  |> List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v)
+                  |> String.concat " "
+                in
+                Fmt.pr
+                  "  decisions:     %d step(s), %d access(es), %d observed \
+                   race(s) — predict-ready (%s)@."
+                  (Array.length input.Predict.steps)
+                  (Array.length input.Predict.accs)
+                  (List.length input.Predict.observed)
+                  ks))
     | exception Demo.Corrupt c ->
         Fmt.epr "corrupt demo: %s@." (Demo.corruption_to_string c);
         Fmt.epr "(replay --salvage can recover the intact prefix)@.";
@@ -946,5 +1184,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; record_cmd; replay_cmd; hunt_cmd; explore_cmd;
-            check_cmd; icb_cmd; trace_cmd; demo_info_cmd;
+            check_cmd; icb_cmd; trace_cmd; predict_cmd; demo_info_cmd;
           ]))

@@ -247,8 +247,13 @@ let validate t =
   let guided =
     match t.sched with Controlled (Guided _) -> true | _ -> false
   in
-  if guided && (match t.mode with Free -> false | Record _ | Replay _ -> true)
-  then err "the guided strategy cannot be recorded or replayed (use Free mode)"
+  (* Record + Guided is allowed: recordings made under the guided
+     strategy carry the per-decision metadata the offline predictive
+     race analysis consumes. Replay of a guided recording stays
+     rejected — the guided strategy's prefix would fight the demo's
+     schedule constraints. *)
+  if guided && (match t.mode with Replay _ -> true | Free | Record _ -> false)
+  then err "the guided strategy cannot be replayed (use Free or Record mode)"
   else if t.trace_capacity <= 0 then
     err "trace_capacity must be positive (got %d)" t.trace_capacity
   else if t.max_history < 1 then

@@ -30,8 +30,9 @@ type strategy =
           [prefix.(i)]-th enabled thread (tid order), leftmost beyond
           the prefix, and appends each tick's enabled-thread count to
           [observed] (in reverse) so the explorer can enumerate the
-          untried alternatives. Not recordable — exploration runs in
-          [Free] mode. *)
+          untried alternatives. Not replayable — but recordable: guided
+          recordings carry the DECISIONS metadata the offline
+          predictive race analysis ([T11r_race.Predict]) consumes. *)
 
 type sched_model =
   | Os_model
@@ -197,8 +198,10 @@ val with_on_desync : t -> desync_mode -> t
 val with_coverage : t -> bool -> t
 
 val validate : t -> (t, string) result
-(** Reject inconsistent configurations: [Record]/[Replay] mode with the
-    [Guided] strategy, [trace_capacity <= 0], [max_history < 1],
+(** Reject inconsistent configurations: [Replay] mode with the
+    [Guided] strategy (recording under it is allowed — guided
+    recordings carry the decision metadata predictive race analysis
+    consumes), [trace_capacity <= 0], [max_history < 1],
     [max_ticks < 1], and negative costs, multipliers, jitters or
     deadlines. Returns the configuration unchanged when consistent. *)
 

@@ -54,6 +54,8 @@ type decision = {
   d_foot : footprint;
   d_draws : int;  (* scheduler-PRNG draws the op consumed *)
   d_rand : bool;  (* some draw chose among >= 2 behaviour-relevant options *)
+  d_clock : Vclock.t;  (* FastTrack clock of d_tid after the op *)
+  d_lock : T11r_race.Predict.lockev;  (* lock transition the op performed *)
 }
 
 type result = {
@@ -77,6 +79,7 @@ type result = {
   events_dropped : int;
   coverage : T11r_race.Coverage.summary;
   decisions : decision array;
+  accesses : T11r_race.Predict.acc array;
 }
 
 exception Hard of string
@@ -187,6 +190,9 @@ type ctx = {
   dec_on : bool;
   mutable decisions : decision list;  (* reversed *)
   mutable dec_rand : bool;  (* current op drew among >= 2 live waiters *)
+  mutable dec_lock : T11r_race.Predict.lockev;  (* current op's lock transition *)
+  mutable dec_counts : int array;  (* per-tid executed visible ops *)
+  mutable dec_accs : T11r_race.Predict.acc list;  (* reversed *)
 }
 
 let thread_opt ctx tid =
@@ -941,6 +947,7 @@ let wake_one_mutex_waiter ctx mid ~at =
 let acquire_mutex ctx t (m : Api.mutex) =
   let ms = mstate ctx m in
   ms.owner <- Some t.tid;
+  if ctx.dec_on then ctx.dec_lock <- T11r_race.Predict.L_acquire m.Api.mu_id;
   if Coverage.enabled ctx.cov then
     Coverage.mark ctx.cov (Coverage.site_edge ~tid:t.tid ~obj:m.Api.mu_id);
   if ctx.conf.race_detection then begin
@@ -952,6 +959,7 @@ let acquire_mutex ctx t (m : Api.mutex) =
 let release_mutex ctx t (m : Api.mutex) ~at =
   let ms = mstate ctx m in
   ms.owner <- None;
+  if ctx.dec_on then ctx.dec_lock <- T11r_race.Predict.L_release m.Api.mu_id;
   if ctx.conf.race_detection then begin
     ms.m_clock <- Vclock.join ms.m_clock (Tstate.clock t.tst);
     Tstate.tick t.tst;
@@ -994,6 +1002,7 @@ let rw_can_write rw = rw.rw_writer = None && rw.rw_readers = []
 
 let rw_acquire_read ctx t (l : Api.rwlock) rw =
   rw.rw_readers <- t.tid :: rw.rw_readers;
+  if ctx.dec_on then ctx.dec_lock <- T11r_race.Predict.L_acquire l.Api.rw_id;
   if Coverage.enabled ctx.cov then
     Coverage.mark ctx.cov (Coverage.site_edge ~tid:t.tid ~obj:l.Api.rw_id);
   if ctx.conf.race_detection then begin
@@ -1004,6 +1013,7 @@ let rw_acquire_read ctx t (l : Api.rwlock) rw =
 
 let rw_acquire_write ctx t (l : Api.rwlock) rw =
   rw.rw_writer <- Some t.tid;
+  if ctx.dec_on then ctx.dec_lock <- T11r_race.Predict.L_acquire l.Api.rw_id;
   if Coverage.enabled ctx.cov then
     Coverage.mark ctx.cov (Coverage.site_edge ~tid:t.tid ~obj:l.Api.rw_id);
   if ctx.conf.race_detection then begin
@@ -1026,6 +1036,7 @@ let rw_wake_all ctx lid ~at =
 
 let rw_unlock ctx t (l : Api.rwlock) ~at =
   let rw = rwstate ctx l in
+  if ctx.dec_on then ctx.dec_lock <- T11r_race.Predict.L_release l.Api.rw_id;
   (match rw.rw_writer with
   | Some tid when tid = t.tid -> rw.rw_writer <- None
   | _ -> rw.rw_readers <- List.filter (fun tid -> tid <> t.tid) rw.rw_readers);
@@ -1052,6 +1063,14 @@ let note_cs ctx t label fin =
    funnels through here so the wait counter sees them all. *)
 let block ctx t reason =
   ctx.waits <- ctx.waits + 1;
+  (* Lock-blocked transitions feed the predictive analysis (they
+     classify the id as a lock, and a blocked op need not recur in a
+     reordering). Condvar/join parks are not lock transitions. *)
+  (if ctx.dec_on then
+     match reason with
+     | On_mutex id | On_rwlock id ->
+         ctx.dec_lock <- T11r_race.Predict.L_blocked id
+     | On_join _ | On_cond _ -> ());
   t.status <- Disabled reason;
   t.disabled_at <- ctx.tick
 
@@ -1148,6 +1167,7 @@ let lock_attempt ctx t (k : (Api.timeout_result, unit) continuation) cw fin =
   let ms = Hashtbl.find ctx.mutexes cw.cw_mutex in
   if ms.owner = None then begin
     ms.owner <- Some t.tid;
+    if ctx.dec_on then ctx.dec_lock <- T11r_race.Predict.L_acquire cw.cw_mutex;
     if ctx.conf.race_detection then begin
       Tstate.acquire t.tst ms.m_clock;
       Lockorder.acquired ctx.lockorder ~tid:t.tid ~lock:cw.cw_mutex
@@ -1778,8 +1798,32 @@ let make_ctx ?arena conf world replay_demo =
         | _ -> false);
       decisions = [];
       dec_rand = false;
+      dec_lock = T11r_race.Predict.L_none;
+      dec_counts = [||];
+      dec_accs = [];
     }
   in
+  (* Stream shadow-checked accesses to the predictive analysis. Only
+     under decision capture: every other configuration leaves the hook
+     at [None] (restored by [Detector.reset]) and pays one branch. *)
+  if ctx.dec_on then
+    Detector.set_access_hook ctx.det
+      (Some
+         (fun v ~tid ~write ->
+           let pos =
+             if tid < Array.length ctx.dec_counts then ctx.dec_counts.(tid)
+             else 0
+           in
+           ctx.dec_accs <-
+             {
+               T11r_race.Predict.a_tick = ctx.tick;
+               a_tid = tid;
+               a_pos = pos;
+               a_var = Detector.var_id v;
+               a_write = write;
+               a_name = Detector.var_name v;
+             }
+             :: ctx.dec_accs));
   (* Emitting a race report costs the reporting thread real time
      (§5.2's "Race reports" vs "No reports" columns). *)
   if conf.Conf.emit_reports && conf.Conf.report_cost > 0 then
@@ -1871,7 +1915,44 @@ let result_of_outcome outcome =
     events_dropped = 0;
     coverage = Coverage.empty;
     decisions = [||];
+    accesses = [||];
   }
+
+(* Bridge the interpreter's decision metadata to the self-contained
+   input of the offline predictive race analysis (same shapes; the
+   Predict types live below the interpreter in the library stack). *)
+let predict_foot = function
+  | F_local -> T11r_race.Predict.P_local
+  | F_atomic (id, Acc_read) -> T11r_race.Predict.P_atomic (id, A_read)
+  | F_atomic (id, Acc_write) -> T11r_race.Predict.P_atomic (id, A_write)
+  | F_atomic (id, Acc_update) -> T11r_race.Predict.P_atomic (id, A_update)
+  | F_fence -> T11r_race.Predict.P_fence
+  | F_sync (a, b) -> T11r_race.Predict.P_sync (a, b)
+  | F_spawn c -> T11r_race.Predict.P_spawn c
+  | F_join c -> T11r_race.Predict.P_join c
+  | F_syscall id -> T11r_race.Predict.P_syscall id
+  | F_global -> T11r_race.Predict.P_global
+
+let predict_input ~decisions ~accesses ~races : T11r_race.Predict.input =
+  {
+    T11r_race.Predict.steps =
+      Array.map
+        (fun d ->
+          {
+            T11r_race.Predict.s_tid = d.d_tid;
+            s_enabled = d.d_enabled;
+            s_foot = predict_foot d.d_foot;
+            s_rand = d.d_rand;
+            s_clock = d.d_clock;
+            s_lock = d.d_lock;
+          })
+        decisions;
+    accs = accesses;
+    observed = races;
+  }
+
+let to_predict_input (r : result) =
+  predict_input ~decisions:r.decisions ~accesses:r.accesses ~races:r.races
 
 (* A corrupt or missing demo is a usability (or durability) error, not
    a crash: surface it as its own outcome with an empty result so the
@@ -1952,6 +2033,13 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
     | _ -> ()
   in
   let finish outcome =
+    let decisions =
+      if ctx.dec_on then Array.of_list (List.rev ctx.decisions) else [||]
+    in
+    let accesses =
+      if ctx.dec_on then Array.of_list (List.rev ctx.dec_accs) else [||]
+    in
+    let races = Detector.reports ctx.det in
     let demo =
       match (conf.Conf.mode, outcome) with
       | Conf.Record dir, _ ->
@@ -1966,6 +2054,17 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
                     ctx.trace );
               ]
             else []
+          in
+          (* A recording made under decision capture carries the full
+             input of the offline predictive race analysis, so
+             [predict] can run on the demo alone. *)
+          let extra =
+            if ctx.dec_on then
+              ( "DECISIONS",
+                T11r_race.Predict.encode_input
+                  (predict_input ~decisions ~accesses ~races) )
+              :: extra
+            else extra
           in
           Demo.save ~extra d ~dir;
           Some d
@@ -2037,7 +2136,7 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
       makespan_us =
         conf.Conf.startup_us + max thread_time (max ctx.makespan ctx.gclock);
       ticks = ctx.tick;
-      races = Detector.reports ctx.det;
+      races;
       race_count = Detector.report_count ctx.det;
       lock_cycles = Lockorder.cycles ctx.lockorder;
       output = World.output world;
@@ -2065,13 +2164,15 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
           m_cov_bits = Coverage.popcount coverage;
           m_corpus_adds = 0;
           m_energy = 0;
+          m_predicted = 0;
+          m_pred_verified = 0;
+          m_pred_refuted = 0;
         };
       events = Trace.to_list ctx.obs;
       events_dropped = Trace.dropped ctx.obs;
       coverage;
-      decisions =
-        (if ctx.dec_on then Array.of_list (List.rev ctx.decisions)
-         else [||]);
+      decisions;
+      accesses;
     }
   in
   let finish outcome =
@@ -2184,6 +2285,19 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
                 let draws0 = Prng.draws ctx.rng in
                 let rand0 = Atomics.rand_choices ctx.mem in
                 ctx.dec_rand <- false;
+                ctx.dec_lock <- T11r_race.Predict.L_none;
+                (* Count the op before it runs: accesses streamed from
+                   this op's invisible pump attribute to position
+                   [dec_counts.(tid)] — after the op, matching the
+                   event-position model of the predictive analysis
+                   (a spawned child's initial segment stays at 0). *)
+                if Array.length ctx.dec_counts <= t.tid then begin
+                  let bigger = Array.make (max 8 (2 * (t.tid + 1))) 0 in
+                  Array.blit ctx.dec_counts 0 bigger 0
+                    (Array.length ctx.dec_counts);
+                  ctx.dec_counts <- bigger
+                end;
+                ctx.dec_counts.(t.tid) <- ctx.dec_counts.(t.tid) + 1;
                 exec_cs ctx t;
                 ctx.decisions <-
                   {
@@ -2193,6 +2307,8 @@ let run_internal ?world ?arena ?resume ?capture_at conf (program : Api.program)
                     d_draws = Prng.draws ctx.rng - draws0;
                     d_rand =
                       ctx.dec_rand || Atomics.rand_choices ctx.mem > rand0;
+                    d_clock = Tstate.clock t.tst;
+                    d_lock = ctx.dec_lock;
                   }
                   :: ctx.decisions
               end

@@ -91,6 +91,12 @@ type decision = {
   d_foot : footprint;
   d_draws : int;
   d_rand : bool;
+  d_clock : T11r_util.Vclock.t;
+      (** FastTrack clock of [d_tid] after the op — the clock snapshot
+          the offline predictive analysis relaxes *)
+  d_lock : T11r_race.Predict.lockev;
+      (** lock transition the op performed (acquire/release/blocked),
+          disambiguating the [F_sync] footprint *)
 }
 
 type result = {
@@ -139,6 +145,12 @@ type result = {
   decisions : decision array;
       (** one entry per executed tick, in order — empty unless the run
           used the [Conf.Guided] strategy (systematic exploration) *)
+  accesses : T11r_race.Predict.acc array;
+      (** every shadow-checked non-atomic access in stream order, with
+          its thread-position attribution — empty unless the run used
+          the [Conf.Guided] strategy (captured for the offline
+          predictive race analysis; other configurations stay on the
+          detector's zero-allocation path) *)
 }
 
 type arena
@@ -218,6 +230,13 @@ val run_capturing :
 
 val completed : result -> bool
 (** [outcome = Completed]. *)
+
+val to_predict_input : result -> T11r_race.Predict.input
+(** Bundle a Guided run's decision metadata, access stream and race
+    sightings as the input of [T11r_race.Predict.analyze]. Recordings
+    made under decision capture also persist this input in the demo's
+    DECISIONS aux file ([T11r_race.Predict.encode_input]), so the
+    analysis can run offline on the demo alone. *)
 
 val result_of_outcome : outcome -> result
 (** An empty result carrying just [outcome] — for failures that happen

@@ -159,6 +159,10 @@ let aggregate ~label ~n ~first ~jobs ~wall_s ?(supervision = no_supervision)
       Hashtbl.replace schedules (schedule_key r) ();
       List.iter
         (fun race ->
+          (* Key on the canonical orientation: the same unordered pair
+             sighted in opposite observation orders across runs is one
+             race, not two histogram rows. *)
+          let race = Report.norm race in
           match Hashtbl.find_opt sightings race with
           | Some (f0, c) -> Hashtbl.replace sightings race (f0, c + 1)
           | None -> Hashtbl.replace sightings race (i, 1))
@@ -247,7 +251,7 @@ let aggregate ~label ~n ~first ~jobs ~wall_s ?(supervision = no_supervision)
    resumed campaign's digest is bit-identical to an uninterrupted
    one's. Bump [journal_schema] whenever Interp.result (or anything it
    contains) changes layout. *)
-let journal_schema = 2
+let journal_schema = 3
 
 type journal_header = {
   jh_schema : int;
@@ -316,6 +320,52 @@ let open_journal (s : spec) ~n ~first path =
     Journal.flush w
   end;
   (w, cached, !dropped)
+
+(* Read-only journal access for offline consumers (predictive race
+   analysis over a finished campaign's runs). The schema pin is still
+   enforced — unmarshalling a result written by another layout is
+   undefined behaviour, not just wrong data — but the identity pins
+   (label/n/first) are not: the reader takes whatever campaign the
+   journal holds. *)
+let journal_results path =
+  let entries, _torn = Journal.read path in
+  List.iter
+    (fun (e : Journal.entry) ->
+      if e.Journal.kind = "campaign" then
+        match (Marshal.from_string e.Journal.payload 0 : journal_header) with
+        | jh ->
+            if jh.jh_schema <> journal_schema then
+              invalid_arg
+                (Printf.sprintf
+                   "Campaign.journal_results: journal %s has schema %d, this \
+                    build reads %d"
+                   path jh.jh_schema journal_schema)
+        | exception _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Campaign.journal_results: journal %s: unreadable header" path))
+    entries;
+  if
+    not
+      (List.exists (fun (e : Journal.entry) -> e.Journal.kind = "campaign") entries)
+  then
+    invalid_arg
+      (Printf.sprintf "Campaign.journal_results: %s is not a campaign journal"
+         path);
+  let runs = ref [] in
+  List.iter
+    (fun (e : Journal.entry) ->
+      if e.Journal.kind = "run" then
+        match (Marshal.from_string e.Journal.payload 0 : int * Interp.result) with
+        | i, r -> runs := (i, r) :: !runs
+        | exception _ -> ())
+    entries;
+  (* Newest entry wins per index (a resumed campaign may have appended
+     a duplicate), then index order. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (i, r) -> Hashtbl.replace tbl i r) (List.rev !runs);
+  Hashtbl.fold (fun i r acc -> (i, r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let run s ~n ?(jobs = 1) ?(first = 0) ?(deadline_s = 0.) ?tick_budget
     ?(retries = 0) ?(backoff_s = 0.05) ?journal ?share ?cancel observers =

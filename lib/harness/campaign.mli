@@ -183,6 +183,15 @@ val run :
       flushes the journal and returns a partial report with
       [supervision.sup_interrupted] set. *)
 
+val journal_results : string -> (int * Tsan11rec.Interp.result) list
+(** Read-only access to a campaign journal's completed runs, in index
+    order (newest entry wins per index on resumed journals) — the
+    input of offline analyses ([Predictor]) over a finished campaign.
+    The Marshal schema pin is enforced; the campaign identity pins are
+    not.
+    @raise Invalid_argument on a non-campaign journal or a schema
+    mismatch. *)
+
 val equal : report -> report -> bool
 (** Structural equality of everything except [wall_s], [jobs] and the
     recorded demo handles — the determinism check for

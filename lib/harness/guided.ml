@@ -162,6 +162,35 @@ let load_corpus dir =
     Option.map (fun st -> st.st_corpus) !latest
   end
 
+(* Append a snapshot carrying [corpus] on top of whatever state the
+   directory already holds. The snapshot's round index is bumped past
+   the newest existing one so [load_corpus] (newest-round-wins) picks
+   it up; header pins are left alone — external admission (predictive
+   witness seeding) composes with any hunt's journal the way
+   [load_corpus] reads them: seeds only. *)
+let save_corpus dir corpus =
+  let path = corpus_journal_path dir in
+  let latest = ref None in
+  if Sys.file_exists path then begin
+    let entries, _torn = Journal.read path in
+    List.iter
+      (fun (e : Journal.entry) ->
+        if e.Journal.kind = "snap" then
+          match (Marshal.from_string e.Journal.payload 0 : state) with
+          | st -> (
+              match !latest with
+              | Some prev when prev.st_rounds >= st.st_rounds -> ()
+              | _ -> latest := Some st)
+          | exception _ -> ())
+      entries
+  end;
+  let base = Option.value !latest ~default:state0 in
+  let st = { base with st_rounds = base.st_rounds + 1; st_corpus = corpus } in
+  let w = Journal.create path in
+  Journal.append w
+    { Journal.kind = "snap"; payload = Marshal.to_string st [ Marshal.No_sharing ] };
+  Journal.close w
+
 (* -- candidate breeding ---------------------------------------------- *)
 
 (* The round PRNG is a pure function of (salt, round): resuming round
@@ -244,6 +273,8 @@ let fold_round st corpus cands (rep : Campaign.report) ~round ~first =
       end;
       List.iter
         (fun race ->
+          (* canonical orientation — same keying as Campaign sightings *)
+          let race = Report.norm race in
           match List.assoc_opt race !sightings with
           | Some (f0, cnt) ->
               sightings :=

@@ -84,3 +84,10 @@ val load_corpus : string -> Corpus.t option
 (** The corpus of the newest intact snapshot in a corpus directory —
     [None] when the directory has no readable snapshots. Read-only:
     header pins are not checked. *)
+
+val save_corpus : string -> Corpus.t -> unit
+(** Append a snapshot carrying [corpus] to a corpus directory's
+    journal (creating it as needed), with a round index newer than any
+    existing snapshot so {!load_corpus} returns it. Used by external
+    admitters — [Predictor] seeds the guided corpus with verified
+    witness schedules this way. *)

@@ -1,0 +1,425 @@
+(* Verified predictive race analysis — the harness side of
+   [T11r_race.Predict]. The analysis is pure; everything here is about
+   feeding it (demos, campaign journals, live campaign runs) and about
+   confirming its [Must] pairs by actually scheduling the witness,
+   because a predicted pair is only ever surfaced as a race once a
+   guided replay has sighted it. *)
+
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module Demo = Tsan11rec.Demo
+module Predict = T11r_race.Predict
+module Report = T11r_race.Report
+module Coverage = T11r_race.Coverage
+module Metrics = T11r_obs.Metrics
+
+(* -- recording under prediction -------------------------------------- *)
+
+let recording_prefix seed =
+  let rng =
+    T11r_util.Prng.create ~seed1:(Int64.of_int seed)
+      ~seed2:(Int64.of_int ((seed * 40503) + 9176))
+  in
+  Array.init 64 (fun _ -> T11r_util.Prng.int rng 4)
+
+(* -- recovering analysis inputs -------------------------------------- *)
+
+let input_of_demo ~dir =
+  match Demo.read_aux ~dir "DECISIONS" with
+  | [] ->
+      Error
+        (Printf.sprintf
+           "%s carries no decision metadata — re-record under the guided \
+            strategy (record --guided) to enable prediction"
+           dir)
+  | lines -> (
+      match Predict.decode_input lines with
+      | Some input -> Ok input
+      | None -> Error (Printf.sprintf "%s: malformed DECISIONS metadata" dir))
+  | exception Demo.Corrupt c ->
+      Error (Printf.sprintf "%s: %s" dir (Demo.corruption_to_string c))
+
+let inputs_of_journal path =
+  Campaign.journal_results path
+  |> List.filter_map (fun (i, (r : Interp.result)) ->
+         if Array.length r.Interp.decisions = 0 then None
+         else Some (i, Interp.to_predict_input r))
+
+(* -- witness verification -------------------------------------------- *)
+
+type verdict =
+  | Confirmed of {
+      c_seed1 : int64;
+      c_seed2 : int64;
+      c_prefix : int array;
+      c_runs : int;
+      c_race : Report.t;
+      c_cov : Coverage.summary;
+    }
+  | Refuted of int
+
+type verified = { v_pair : Predict.pair; v_verdict : verdict }
+
+type report = {
+  r_analysis : Predict.t;
+  r_verified : verified list;
+  r_confirmed : int;
+  r_refuted : int;
+  r_runs : int;
+  r_metrics : Metrics.t;
+}
+
+(* SplitMix64 step — the repo-wide seed-derivation idiom
+   (Minimize.derive_seeds, Guided.round_rng). *)
+let splitmix_next (state : int64 ref) : int64 =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* The seed sweep for one verification: the recording's own seeds
+   first — the preserve witness under them IS the recorded schedule —
+   then a deterministic SplitMix64 cascade off them, so two predict
+   runs over the same demo always sweep identical seeds. *)
+let seed_sweep ~recorded_seeds ~extra =
+  let base =
+    match recorded_seeds with
+    | Some (s1, s2) -> Int64.logxor s1 (Int64.mul s2 0x9E3779B97F4A7C15L)
+    | None -> 0x5DEECE66DL
+  in
+  let derived =
+    List.init extra (fun i ->
+        let st = ref (Int64.add base (Int64.of_int (i + 1))) in
+        let s1 = splitmix_next st in
+        let s2 = splitmix_next st in
+        (s1, s2))
+  in
+  match recorded_seeds with Some p -> p :: derived | None -> derived
+
+let index_of tid (enabled : int array) =
+  let n = Array.length enabled in
+  let rec go i = if i >= n then None else if enabled.(i) = tid then Some i else go (i + 1) in
+  go 0
+
+(* One guided execution of [prefix] under (s1, s2). Coverage is forced
+   on so a confirming run carries the fingerprint corpus admission
+   needs; mode is forced Free — verification never records. *)
+let attempt ~instance ~base ~prefix s1 s2 =
+  let world, program = instance () in
+  let conf =
+    Conf.make ~base ~mode:Conf.Free
+      ~strategy:(Conf.Guided { prefix; observed = ref [] })
+      ~seeds:(s1, s2) ~coverage:true ()
+  in
+  Interp.run ~world ~arena:(Campaign.domain_arena ()) conf program
+
+let sighted (pair : Predict.pair) (r : Interp.result) =
+  List.find_opt
+    (fun race -> Report.equal (Report.norm race) pair.Predict.p_report)
+    r.Interp.races
+
+(* First decision where the realized schedule departs from the plan;
+   [None] when every executed decision matched (the run may still have
+   ended before the plan did — nothing left to repair either way). *)
+let first_mismatch (w : Predict.witness) (ds : Interp.decision array) =
+  let n = min (Array.length w.Predict.w_tids) (Array.length ds) in
+  let rec go k =
+    if k >= n then None
+    else if ds.(k).Interp.d_tid <> w.Predict.w_tids.(k) then Some k
+    else go (k + 1)
+  in
+  go 0
+
+(* Repair the prefix at mismatch [k]: positions before [k] are pinned
+   to the indices the run actually realized (they already produced the
+   planned threads, so re-running them is deterministic), position [k]
+   is pointed at the planned thread inside the enabled set the run
+   actually exposed there, and the old tail is kept. [None] when the
+   planned thread was not enabled at [k] — this (plan, seeds) cell
+   cannot realize the witness and is abandoned. *)
+let repair (w : Predict.witness) (ds : Interp.decision array) (prefix : int array) k =
+  match index_of w.Predict.w_tids.(k) ds.(k).Interp.d_enabled with
+  | None -> None
+  | Some idx ->
+      let n = max (Array.length prefix) (k + 1) in
+      let p = Array.make n 0 in
+      Array.blit prefix 0 p 0 (Array.length prefix);
+      for j = 0 to k - 1 do
+        match index_of ds.(j).Interp.d_tid ds.(j).Interp.d_enabled with
+        | Some i -> p.(j) <- i
+        | None -> ()
+      done;
+      p.(k) <- idx;
+      Some p
+
+let verify_pair ~instance ~base ~seeds ~budget (pair : Predict.pair) =
+  let runs = ref 0 in
+  let found = ref None in
+  let try_cell (w : Predict.witness) (s1, s2) =
+    let prefix = ref w.Predict.w_prefix in
+    (* The mismatch index strictly increases across repairs (repaired
+       positions re-realize deterministically under fixed seeds), so
+       plan length bounds the loop; capped so one stubborn cell cannot
+       eat the whole pair budget. *)
+    let repairs = ref (min (Array.length w.Predict.w_tids + 4) 8) in
+    let live = ref true in
+    while !live && !found = None && !runs < budget do
+      let r = attempt ~instance ~base ~prefix:!prefix s1 s2 in
+      incr runs;
+      match sighted pair r with
+      | Some race ->
+          found :=
+            Some
+              (Confirmed
+                 {
+                   c_seed1 = s1;
+                   c_seed2 = s2;
+                   c_prefix = Predict.normalize_prefix !prefix;
+                   c_runs = !runs;
+                   c_race = Report.norm race;
+                   c_cov = r.Interp.coverage;
+                 })
+      | None -> (
+          if !repairs <= 0 then live := false
+          else begin
+            decr repairs;
+            match first_mismatch w r.Interp.decisions with
+            | None -> live := false
+            | Some k -> (
+                match repair w r.Interp.decisions !prefix k with
+                | None -> live := false
+                | Some p -> prefix := p)
+          end)
+    done
+  in
+  (* Seeds outer, plans inner: the recorded seeds get every plan
+     before any derived seed runs, and a seed that can manifest the
+     race is reached without first sweeping all seeds through one
+     unlucky plan. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun w -> if !found = None then try_cell w s)
+        pair.Predict.p_witnesses)
+    seeds;
+  match !found with Some v -> v | None -> Refuted !runs
+
+let verify ?(jobs = 1) ?(attempts = 48) ?(extra_seeds = 24) ?recorded_seeds
+    ?(base_conf = Conf.tsan11rec ()) ~instance (analysis : Predict.t) =
+  let seeds = seed_sweep ~recorded_seeds ~extra:extra_seeds in
+  let must =
+    Array.of_list
+      (List.filter
+         (fun (p : Predict.pair) -> p.Predict.p_confidence = Predict.Must)
+         analysis.Predict.pairs)
+  in
+  (* Pairs are independent; fan them out and fold in analysis order so
+     the report is identical at every [jobs]. *)
+  let verdicts =
+    Pool.map ~jobs (Array.length must) (fun i ->
+        verify_pair ~instance ~base:base_conf ~seeds ~budget:attempts must.(i))
+  in
+  let verified =
+    Array.to_list (Array.mapi (fun i v -> { v_pair = must.(i); v_verdict = v }) verdicts)
+  in
+  let confirmed =
+    List.length
+      (List.filter (fun v -> match v.v_verdict with Confirmed _ -> true | _ -> false) verified)
+  in
+  let refuted = List.length verified - confirmed in
+  let runs =
+    List.fold_left
+      (fun acc v ->
+        acc + match v.v_verdict with Confirmed c -> c.c_runs | Refuted n -> n)
+      0 verified
+  in
+  {
+    r_analysis = analysis;
+    r_verified = verified;
+    r_confirmed = confirmed;
+    r_refuted = refuted;
+    r_runs = runs;
+    r_metrics =
+      {
+        Metrics.zero with
+        Metrics.m_predicted = List.length analysis.Predict.pairs;
+        m_pred_verified = confirmed;
+        m_pred_refuted = refuted;
+      };
+  }
+
+let metrics r = r.r_metrics
+
+(* -- corpus admission ------------------------------------------------ *)
+
+let admit corpus r =
+  List.fold_left
+    (fun (corpus, n) v ->
+      match v.v_verdict with
+      | Refuted _ -> (corpus, n)
+      | Confirmed c ->
+          let corpus, grew =
+            Corpus.consider corpus
+              ~strategy:(Corpus.S_guided c.c_prefix)
+              ~seed1:c.c_seed1 ~seed2:c.c_seed2 ~round:0 c.c_cov
+          in
+          (corpus, if grew then n + 1 else n))
+    (corpus, 0) r.r_verified
+
+(* -- campaign observer ----------------------------------------------- *)
+
+type summary = {
+  s_runs : int;
+  s_pairs : Predict.pair list;
+  s_must : int;
+  s_may : int;
+  s_observed : int;
+  s_lock_excluded : int;
+}
+
+(* Same deterministic ordering Predict.analyze emits. *)
+let cmp_pair (a : Predict.pair) (b : Predict.pair) =
+  let c = Report.compare a.Predict.p_report b.Predict.p_report in
+  if c <> 0 then c
+  else
+    compare
+      (a.Predict.p_first, a.Predict.p_second, a.Predict.p_var)
+      (b.Predict.p_first, b.Predict.p_second, b.Predict.p_var)
+
+type folder = {
+  fd_runs : int ref;
+  fd_excluded : int ref;
+  fd_pairs : (Report.t, Predict.pair) Hashtbl.t;
+}
+
+let folder () =
+  { fd_runs = ref 0; fd_excluded = ref 0; fd_pairs = Hashtbl.create 64 }
+
+let fold_analysis fd (a : Predict.t) =
+  incr fd.fd_runs;
+  fd.fd_excluded := !(fd.fd_excluded) + a.Predict.n_lock_excluded;
+  List.iter
+    (fun (p : Predict.pair) ->
+      match Hashtbl.find_opt fd.fd_pairs p.Predict.p_report with
+      | None -> Hashtbl.replace fd.fd_pairs p.Predict.p_report p
+      | Some prev ->
+          (* Keep the strongest evidence: Must beats May, observed
+             beats unobserved; otherwise first sighting wins. *)
+          let upgrade =
+            (prev.Predict.p_confidence = Predict.May
+            && p.Predict.p_confidence = Predict.Must)
+            || ((not prev.Predict.p_observed) && p.Predict.p_observed)
+          in
+          if upgrade then Hashtbl.replace fd.fd_pairs p.Predict.p_report p)
+    a.Predict.pairs
+
+let folder_summary fd =
+  let ps = Hashtbl.fold (fun _ p acc -> p :: acc) fd.fd_pairs [] in
+  let ps = List.sort cmp_pair ps in
+  let count f = List.length (List.filter f ps) in
+  {
+    s_runs = !(fd.fd_runs);
+    s_pairs = ps;
+    s_must = count (fun p -> p.Predict.p_confidence = Predict.Must);
+    s_may = count (fun p -> p.Predict.p_confidence = Predict.May);
+    s_observed = count (fun p -> p.Predict.p_observed);
+    s_lock_excluded = !(fd.fd_excluded);
+  }
+
+let observe () =
+  (* Observers fire on one domain in run-index order (Campaign's
+     contract), so plain mutable state needs no synchronisation and
+     the fold is a pure function of the result stream. *)
+  let fd = folder () in
+  let on_run _i (r : Interp.result) =
+    if Array.length r.Interp.decisions > 0 then
+      fold_analysis fd (Predict.analyze (Interp.to_predict_input r))
+  in
+  (Campaign.observer on_run, fun () -> folder_summary fd)
+
+let fold_inputs inputs =
+  let fd = folder () in
+  List.iter (fun (_i, inp) -> fold_analysis fd (Predict.analyze inp)) inputs;
+  folder_summary fd
+
+(* A summary repackaged as an analysis, so journal-wide pair sets run
+   through the same verification path a single demo's analysis does.
+   [n_vars]/[n_lock_excluded] keep their summed meanings. *)
+let analysis_of_summary s =
+  {
+    Predict.pairs = s.s_pairs;
+    n_must = s.s_must;
+    n_may = s.s_may;
+    n_observed = s.s_observed;
+    n_vars = 0;
+    n_lock_excluded = s.s_lock_excluded;
+  }
+
+let summary_digest s =
+  let pure =
+    ( s.s_runs,
+      s.s_must,
+      s.s_may,
+      s.s_observed,
+      s.s_lock_excluded,
+      List.map
+        (fun (p : Predict.pair) ->
+          ( p.Predict.p_report,
+            p.Predict.p_var,
+            p.Predict.p_first,
+            p.Predict.p_second,
+            p.Predict.p_confidence,
+            p.Predict.p_observed ))
+        s.s_pairs )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string pure [ Marshal.No_sharing ]))
+
+(* -- printing -------------------------------------------------------- *)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>predicted pairs across %d instrumented runs: %d must, %d may \
+     (%d observed, %d lock-excluded)@,"
+    s.s_runs s.s_must s.s_may s.s_observed s.s_lock_excluded;
+  List.iter
+    (fun (p : Predict.pair) ->
+      Format.fprintf ppf "  %s %a@,"
+        (match p.Predict.p_confidence with
+        | Predict.Must -> "must"
+        | Predict.May -> "may ")
+        Report.pp p.Predict.p_report)
+    s.s_pairs;
+  Format.fprintf ppf "@]"
+
+let pp ppf r =
+  let a = r.r_analysis in
+  Format.fprintf ppf
+    "@[<v>predicted: %d pairs (%d must, %d may; %d observed, %d \
+     lock-excluded over %d locations)@,verified: %d confirmed, %d refuted \
+     in %d runs@,"
+    (List.length a.Predict.pairs)
+    a.Predict.n_must a.Predict.n_may a.Predict.n_observed
+    a.Predict.n_lock_excluded a.Predict.n_vars r.r_confirmed r.r_refuted
+    r.r_runs;
+  List.iter
+    (fun v ->
+      match v.v_verdict with
+      | Confirmed c ->
+          Format.fprintf ppf
+            "  RACE %a  (witness: seeds %Ld/%Ld, prefix %d, %d run%s)@,"
+            Report.pp v.v_pair.Predict.p_report c.c_seed1 c.c_seed2
+            (Array.length c.c_prefix) c.c_runs
+            (if c.c_runs = 1 then "" else "s")
+      | Refuted n ->
+          Format.fprintf ppf "  refuted %a  (%d attempts — not a race)@,"
+            Report.pp v.v_pair.Predict.p_report n)
+    r.r_verified;
+  List.iter
+    (fun (p : Predict.pair) ->
+      if p.Predict.p_confidence = Predict.May then
+        Format.fprintf ppf "  may     %a  (lockset-only — not a race)@,"
+          Report.pp p.Predict.p_report)
+    a.Predict.pairs;
+  Format.fprintf ppf "@]"

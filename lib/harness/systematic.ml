@@ -23,7 +23,7 @@ type result = {
    function of (prefix, seeds, world_seed). Schema 2: results carry
    the per-decision DPOR metadata ({!Interp.decision}), and entries
    are written in analysis order (identical at every [jobs]). *)
-let journal_schema = 2
+let journal_schema = 3
 
 type journal_header = {
   jh_schema : int;

@@ -12,6 +12,9 @@ type t = {
   m_cov_bits : int;
   m_corpus_adds : int;
   m_energy : int;
+  m_predicted : int;
+  m_pred_verified : int;
+  m_pred_refuted : int;
 }
 
 let zero =
@@ -29,6 +32,9 @@ let zero =
     m_cov_bits = 0;
     m_corpus_adds = 0;
     m_energy = 0;
+    m_predicted = 0;
+    m_pred_verified = 0;
+    m_pred_refuted = 0;
   }
 
 let add a b =
@@ -46,6 +52,9 @@ let add a b =
     m_cov_bits = a.m_cov_bits + b.m_cov_bits;
     m_corpus_adds = a.m_corpus_adds + b.m_corpus_adds;
     m_energy = a.m_energy + b.m_energy;
+    m_predicted = a.m_predicted + b.m_predicted;
+    m_pred_verified = a.m_pred_verified + b.m_pred_verified;
+    m_pred_refuted = a.m_pred_refuted + b.m_pred_refuted;
   }
 
 let equal (a : t) (b : t) = a = b
@@ -54,17 +63,21 @@ let pp fmt m =
   Format.fprintf fmt
     "%d ticks, %d waits, %d preemptions, %d evictions, %d stale reads, %d \
      detector checks, %d desyncs, %d timeouts, %d retries, %d salvages, %d \
-     coverage bits, %d corpus adds, %d energy"
+     coverage bits, %d corpus adds, %d energy, %d predicted, %d verified, %d \
+     refuted"
     m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
     m.m_det_checks m.m_desyncs m.m_timeouts m.m_retries m.m_salvages
-    m.m_cov_bits m.m_corpus_adds m.m_energy
+    m.m_cov_bits m.m_corpus_adds m.m_energy m.m_predicted m.m_pred_verified
+    m.m_pred_refuted
 
 let to_json m =
   Printf.sprintf
     "{\"ticks\": %d, \"waits\": %d, \"preemptions\": %d, \"evictions\": %d, \
      \"stale_reads\": %d, \"detector_checks\": %d, \"desyncs\": %d, \
      \"timeouts\": %d, \"retries\": %d, \"salvages\": %d, \
-     \"coverage_bits\": %d, \"corpus_adds\": %d, \"energy\": %d}"
+     \"coverage_bits\": %d, \"corpus_adds\": %d, \"energy\": %d, \
+     \"predicted\": %d, \"pred_verified\": %d, \"pred_refuted\": %d}"
     m.m_ticks m.m_waits m.m_preemptions m.m_evictions m.m_stale_reads
     m.m_det_checks m.m_desyncs m.m_timeouts m.m_retries m.m_salvages
-    m.m_cov_bits m.m_corpus_adds m.m_energy
+    m.m_cov_bits m.m_corpus_adds m.m_energy m.m_predicted m.m_pred_verified
+    m.m_pred_refuted

@@ -35,6 +35,15 @@ type t = {
   m_energy : int;
       (** power-schedule energy spent by guided hunting
           (campaign-level; always 0 in a raw interpreter result) *)
+  m_predicted : int;
+      (** racing pairs predicted by the offline analysis
+          (predictor-level; always 0 in a raw interpreter result) *)
+  m_pred_verified : int;
+      (** predicted pairs confirmed by a witness replay
+          (predictor-level; always 0 in a raw interpreter result) *)
+  m_pred_refuted : int;
+      (** predicted pairs whose witness budget ran out unconfirmed
+          (predictor-level; always 0 in a raw interpreter result) *)
 }
 
 val zero : t

@@ -27,6 +27,10 @@ type t = {
   mutable n_reports : int;
   seen : (string * Report.kind * int * int, unit) Hashtbl.t;
   mutable callbacks : (Report.t -> unit) list;
+  (* Access streaming for the offline predictive analysis: one branch
+     per shadow check when unset, so every configuration that does not
+     capture decisions pays nothing. *)
+  mutable acc_cb : (var -> tid:int -> write:bool -> unit) option;
   mutable suppressions : string list;
   mutable suppressed_count : int;
   mutable checks : int; (* shadow-state checks (one per read/write) *)
@@ -43,6 +47,7 @@ let create () =
     n_reports = 0;
     seen = Hashtbl.create 16;
     callbacks = [];
+    acc_cb = None;
     suppressions = [];
     suppressed_count = 0;
     checks = 0;
@@ -56,6 +61,7 @@ let reset t =
   t.n_reports <- 0;
   Hashtbl.clear t.seen;
   t.callbacks <- [];
+  t.acc_cb <- None;
   t.suppressions <- [];
   t.suppressed_count <- 0;
   t.checks <- 0
@@ -127,6 +133,7 @@ let fresh_var t ~name =
   end
 
 let var_name v = v.name
+let var_id v = v.id
 
 let emit t (r : Report.t) =
   if suppressed t r.var then t.suppressed_count <- t.suppressed_count + 1
@@ -161,6 +168,9 @@ let ensure_reads v tid =
 let read t v ~(st : Tstate.t) =
   t.checks <- t.checks + 1;
   check_packable st;
+  (match t.acc_cb with
+  | None -> ()
+  | Some f -> f v ~tid:st.Tstate.tid ~write:false);
   let wtid = write_unordered st v.w_packed in
   if wtid >= 0 then
     emit t
@@ -176,6 +186,9 @@ let read t v ~(st : Tstate.t) =
 let write t v ~(st : Tstate.t) =
   t.checks <- t.checks + 1;
   check_packable st;
+  (match t.acc_cb with
+  | None -> ()
+  | Some f -> f v ~tid:st.Tstate.tid ~write:true);
   let wtid = write_unordered st v.w_packed in
   if wtid >= 0 then
     emit t
@@ -210,3 +223,4 @@ let reports t = List.rev t.reports_rev
 let report_count t = t.n_reports
 let racy t = t.n_reports > 0
 let on_report t f = t.callbacks <- f :: t.callbacks
+let set_access_hook t f = t.acc_cb <- f

@@ -26,6 +26,11 @@ val reset : t -> unit
 val fresh_var : t -> name:string -> var
 val var_name : var -> string
 
+val var_id : var -> int
+(** Dense id, assigned in creation order (restarting at 0 after
+    {!reset}) — the stable per-run key the predictive analysis uses to
+    pair accesses across threads. *)
+
 val read : t -> var -> st:T11r_mem.Tstate.t -> unit
 (** Check-and-update for a non-atomic read.
 
@@ -57,6 +62,13 @@ val on_report : t -> (Report.t -> unit) -> unit
 (** Register a callback invoked on each fresh report; the harness uses
     it to model the cost of emitting race reports (§5.2 "Race reports"
     vs "No reports" columns). *)
+
+val set_access_hook : t -> (var -> tid:int -> write:bool -> unit) option -> unit
+(** Stream every shadow-checked access (before the check) to the
+    offline predictive analysis. [None] — the default, restored by
+    {!reset} — costs one branch per check and allocates nothing, so
+    configurations that do not capture decisions stay on the
+    zero-allocation path ([bench ops] budgets are unchanged). *)
 
 val set_suppressions : t -> string list -> unit
 (** tsan-style suppression patterns: an exact location name, or a

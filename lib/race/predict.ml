@@ -1,0 +1,683 @@
+(* Offline predictive race analysis. See the .mli for the model; the
+   short version: replay one recorded run symbolically, build two
+   happens-before approximations over its events (the *hard* order no
+   reordering can break, and the *relaxed* order every feasible
+   reordering must respect), intersect with per-access locksets, and
+   classify every conflicting non-atomic access pair as impossible /
+   May / Must — constructing, for each Must pair, a concrete witness
+   schedule a guided replay can attempt.
+
+   Clock representation: an event's happens-before past is an int
+   array indexed by thread, where [c.(t) = p] means positions
+   [0 .. p-1] of thread [t] are covered. "Position p of thread t" is
+   the program point after t's p-th visible op (position 0 = before
+   the first one); non-atomic accesses carry their position directly
+   ([acc.a_pos]). An access (t, p) is covered by clock [c] iff
+   [c.(t) >= p + 1]; *event* p of thread t is covered iff
+   [c.(t) >= p]. *)
+
+module Vclock = T11r_util.Vclock
+
+type access_kind = A_read | A_write | A_update
+
+type foot =
+  | P_local
+  | P_atomic of int * access_kind
+  | P_fence
+  | P_sync of int * int
+  | P_spawn of int
+  | P_join of int
+  | P_syscall of int
+  | P_global
+
+type lockev = L_none | L_acquire of int | L_release of int | L_blocked of int
+
+type step = {
+  s_tid : int;
+  s_enabled : int array;
+  s_foot : foot;
+  s_rand : bool;
+  s_clock : Vclock.t;
+  s_lock : lockev;
+}
+
+type acc = {
+  a_tick : int;
+  a_tid : int;
+  a_pos : int;
+  a_var : int;
+  a_write : bool;
+  a_name : string;
+}
+
+type input = {
+  steps : step array;
+  accs : acc array;
+  observed : Report.t list;
+}
+
+type confidence = Must | May
+
+type witness = { w_tids : int array; w_prefix : int array }
+
+type pair = {
+  p_report : Report.t;
+  p_var : int;
+  p_first : int * int;
+  p_second : int * int;
+  p_confidence : confidence;
+  p_observed : bool;
+  p_witnesses : witness list;
+}
+
+type t = {
+  pairs : pair list;
+  n_must : int;
+  n_may : int;
+  n_observed : int;
+  n_vars : int;
+  n_lock_excluded : int;
+}
+
+(* ---- prefixes ------------------------------------------------------ *)
+
+let normalize_prefix p =
+  let n = ref (Array.length p) in
+  while !n > 0 && p.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length p then p else Array.sub p 0 !n
+
+let index_in (a : int array) x =
+  let n = Array.length a in
+  let rec go i = if i >= n then 0 else if a.(i) = x then i else go (i + 1) in
+  go 0
+
+let recorded_prefix inp =
+  normalize_prefix
+    (Array.map (fun s -> index_in s.s_enabled s.s_tid) inp.steps)
+
+(* ---- analysis ------------------------------------------------------ *)
+
+let analyze (inp : input) : t =
+  let nsteps = Array.length inp.steps in
+  let nthreads =
+    let m = ref 0 in
+    Array.iter
+      (fun s ->
+        if s.s_tid > !m then m := s.s_tid;
+        Array.iter (fun t -> if t > !m then m := t) s.s_enabled;
+        match s.s_foot with
+        | P_spawn c | P_join c -> if c > !m then m := c
+        | _ -> ())
+      inp.steps;
+    Array.iter (fun a -> if a.a_tid > !m then m := a.a_tid) inp.accs;
+    !m + 1
+  in
+  (* Per-thread event index: evs.(t).(k-1) = step index of t's k-th
+     visible op. *)
+  let ev_rev = Array.make nthreads [] in
+  Array.iteri (fun i s -> ev_rev.(s.s_tid) <- i :: ev_rev.(s.s_tid)) inp.steps;
+  let evs = Array.map (fun l -> Array.of_list (List.rev l)) ev_rev in
+  let n_events t = Array.length evs.(t) in
+  (* An id is a lock id iff it ever participates in a lock transition;
+     other sync ids (condvars) carry real ordering and stay chained. *)
+  let lock_ids = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      match s.s_lock with
+      | L_none -> ()
+      | L_acquire id | L_release id | L_blocked id ->
+          Hashtbl.replace lock_ids id ())
+    inp.steps;
+  let is_lock_id id = Hashtbl.mem lock_ids id in
+
+  (* -- clock pass: hard.(i) / rel.(i) = the two pasts of event i -- *)
+  let zeros () = Array.make nthreads 0 in
+  let join dst src =
+    Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+  in
+  let jopt dst = function Some src -> join dst src | None -> () in
+  let hard = Array.make nsteps [||] and rel = Array.make nsteps [||] in
+  let start_h = Array.init nthreads (fun _ -> zeros ()) in
+  let start_r = Array.init nthreads (fun _ -> zeros ()) in
+  let cur_h = Array.init nthreads (fun _ -> zeros ()) in
+  let cur_r = Array.init nthreads (fun _ -> zeros ()) in
+  let kdone = Array.make nthreads 0 in
+  (* spawn points are chained: tids are assigned in spawn order, so no
+     reordering may swap two spawns — a hard edge. *)
+  let spawn_h = ref None and spawn_r = ref None in
+  let fence_r = ref None and world_r = ref None in
+  let chain_r : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let last_w : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  for i = 0 to nsteps - 1 do
+    let s = inp.steps.(i) in
+    let t = s.s_tid in
+    let k = kdone.(t) + 1 in
+    let h = Array.copy cur_h.(t) and r = Array.copy cur_r.(t) in
+    (match s.s_foot with
+    | P_spawn _ ->
+        jopt h !spawn_h;
+        jopt r !spawn_r
+    | P_join tgt ->
+        join h cur_h.(tgt);
+        join r cur_r.(tgt);
+        (* the join also covers the target's trailing accesses *)
+        let full = n_events tgt + 1 in
+        if h.(tgt) < full then h.(tgt) <- full;
+        if r.(tgt) < full then r.(tgt) <- full
+    | P_fence -> jopt r !fence_r
+    | P_syscall _ | P_global ->
+        (* world-coupled ops share the world PRNG stream: reordering
+           them would change every later result, so witness schedules
+           keep their order. *)
+        jopt r !world_r
+    | P_sync (id1, id2) ->
+        List.iter
+          (fun id ->
+            if id >= 0 && not (is_lock_id id) then
+              jopt r (Hashtbl.find_opt chain_r id))
+          [ id1; id2 ]
+    | P_atomic (loc, ak) ->
+        (* A load whose bounded store window offered >= 2 admissible
+           stores (s_rand) could have read something else: that
+           reads-from edge is scheduler-induced and is dropped. A
+           forced load, and every write/update (modification order),
+           keeps its edge to the previous write. *)
+        let forced =
+          match ak with A_read -> not s.s_rand | A_write | A_update -> true
+        in
+        if forced then jopt r (Hashtbl.find_opt last_w loc)
+    | P_local -> ());
+    h.(t) <- k;
+    r.(t) <- k;
+    hard.(i) <- h;
+    rel.(i) <- r;
+    cur_h.(t) <- h;
+    cur_r.(t) <- r;
+    kdone.(t) <- k;
+    (match s.s_foot with
+    | P_spawn c ->
+        start_h.(c) <- h;
+        start_r.(c) <- r;
+        cur_h.(c) <- h;
+        cur_r.(c) <- r;
+        spawn_h := Some h;
+        spawn_r := Some r
+    | P_atomic (loc, (A_write | A_update)) -> Hashtbl.replace last_w loc r
+    | P_fence -> fence_r := Some r
+    | P_syscall _ | P_global -> world_r := Some r
+    | P_sync (id1, id2) ->
+        List.iter
+          (fun id ->
+            if id >= 0 && not (is_lock_id id) then Hashtbl.replace chain_r id r)
+          [ id1; id2 ]
+    | P_local | P_atomic (_, A_read) | P_join _ -> ())
+  done;
+
+  (* -- lockset pass: locks held during the accesses at (t, k) -- *)
+  let ls_after = Array.init nthreads (fun t -> Array.make (n_events t + 1) []) in
+  let held = Array.make nthreads [] in
+  let kdone2 = Array.make nthreads 0 in
+  for i = 0 to nsteps - 1 do
+    let s = inp.steps.(i) in
+    let t = s.s_tid in
+    let k = kdone2.(t) + 1 in
+    (match s.s_lock with
+    | L_acquire id -> held.(t) <- id :: held.(t)
+    | L_release id ->
+        let rec drop = function
+          | [] -> []
+          | x :: tl -> if x = id then tl else x :: drop tl
+        in
+        held.(t) <- drop held.(t)
+    | L_none | L_blocked _ -> ());
+    ls_after.(t).(k) <- List.sort compare held.(t);
+    kdone2.(t) <- k
+  done;
+  let lockset a = ls_after.(a.a_tid).(min a.a_pos (n_events a.a_tid)) in
+  let rec inter_nonempty l1 l2 =
+    (* both sorted ascending *)
+    match (l1, l2) with
+    | [], _ | _, [] -> false
+    | x :: t1, y :: t2 ->
+        if x = y then true
+        else if x < y then inter_nonempty t1 l2
+        else inter_nonempty l1 t2
+  in
+
+  (* -- access grouping: dedup (tid, pos, var, write), group by var -- *)
+  let seen = Hashtbl.create 64 in
+  let vars_order = ref [] in
+  let var_accs : (int, acc list ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun a ->
+      let key = (a.a_tid, a.a_pos, a.a_var, a.a_write) in
+      if not (Hashtbl.mem seen key) then (
+        Hashtbl.add seen key ();
+        match Hashtbl.find_opt var_accs a.a_var with
+        | Some l -> l := a :: !l
+        | None ->
+            vars_order := a.a_var :: !vars_order;
+            Hashtbl.add var_accs a.a_var (ref [ a ])))
+    inp.accs;
+  let vars_order = List.rev !vars_order in
+  let n_vars = List.length vars_order in
+
+  let past clocks start a =
+    let ne = n_events a.a_tid in
+    if a.a_pos = 0 || ne = 0 then start.(a.a_tid)
+    else clocks.(evs.(a.a_tid).(min a.a_pos ne - 1))
+  in
+  let covers c a = c.(a.a_tid) >= a.a_pos + 1 in
+
+  (* -- witnesses -- *)
+  let preserve_w =
+    lazy
+      {
+        w_tids = Array.map (fun s -> s.s_tid) inp.steps;
+        w_prefix = recorded_prefix inp;
+      }
+  in
+  let spawn_tick_of =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri
+      (fun i s ->
+        match s.s_foot with
+        | P_spawn c -> if not (Hashtbl.mem tbl c) then Hashtbl.add tbl c i
+        | _ -> ())
+      inp.steps;
+    fun tid -> Hashtbl.find_opt tbl tid
+  in
+  (* Best-effort index prefix realizing a tid plan: rank each planned
+     tid among the threads spawned-and-unfinished at that point.
+     Blocking is not modeled — the guided verifier repairs mismatches
+     against the enabled sets it observes. *)
+  let prefix_for_plan plan =
+    let spawned = Array.make nthreads false in
+    spawned.(0) <- true;
+    let ndone = Array.make nthreads 0 in
+    let idxs =
+      List.map
+        (fun e ->
+          let t = inp.steps.(e).s_tid in
+          let rank = ref 0 and found = ref false in
+          for u = 0 to nthreads - 1 do
+            if spawned.(u) && ndone.(u) < n_events u then
+              if u < t then incr rank else if u = t then found := true
+          done;
+          ndone.(t) <- ndone.(t) + 1;
+          (match inp.steps.(e).s_foot with
+          | P_spawn c -> spawned.(c) <- true
+          | _ -> ());
+          if !found then !rank else 0)
+        plan
+    in
+    normalize_prefix (Array.of_list idxs)
+  in
+  (* Reverse witness for (a before b in the recording): run everything
+     outside a's forward relaxed cone first, up to and including b's
+     anchor, then release the cone — so b's access executes before a's.
+     Kept edges are respected by construction: the cone is exactly the
+     set of events whose relaxed past contains a's anchor event. *)
+  let reverse_witness a b =
+    if a.a_pos = 0 then None (* fires at spawn; cannot be delayed *)
+    else
+      let t1 = a.a_tid and p1 = a.a_pos in
+      let e1 = evs.(t1).(p1 - 1) in
+      let anchor2 =
+        if b.a_pos > 0 then Some evs.(b.a_tid).(b.a_pos - 1)
+        else spawn_tick_of b.a_tid
+      in
+      match anchor2 with
+      | None -> None
+      | Some e2 ->
+          let in_cone e = rel.(e).(t1) >= p1 in
+          if e2 <= e1 || in_cone e2 then None
+          else begin
+            let kept = ref [] and delayed = ref [] in
+            for e = e2 downto 0 do
+              if in_cone e then begin
+                (* a failed acquire need not recur once reordered *)
+                match inp.steps.(e).s_lock with
+                | L_blocked _ -> ()
+                | _ -> delayed := e :: !delayed
+              end
+              else kept := e :: !kept
+            done;
+            let plan = !kept @ !delayed in
+            Some
+              {
+                w_tids =
+                  Array.of_list (List.map (fun e -> inp.steps.(e).s_tid) plan);
+                w_prefix = prefix_for_plan plan;
+              }
+          end
+  in
+
+  (* -- pair classification -- *)
+  let observed_norm = List.map Report.norm inp.observed in
+  let pairs = ref [] in
+  let n_lock_excluded = ref 0 in
+  List.iter
+    (fun v ->
+      let arr = Array.of_list (List.rev !(Hashtbl.find var_accs v)) in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = arr.(i) and b = arr.(j) in
+          if a.a_tid <> b.a_tid && (a.a_write || b.a_write) then
+            if inter_nonempty (lockset a) (lockset b) then
+              incr n_lock_excluded
+            else
+              let pa_h = past hard start_h a and pb_h = past hard start_h b in
+              if not (covers pb_h a || covers pa_h b) then begin
+                let pa_r = past rel start_r a and pb_r = past rel start_r b in
+                let rel_ordered = covers pb_r a || covers pa_r b in
+                let kind =
+                  if a.a_write && b.a_write then Report.Write_write
+                  else if a.a_write then Report.Write_read
+                  else Report.Read_write
+                in
+                let rep =
+                  Report.norm
+                    {
+                      Report.var = a.a_name;
+                      kind;
+                      first_tid = a.a_tid;
+                      second_tid = b.a_tid;
+                    }
+                in
+                let obs = List.exists (Report.equal rep) observed_norm in
+                (* an observed pair is Must even if our conservative
+                   chains order it: the recording itself is the witness *)
+                let conf =
+                  if obs then Must else if rel_ordered then May else Must
+                in
+                let wits =
+                  match conf with
+                  | May -> []
+                  | Must ->
+                      let p = Lazy.force preserve_w in
+                      let rev =
+                        if obs then []
+                        else
+                          match reverse_witness a b with
+                          | Some w -> [ w ]
+                          | None -> []
+                      in
+                      (* The serialization witness: an empty guided
+                         prefix runs the lowest enabled tid to
+                         completion, so each thread executes against
+                         the full store history of its predecessors —
+                         including conditional branches the recording
+                         never took, which no static event plan can
+                         anticipate. The empty plan also disables
+                         adaptive repair: it is swept as-is per seed. *)
+                      (p :: rev) @ [ { w_tids = [||]; w_prefix = [||] } ]
+                in
+                pairs :=
+                  {
+                    p_report = rep;
+                    p_var = v;
+                    p_first = (a.a_tid, a.a_pos);
+                    p_second = (b.a_tid, b.a_pos);
+                    p_confidence = conf;
+                    p_observed = obs;
+                    p_witnesses = wits;
+                  }
+                  :: !pairs
+              end
+        done
+      done)
+    vars_order;
+  let pairs =
+    List.sort
+      (fun p q ->
+        let c = Report.compare p.p_report q.p_report in
+        if c <> 0 then c
+        else
+          compare
+            (p.p_first, p.p_second, p.p_var)
+            (q.p_first, q.p_second, q.p_var))
+      !pairs
+  in
+  let count f = List.fold_left (fun n p -> if f p then n + 1 else n) 0 pairs in
+  {
+    pairs;
+    n_must = count (fun p -> p.p_confidence = Must);
+    n_may = count (fun p -> p.p_confidence = May);
+    n_observed = count (fun p -> p.p_observed);
+    n_vars;
+    n_lock_excluded = !n_lock_excluded;
+  }
+
+(* ---- digest / printing --------------------------------------------- *)
+
+let digest (t : t) =
+  Digest.to_hex (Digest.string (Marshal.to_string t [ Marshal.No_sharing ]))
+
+let pp fmt (t : t) =
+  Format.fprintf fmt
+    "@[<v>%d predicted pair%s (%d must, %d may, %d observed) over %d location%s; %d lock-excluded"
+    (List.length t.pairs)
+    (if List.length t.pairs = 1 then "" else "s")
+    t.n_must t.n_may t.n_observed t.n_vars
+    (if t.n_vars = 1 then "" else "s")
+    t.n_lock_excluded;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "@,  %-4s %s T%d@%d vs T%d@%d — %a%s"
+        (match p.p_confidence with Must -> "MUST" | May -> "MAY")
+        (if p.p_observed then "[observed]" else
+           Printf.sprintf "[%d witness%s]" (List.length p.p_witnesses)
+             (if List.length p.p_witnesses = 1 then "" else "es"))
+        (fst p.p_first) (snd p.p_first) (fst p.p_second) (snd p.p_second)
+        Report.pp p.p_report
+        "")
+    t.pairs;
+  Format.fprintf fmt "@]"
+
+(* ---- serialization ------------------------------------------------- *)
+
+(* One line per step ("S"), access ("A") and observed race ("R").
+   Location names may contain spaces, so they come last and span the
+   rest of their line. *)
+
+let enc_foot = function
+  | P_local -> "L"
+  | P_atomic (id, A_read) -> Printf.sprintf "A%d.r" id
+  | P_atomic (id, A_write) -> Printf.sprintf "A%d.w" id
+  | P_atomic (id, A_update) -> Printf.sprintf "A%d.u" id
+  | P_fence -> "F"
+  | P_sync (a, b) -> Printf.sprintf "Y%d.%d" a b
+  | P_spawn c -> Printf.sprintf "P%d" c
+  | P_join c -> Printf.sprintf "J%d" c
+  | P_syscall id -> Printf.sprintf "W%d" id
+  | P_global -> "G"
+
+let enc_lock = function
+  | L_none -> "-"
+  | L_acquire id -> Printf.sprintf "a%d" id
+  | L_release id -> Printf.sprintf "r%d" id
+  | L_blocked id -> Printf.sprintf "b%d" id
+
+let enc_kind = function
+  | Report.Write_write -> "ww"
+  | Report.Write_read -> "wr"
+  | Report.Read_write -> "rw"
+
+let encode_input inp =
+  let b = Buffer.create 256 in
+  let lines = ref [] in
+  Array.iter
+    (fun s ->
+      Buffer.clear b;
+      Buffer.add_string b
+        (Printf.sprintf "S %d %d %s %s E" s.s_tid
+           (if s.s_rand then 1 else 0)
+           (enc_foot s.s_foot) (enc_lock s.s_lock));
+      Array.iteri
+        (fun i t ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int t))
+        s.s_enabled;
+      Buffer.add_string b " C";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int v))
+        (Vclock.to_list s.s_clock);
+      lines := Buffer.contents b :: !lines)
+    inp.steps;
+  Array.iter
+    (fun a ->
+      lines :=
+        Printf.sprintf "A %d %d %d %d %d %s" a.a_tick a.a_tid a.a_pos a.a_var
+          (if a.a_write then 1 else 0)
+          a.a_name
+        :: !lines)
+    inp.accs;
+  List.iter
+    (fun (r : Report.t) ->
+      lines :=
+        Printf.sprintf "R %s %d %d %s" (enc_kind r.Report.kind)
+          r.Report.first_tid r.Report.second_tid r.Report.var
+        :: !lines)
+    inp.observed;
+  List.rev !lines
+
+exception Bad
+
+let dec_int s = match int_of_string_opt s with Some v -> v | None -> raise Bad
+
+let dec_foot s =
+  if s = "" then raise Bad
+  else
+    let num from upto = dec_int (String.sub s from (upto - from)) in
+    let rest () = num 1 (String.length s) in
+    match s.[0] with
+    | 'L' -> P_local
+    | 'F' -> P_fence
+    | 'G' -> P_global
+    | 'A' -> (
+        match String.index_opt s '.' with
+        | Some d when d + 1 < String.length s ->
+            let id = num 1 d in
+            let k =
+              match s.[d + 1] with
+              | 'r' -> A_read
+              | 'w' -> A_write
+              | 'u' -> A_update
+              | _ -> raise Bad
+            in
+            P_atomic (id, k)
+        | _ -> raise Bad)
+    | 'Y' -> (
+        match String.index_opt s '.' with
+        | Some d -> P_sync (num 1 d, num (d + 1) (String.length s))
+        | None -> raise Bad)
+    | 'P' -> P_spawn (rest ())
+    | 'J' -> P_join (rest ())
+    | 'W' -> P_syscall (rest ())
+    | _ -> raise Bad
+
+let dec_lock s =
+  if s = "-" then L_none
+  else if s = "" then raise Bad
+  else
+    let id = dec_int (String.sub s 1 (String.length s - 1)) in
+    match s.[0] with
+    | 'a' -> L_acquire id
+    | 'r' -> L_release id
+    | 'b' -> L_blocked id
+    | _ -> raise Bad
+
+let dec_kind = function
+  | "ww" -> Report.Write_write
+  | "wr" -> Report.Write_read
+  | "rw" -> Report.Read_write
+  | _ -> raise Bad
+
+let dec_csv conv s =
+  if s = "" then []
+  else List.map conv (String.split_on_char ',' s)
+
+(* split [s] into [n] space-separated fields; the last field is the
+   raw remainder of the line (it may itself contain spaces). *)
+let split_fields s n =
+  let len = String.length s in
+  let rec go start left acc =
+    if left = 1 then List.rev (String.sub s start (len - start) :: acc)
+    else
+      match String.index_from_opt s start ' ' with
+      | None -> raise Bad
+      | Some sp ->
+          go (sp + 1) (left - 1) (String.sub s start (sp - start) :: acc)
+  in
+  if n <= 0 || len = 0 then raise Bad else go 0 n []
+
+let decode_input lines =
+  let steps = ref [] and accs = ref [] and obs = ref [] in
+  try
+    List.iter
+      (fun line ->
+        if line = "" then ()
+        else
+          match line.[0] with
+          | 'S' -> (
+              match split_fields line 7 with
+              | [ "S"; tid; rand; foot; lock; en; clk ] ->
+                  if String.length en < 1 || en.[0] <> 'E' then raise Bad;
+                  if String.length clk < 1 || clk.[0] <> 'C' then raise Bad;
+                  let chop x = String.sub x 1 (String.length x - 1) in
+                  let enabled =
+                    Array.of_list (dec_csv dec_int (chop en))
+                  in
+                  let clock = Vclock.of_list (dec_csv dec_int (chop clk)) in
+                  steps :=
+                    {
+                      s_tid = dec_int tid;
+                      s_enabled = enabled;
+                      s_foot = dec_foot foot;
+                      s_rand = dec_int rand <> 0;
+                      s_clock = clock;
+                      s_lock = dec_lock lock;
+                    }
+                    :: !steps
+              | _ -> raise Bad)
+          | 'A' -> (
+              match split_fields line 7 with
+              | [ "A"; tick; tid; pos; var; w; name ] ->
+                  accs :=
+                    {
+                      a_tick = dec_int tick;
+                      a_tid = dec_int tid;
+                      a_pos = dec_int pos;
+                      a_var = dec_int var;
+                      a_write = dec_int w <> 0;
+                      a_name = name;
+                    }
+                    :: !accs
+              | _ -> raise Bad)
+          | 'R' -> (
+              match split_fields line 5 with
+              | [ "R"; kind; t1; t2; var ] ->
+                  obs :=
+                    {
+                      Report.var;
+                      kind = dec_kind kind;
+                      first_tid = dec_int t1;
+                      second_tid = dec_int t2;
+                    }
+                    :: !obs
+              | _ -> raise Bad)
+          | _ -> raise Bad)
+      lines;
+    Some
+      {
+        steps = Array.of_list (List.rev !steps);
+        accs = Array.of_list (List.rev !accs);
+        observed = List.rev !obs;
+      }
+  with Bad -> None

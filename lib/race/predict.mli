@@ -1,0 +1,155 @@
+(** Offline predictive race analysis over one recorded execution.
+
+    The paper's toolchain finds weak-memory races by {e running} many
+    controlled schedules; this module is the classic complement
+    (Ronsse & De Bosschere's replay-based detection, RVPredict-style
+    HB relaxation): take the per-decision metadata of a single
+    recorded run — chosen thread, enabled set, dependency footprint,
+    lock events, FastTrack clock snapshots — plus the stream of
+    shadow-checked non-atomic accesses, and {e without executing
+    anything} predict which access pairs can race in some feasible
+    reordering of that run.
+
+    Three orders are computed over the recorded events:
+
+    - the {b hard} order: program order, spawn (a child starts after
+      its spawn point; spawn points are chained, because thread ids
+      are assigned in spawn order) and join edges. No reordering can
+      break these, so pairs ordered here are structurally impossible
+      and are not reported at all.
+    - the {b relaxed} order: the hard order plus every edge a
+      reordering must still respect — fence chains, world-coupled
+      operation chains (syscalls share the world PRNG), condvar
+      signal/wait chains, and atomic reads-from edges that were
+      {e forced} (the store window offered exactly one admissible
+      store, so the load could not have seen anything else).
+      Scheduler-induced edges are dropped: mutex/rwlock
+      release-to-acquire ordering (mutual exclusion is enforced by
+      the lockset pass and by witness scheduling instead) and atomic
+      reads-from edges where the bounded store window offered two or
+      more admissible stores ([s_rand]) — the window is exactly what
+      licenses the relaxation, and also what bounds it.
+    - the {b lockset} view: accesses whose held-lock sets intersect
+      can never race, whatever the order.
+
+    Conflicting pairs with disjoint locksets are then tagged [Must]
+    (unordered in the relaxed order — a concrete witness schedule is
+    constructed) or [May] (ordered in the relaxed order but not in the
+    hard one — lockset-only evidence, no feasible reordering
+    constructed). Only [Must] pairs whose witness is {e confirmed} by
+    a guided replay may ever be reported as races; [May] and refuted
+    pairs never are. *)
+
+module Vclock = T11r_util.Vclock
+
+type access_kind = A_read | A_write | A_update
+
+(** Mirror of the interpreter's per-decision dependency footprint,
+    self-contained so the analysis stays below the interpreter in the
+    library stack. *)
+type foot =
+  | P_local
+  | P_atomic of int * access_kind  (** atomic location id *)
+  | P_fence
+  | P_sync of int * int  (** sync object id(s); second is -1 if unused *)
+  | P_spawn of int  (** created tid *)
+  | P_join of int
+  | P_syscall of int
+  | P_global
+
+(** Lock transition performed by the decision's visible op, if any —
+    disambiguates the [P_sync] footprint (lock, unlock and failed
+    acquire all share one footprint shape). *)
+type lockev =
+  | L_none
+  | L_acquire of int
+  | L_release of int
+  | L_blocked of int  (** failed acquire: the thread parked on the id *)
+
+type step = {
+  s_tid : int;
+  s_enabled : int array;  (** runnable tids, ascending *)
+  s_foot : foot;
+  s_rand : bool;
+      (** the op drew among >= 2 behaviour-relevant alternatives *)
+  s_clock : Vclock.t;
+      (** FastTrack clock of [s_tid] after the op — the runtime
+          happens-before ground truth the relaxation starts from *)
+  s_lock : lockev;
+}
+
+type acc = {
+  a_tick : int;  (** decision index the access is attributed to *)
+  a_tid : int;
+  a_pos : int;
+      (** visible ops [a_tid] had executed when the access ran — the
+          access's program-order position between events [a_pos] and
+          [a_pos + 1] of its thread *)
+  a_var : int;  (** shadow-variable id *)
+  a_write : bool;
+  a_name : string;
+}
+
+type input = {
+  steps : step array;  (** one per executed decision, in order *)
+  accs : acc array;  (** shadow-checked non-atomic accesses, in order *)
+  observed : Report.t list;  (** races the recording itself reported *)
+}
+
+type confidence = Must | May
+
+type witness = {
+  w_tids : int array;
+      (** planned thread per decision — the schedule to realize *)
+  w_prefix : int array;
+      (** the plan as a normalized guided-strategy index prefix (the
+          same format [Systematic] and [Corpus] use); a best-effort
+          starting point that guided replay repairs adaptively *)
+}
+
+type pair = {
+  p_report : Report.t;  (** normalized (canonical orientation) *)
+  p_var : int;
+  p_first : int * int;  (** (tid, position) of the earlier access *)
+  p_second : int * int;
+  p_confidence : confidence;
+  p_observed : bool;  (** the recording already reported this race *)
+  p_witnesses : witness list;
+      (** non-empty iff [Must]: candidate schedules, most faithful to
+          the recording first *)
+}
+
+type t = {
+  pairs : pair list;  (** deterministic order (report, then positions) *)
+  n_must : int;
+  n_may : int;
+  n_observed : int;
+  n_vars : int;  (** distinct shared locations in the access stream *)
+  n_lock_excluded : int;
+      (** conflicting pairs excluded by a common lock *)
+}
+
+val analyze : input -> t
+(** Pure function of the input — identical output whatever domain or
+    worker count computed it. *)
+
+val digest : t -> string
+(** Hex digest of the full analysis (Marshal [No_sharing], like the
+    campaign digest discipline). *)
+
+val pp : Format.formatter -> t -> unit
+
+val normalize_prefix : int array -> int array
+(** Strip trailing zeros — beyond its prefix the guided strategy picks
+    index 0, so [p ++ [0]] realizes the same schedule as [p]. *)
+
+val recorded_prefix : input -> int array
+(** The exact normalized index prefix that realizes the recorded
+    schedule (each step's chosen tid located in its enabled set). *)
+
+val encode_input : input -> string list
+(** Line encoding for demo aux files (one "S"/"A"/"R" line per step,
+    access and observed race). *)
+
+val decode_input : string list -> input option
+(** Inverse of {!encode_input}; [None] on any malformed line. *)

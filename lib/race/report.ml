@@ -18,3 +18,21 @@ let pp fmt r =
 
 let equal (a : t) b = a = b
 let compare (a : t) b = compare a b
+
+(* Canonical form of the symmetric pair: the same race observed in the
+   opposite order (write seen first vs. read seen first) must key
+   identically in histograms. Write-before-read is the canonical
+   orientation; write-write pairs order by tid. *)
+let norm (r : t) =
+  match r.kind with
+  | Write_read -> r
+  | Read_write ->
+      {
+        r with
+        kind = Write_read;
+        first_tid = r.second_tid;
+        second_tid = r.first_tid;
+      }
+  | Write_write ->
+      if r.first_tid <= r.second_tid then r
+      else { r with first_tid = r.second_tid; second_tid = r.first_tid }

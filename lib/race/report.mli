@@ -13,3 +13,11 @@ val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val norm : t -> t
+(** Canonical key for the symmetric pair: a [Read_write] is rewritten
+    to the equivalent [Write_read] with the tids swapped, and a
+    [Write_write] orders its tids ascending — so the same race sighted
+    in opposite observation orders across runs keys identically in
+    histograms. Idempotent; [norm a = norm b] iff [a] and [b] name the
+    same unordered racing pair. *)

@@ -68,6 +68,12 @@ let test_validate_accepts () =
         Conf.make
           ~strategy:(Conf.Guided { prefix = [| 0; 1 |]; observed = ref [] })
           () );
+      (* Record + guided carries the decision metadata the predictive
+         race analysis consumes. *)
+      ( "guided under record",
+        Conf.make
+          ~strategy:(Conf.Guided { prefix = [| 0; 1 |]; observed = ref [] })
+          ~mode:(Conf.Record "d") () );
       ("coverage on", Conf.with_coverage (Conf.tsan11rec ()) true);
       ("trace ring", Conf.with_trace (Conf.tsan11rec ()) ~capacity:16);
     ]
@@ -77,8 +83,6 @@ let test_validate_rejects () =
   List.iter
     (fun (label, t) -> Alcotest.(check bool) label false (ok_ t))
     [
-      ( "guided under record",
-        Conf.make ~strategy:guided ~mode:(Conf.Record "d") () );
       ( "guided under replay",
         Conf.make ~strategy:guided ~mode:(Conf.Replay "d") () );
       ("trace_capacity 0", Conf.make ~trace_capacity:0 ());

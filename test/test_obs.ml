@@ -81,7 +81,7 @@ let m1 =
     Metrics.m_ticks = 1; m_waits = 2; m_preemptions = 3; m_evictions = 4;
     m_stale_reads = 5; m_det_checks = 6; m_desyncs = 7; m_timeouts = 8;
     m_retries = 9; m_salvages = 10; m_cov_bits = 11; m_corpus_adds = 12;
-    m_energy = 13;
+    m_energy = 13; m_predicted = 14; m_pred_verified = 15; m_pred_refuted = 16;
   }
 
 let test_metrics_monoid () =

@@ -1,0 +1,560 @@
+(* Tests for the offline predictive race analysis (lib/race/predict)
+   and its verification harness (lib/harness/predictor): order
+   classification on small programs, witness construction, the
+   encode/decode aux format, the soundness discipline (May and refuted
+   pairs are never surfaced as races), lockset interaction with failed
+   trylocks, end-to-end prediction + confirmation on the racy
+   workloads, and jobs-independence of every digest. *)
+
+open T11r_vm
+module World = T11r_env.World
+module Conf = Tsan11rec.Conf
+module Interp = Tsan11rec.Interp
+module Predict = T11r_race.Predict
+module Report = T11r_race.Report
+module Predictor = T11r_harness.Predictor
+module Workloads = T11r_harness.Workloads
+module Campaign = T11r_harness.Campaign
+module Corpus = T11r_harness.Corpus
+module Prng = T11r_util.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let tmpfile () =
+  let f = Filename.temp_file "t11r_predict" ".jsonl" in
+  Sys.remove f;
+  f
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* The seed-derived guided prefix `record --guided' uses. *)
+let guided_prefix_of_seed = Predictor.recording_prefix
+
+let guided_conf ?(base = Conf.tsan11rec ()) ?(prefix = [||])
+    ?(seeds = (1L, 7920L)) () =
+  Conf.make ~base ~mode:Conf.Free
+    ~strategy:(Conf.Guided { prefix; observed = ref [] })
+    ~seeds ()
+
+let run_guided ?base ?prefix ?seeds prog =
+  let world = World.create ~seed:42L () in
+  Interp.run ~world (guided_conf ?base ?prefix ?seeds ()) prog
+
+let input_of ?prefix ?seeds prog =
+  Interp.to_predict_input (run_guided ?prefix ?seeds (prog ()))
+
+(* ------------------------------------------------------------------ *)
+(* Order classification on hand-written programs *)
+
+(* Spawn/join order every reordering respects: no pair reported. *)
+let prog_hard () =
+  Api.program ~name:"hard" (fun () ->
+      let v = Api.Var.create ~name:"v" 0 in
+      Api.Var.set v 1;
+      let t = Api.Thread.spawn ~name:"T1" (fun () -> ignore (Api.Var.get v)) in
+      Api.Thread.join t;
+      Api.Var.set v 2)
+
+let test_hard_ordered_skipped () =
+  let a = Predict.analyze (input_of prog_hard) in
+  check Alcotest.int "no pairs" 0 (List.length a.Predict.pairs);
+  check Alcotest.int "no must" 0 a.Predict.n_must;
+  check Alcotest.int "no may" 0 a.Predict.n_may;
+  check Alcotest.int "one location" 1 a.Predict.n_vars
+
+(* A common lock excludes the pair, whatever the order. *)
+let prog_lockset () =
+  Api.program ~name:"lockset" (fun () ->
+      let v = Api.Var.create ~name:"v" 0 in
+      let m = Api.Mutex.create ~name:"m" () in
+      let body () = Api.Mutex.with_lock m (fun () -> Api.Var.incr v) in
+      let t1 = Api.Thread.spawn ~name:"T1" body in
+      let t2 = Api.Thread.spawn ~name:"T2" body in
+      Api.Thread.join t1;
+      Api.Thread.join t2)
+
+let test_lockset_excludes () =
+  let a = Predict.analyze (input_of prog_lockset) in
+  check Alcotest.int "no pairs" 0 (List.length a.Predict.pairs);
+  check Alcotest.bool "lock-excluded counted" true
+    (a.Predict.n_lock_excluded >= 1)
+
+(* Unordered conflicting writes: Must, with witnesses ending in the
+   empty-prefix serialization witness. *)
+let prog_must () =
+  Api.program ~name:"must" (fun () ->
+      let v = Api.Var.create ~name:"shared" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"T1" (fun () ->
+            Api.Atomic.fence Seq_cst;
+            Api.Var.set v 1)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"T2" (fun () ->
+            Api.Atomic.fence Seq_cst;
+            Api.Var.set v 2)
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2)
+
+let test_must_pair_and_witnesses () =
+  let a = Predict.analyze (input_of prog_must) in
+  check Alcotest.int "one pair" 1 (List.length a.Predict.pairs);
+  let p = List.hd a.Predict.pairs in
+  check Alcotest.bool "must" true (p.Predict.p_confidence = Predict.Must);
+  check Alcotest.string "var" "shared" p.Predict.p_report.Report.var;
+  check Alcotest.bool "witnesses non-empty" true (p.Predict.p_witnesses <> []);
+  (* the serialization fallback is always the last candidate *)
+  let last = List.nth p.Predict.p_witnesses
+      (List.length p.Predict.p_witnesses - 1) in
+  check Alcotest.int "serialization witness: empty prefix" 0
+    (Array.length last.Predict.w_prefix);
+  check Alcotest.int "serialization witness: no plan" 0
+    (Array.length last.Predict.w_tids);
+  (* the first (most faithful) witness replays the recorded schedule *)
+  let first = List.hd p.Predict.p_witnesses in
+  check Alcotest.bool "preserve witness has a plan" true
+    (Array.length first.Predict.w_tids > 0)
+
+(* SC-fence chain orders the accesses in every feasible reordering the
+   relaxation admits, but nothing hard does: May, no witness, and the
+   verifier never executes it. *)
+let prog_may () =
+  Api.program ~name:"may" (fun () ->
+      let v = Api.Var.create ~name:"v" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"T1" (fun () ->
+            Api.Var.set v 1;
+            Api.Atomic.fence Seq_cst)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"T2" (fun () ->
+            Api.Atomic.fence Seq_cst;
+            ignore (Api.Var.get v))
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2)
+
+let test_may_pair_no_witness () =
+  let a = Predict.analyze (input_of prog_may) in
+  check Alcotest.int "one pair" 1 (List.length a.Predict.pairs);
+  let p = List.hd a.Predict.pairs in
+  check Alcotest.bool "may" true (p.Predict.p_confidence = Predict.May);
+  check Alcotest.bool "not observed" false p.Predict.p_observed;
+  check Alcotest.int "no witnesses" 0 (List.length p.Predict.p_witnesses)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix and aux-format plumbing *)
+
+let test_normalize_prefix () =
+  check
+    Alcotest.(array int)
+    "strips trailing zeros" [| 1; 0; 2 |]
+    (Predict.normalize_prefix [| 1; 0; 2; 0; 0 |]);
+  check Alcotest.(array int) "all zeros -> empty" [||]
+    (Predict.normalize_prefix [| 0; 0; 0 |]);
+  check Alcotest.(array int) "empty ok" [||] (Predict.normalize_prefix [||])
+
+(* Replaying recorded_prefix under the same seeds reproduces the
+   recorded schedule exactly. *)
+let test_recorded_prefix_replays () =
+  let wl = Option.get (Workloads.find "fig1") in
+  let run prefix =
+    let world = World.create ~seed:42L () in
+    let prog = wl.Workloads.w_instance world () in
+    Interp.run ~world
+      (guided_conf ~prefix ~seeds:(3L, 7922L) ())
+      prog
+  in
+  let r1 = run (guided_prefix_of_seed 3) in
+  let inp = Interp.to_predict_input r1 in
+  let r2 = run (Predict.recorded_prefix inp) in
+  check Alcotest.bool "same trace" true (r1.Interp.trace = r2.Interp.trace)
+
+let test_encode_decode_roundtrip () =
+  let wl = Option.get (Workloads.find "fig1") in
+  let world = World.create ~seed:42L () in
+  let prog = wl.Workloads.w_instance world () in
+  let r =
+    Interp.run ~world
+      (guided_conf ~prefix:(guided_prefix_of_seed 1) ())
+      prog
+  in
+  let inp = Interp.to_predict_input r in
+  check Alcotest.bool "recording has steps" true (Array.length inp.Predict.steps > 0);
+  let lines = Predict.encode_input inp in
+  match Predict.decode_input lines with
+  | None -> Alcotest.fail "decode failed"
+  | Some inp' ->
+      check Alcotest.int "steps" (Array.length inp.Predict.steps)
+        (Array.length inp'.Predict.steps);
+      check Alcotest.int "accs" (Array.length inp.Predict.accs)
+        (Array.length inp'.Predict.accs);
+      check Alcotest.int "observed"
+        (List.length inp.Predict.observed)
+        (List.length inp'.Predict.observed);
+      check Alcotest.(list string) "re-encodes identically" lines
+        (Predict.encode_input inp');
+      (* the analysis of the decoded input is the analysis *)
+      check Alcotest.string "same analysis digest"
+        (Predict.digest (Predict.analyze inp))
+        (Predict.digest (Predict.analyze inp'))
+
+let test_decode_rejects_garbage () =
+  check Alcotest.bool "malformed line" true
+    (Predict.decode_input [ "Z nonsense" ] = None);
+  check Alcotest.bool "truncated step" true
+    (Predict.decode_input [ "S 0" ] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Failed trylock never contributes a lock-order edge *)
+
+(* Both threads hold one lock and try the other while it is provably
+   held (flag handshakes pin the overlap), so both trylocks fail on
+   every schedule. If a failed trylock fed Lockorder, the A->B->A
+   cycle would be reported. *)
+let trylock_outcomes seed1 seed2 =
+  let got1 = ref true and got2 = ref true in
+  let prog =
+    Api.program ~name:"trylock" (fun () ->
+        let a = Api.Mutex.create ~name:"A" () in
+        let b = Api.Mutex.create ~name:"B" () in
+        let fa = Api.Atomic.create ~name:"fa" 0 in
+        let fb = Api.Atomic.create ~name:"fb" 0 in
+        let da = Api.Atomic.create ~name:"da" 0 in
+        let db = Api.Atomic.create ~name:"db" 0 in
+        let side ~mine ~theirs ~f_mine ~f_theirs ~d_mine ~d_theirs ~got () =
+          Api.Mutex.lock mine;
+          Api.Atomic.store f_mine 1;
+          while Api.Atomic.load f_theirs = 0 do () done;
+          got := Api.Mutex.try_lock theirs;
+          if !got then Api.Mutex.unlock theirs;
+          Api.Atomic.store d_mine 1;
+          while Api.Atomic.load d_theirs = 0 do () done;
+          Api.Mutex.unlock mine
+        in
+        let t1 =
+          Api.Thread.spawn ~name:"T1"
+            (side ~mine:a ~theirs:b ~f_mine:fa ~f_theirs:fb ~d_mine:da
+               ~d_theirs:db ~got:got1)
+        in
+        let t2 =
+          Api.Thread.spawn ~name:"T2"
+            (side ~mine:b ~theirs:a ~f_mine:fb ~f_theirs:fa ~d_mine:db
+               ~d_theirs:da ~got:got2)
+        in
+        Api.Thread.join t1;
+        Api.Thread.join t2)
+  in
+  let world = World.create ~seed:7L () in
+  let conf = Conf.with_seeds (Conf.tsan11rec ()) seed1 seed2 in
+  let r = Interp.run ~world conf prog in
+  (r, !got1, !got2)
+
+let failed_trylock_no_edge =
+  QCheck.Test.make ~name:"failed trylock adds no lock-order edge"
+    ~count:40
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let r, got1, got2 =
+        trylock_outcomes (Int64.of_int (s1 + 1)) (Int64.of_int (s2 + 1))
+      in
+      r.Interp.outcome = Interp.Completed
+      && (not got1) && (not got2)
+      && r.Interp.lock_cycles = [])
+
+(* Positive control: a successful trylock does contribute, so the
+   property above is not vacuous. *)
+let test_successful_trylock_contributes () =
+  let prog =
+    Api.program ~name:"trylock-ok" (fun () ->
+        let a = Api.Mutex.create ~name:"A" () in
+        let b = Api.Mutex.create ~name:"B" () in
+        Api.Mutex.lock a;
+        assert (Api.Mutex.try_lock b);
+        Api.Mutex.unlock b;
+        Api.Mutex.unlock a;
+        Api.Mutex.lock b;
+        assert (Api.Mutex.try_lock a);
+        Api.Mutex.unlock a;
+        Api.Mutex.unlock b)
+  in
+  let world = World.create ~seed:7L () in
+  let r = Interp.run ~world (Conf.tsan11rec ()) prog in
+  check Alcotest.int "inversion cycle reported" 1
+    (List.length r.Interp.lock_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Soundness: May and refuted pairs are never surfaced as races *)
+
+let wl_instance name =
+  let wl = Option.get (Workloads.find name) in
+  let base = Conf.with_policy (Conf.tsan11rec ()) wl.Workloads.w_policy in
+  let instance () =
+    let w = World.create ~seed:42L () in
+    (w, wl.Workloads.w_instance w ())
+  in
+  (wl, base, instance)
+
+let pp_report r = Format.asprintf "%a" Predictor.pp r
+
+let test_may_never_verified_or_reported () =
+  let a = Predict.analyze (input_of prog_may) in
+  check Alcotest.bool "has a may pair" true (a.Predict.n_may >= 1);
+  let instance () = (World.create ~seed:42L (), prog_may ()) in
+  let rep = Predictor.verify ~attempts:4 ~instance a in
+  check Alcotest.int "nothing verified" 0 (List.length rep.Predictor.r_verified);
+  check Alcotest.int "nothing confirmed" 0 rep.Predictor.r_confirmed;
+  check Alcotest.int "no runs spent" 0 rep.Predictor.r_runs;
+  let out = pp_report rep in
+  check Alcotest.bool "no RACE line" false
+    (contains out "RACE");
+  check Alcotest.bool "explicitly not a race" true
+    (contains out "not a race")
+
+(* A Must pair whose race can never manifest: the reader only touches
+   the location after an acquire-load reads the release-store's value,
+   so every witness execution synchronizes. The verifier must refute
+   it and the report must not call it a race. *)
+let prog_refutable () =
+  Api.program ~name:"refutable" (fun () ->
+      let v = Api.Var.create ~name:"v" 0 in
+      let x = Api.Atomic.create ~name:"x" 0 in
+      let t1 =
+        Api.Thread.spawn ~name:"T1" (fun () ->
+            Api.Var.set v 1;
+            Api.Atomic.store ~mo:Release x 1)
+      in
+      let t2 =
+        Api.Thread.spawn ~name:"T2" (fun () ->
+            while Api.Atomic.load ~mo:Acquire x = 0 do () done;
+            ignore (Api.Var.get v))
+      in
+      Api.Thread.join t1;
+      Api.Thread.join t2)
+
+let test_refuted_not_reported () =
+  let a = Predict.analyze (input_of prog_refutable) in
+  check Alcotest.bool "predicted must" true (a.Predict.n_must >= 1);
+  let instance () = (World.create ~seed:42L (), prog_refutable ()) in
+  let rep = Predictor.verify ~attempts:12 ~extra_seeds:4 ~instance a in
+  check Alcotest.int "confirmed" 0 rep.Predictor.r_confirmed;
+  check Alcotest.bool "refuted" true (rep.Predictor.r_refuted >= 1);
+  let out = pp_report rep in
+  check Alcotest.bool "no RACE line" false
+    (contains out "RACE");
+  check Alcotest.bool "refuted is spelled out" true
+    (contains out "refuted");
+  (* refuted witnesses never reach the corpus either *)
+  let _, admitted = Predictor.admit Corpus.empty rep in
+  check Alcotest.int "nothing admitted" 0 admitted;
+  (* metrics carry the verdict split *)
+  let m = Predictor.metrics rep in
+  check Alcotest.int "m_pred_verified" 0 m.T11r_obs.Metrics.m_pred_verified;
+  check Alcotest.bool "m_pred_refuted" true
+    (m.T11r_obs.Metrics.m_pred_refuted >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: predict + confirm on the racy workloads *)
+
+(* The guided-hunt-reachable races of each workload (see test_campaign
+   and the hunt CLI): predictions from <= 5 guided recordings must
+   cover them all, and every one must be confirmed by its witness. *)
+let expected_races = function
+  | "fig1" ->
+      [ { Report.var = "nax"; kind = Report.Write_read; first_tid = 1;
+          second_tid = 3 } ]
+  | "dekker-fences" ->
+      [ { Report.var = "critical"; kind = Report.Write_write; first_tid = 1;
+          second_tid = 2 };
+        { Report.var = "critical"; kind = Report.Write_read; first_tid = 1;
+          second_tid = 2 };
+        { Report.var = "critical"; kind = Report.Write_read; first_tid = 2;
+          second_tid = 1 } ]
+  | "mcs-lock" ->
+      [ { Report.var = "mcsdata"; kind = Report.Write_read; first_tid = 1;
+          second_tid = 2 } ]
+  | w -> Alcotest.failf "no expectation for %s" w
+
+let record_input name seed =
+  let wl, base, _ = wl_instance name in
+  let world = World.create ~seed:42L () in
+  let prog = wl.Workloads.w_instance world () in
+  let r =
+    Interp.run ~world
+      (guided_conf ~base
+         ~prefix:(guided_prefix_of_seed seed)
+         ~seeds:(Int64.of_int seed, Int64.of_int (seed + 7919))
+         ())
+      prog
+  in
+  Interp.to_predict_input r
+
+let e2e_workload name =
+  let _, _, instance = wl_instance name in
+  let confirmed = ref [] and refuted = ref 0 in
+  for seed = 1 to 5 do
+    let a = Predict.analyze (record_input name seed) in
+    let rep =
+      Predictor.verify ~attempts:48
+        ~recorded_seeds:(Int64.of_int seed, Int64.of_int (seed + 7919))
+        ~instance a
+    in
+    refuted := !refuted + rep.Predictor.r_refuted;
+    List.iter
+      (fun v ->
+        match v.Predictor.v_verdict with
+        | Predictor.Confirmed _ ->
+            let r = v.Predictor.v_pair.Predict.p_report in
+            if not (List.exists (Report.equal r) !confirmed) then
+              confirmed := r :: !confirmed
+        | Predictor.Refuted _ -> ())
+      rep.Predictor.r_verified
+  done;
+  (!confirmed, !refuted)
+
+let test_e2e name () =
+  let confirmed, refuted = e2e_workload name in
+  check Alcotest.int "no refuted pair anywhere" 0 refuted;
+  List.iter
+    (fun want ->
+      let want = Report.norm want in
+      if not (List.exists (Report.equal want) confirmed) then
+        Alcotest.failf "race %s not predicted+confirmed within 5 recordings"
+          (Format.asprintf "%a" Report.pp want))
+    (expected_races name)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: verification and campaign observation vs --jobs *)
+
+let verdict_key = function
+  | Predictor.Confirmed { c_seed1; c_seed2; c_prefix; c_runs; _ } ->
+      ("confirmed", c_seed1, c_seed2, Array.to_list c_prefix, c_runs)
+  | Predictor.Refuted n -> ("refuted", 0L, 0L, [], n)
+
+let test_verify_jobs_independent () =
+  let a = Predict.analyze (record_input "dekker-fences" 2) in
+  check Alcotest.bool "pairs predicted" true (a.Predict.n_must >= 2);
+  let _, _, instance = wl_instance "dekker-fences" in
+  let go jobs =
+    Predictor.verify ~jobs ~attempts:48 ~recorded_seeds:(2L, 7921L) ~instance a
+  in
+  let r1 = go 1 and r2 = go 2 in
+  check Alcotest.int "confirmed" r1.Predictor.r_confirmed
+    r2.Predictor.r_confirmed;
+  check Alcotest.int "refuted" r1.Predictor.r_refuted r2.Predictor.r_refuted;
+  check Alcotest.int "runs" r1.Predictor.r_runs r2.Predictor.r_runs;
+  let keys r =
+    List.map (fun v -> verdict_key v.Predictor.v_verdict)
+      r.Predictor.r_verified
+  in
+  check Alcotest.bool "identical verdicts in order" true (keys r1 = keys r2)
+
+let observe_campaign ~jobs ?journal () =
+  let wl, base, _ = wl_instance "fig1" in
+  let spec =
+    {
+      Campaign.label = "predict-observe";
+      conf =
+        (fun i ->
+          guided_conf ~base
+            ~prefix:(guided_prefix_of_seed (i + 1))
+            ~seeds:(Int64.of_int (i + 1), Int64.of_int (i + 7920))
+            ());
+      instance =
+        (fun _i ->
+          let w = World.create ~seed:42L () in
+          (w, wl.Workloads.w_instance w ()));
+    }
+  in
+  let obs, summary = Predictor.observe () in
+  let _report = Campaign.run spec ~n:4 ~jobs ?journal [ obs ] in
+  summary ()
+
+let test_observer_jobs_independent () =
+  let s1 = observe_campaign ~jobs:1 () in
+  let s2 = observe_campaign ~jobs:2 () in
+  check Alcotest.int "all runs carried metadata" 4 s1.Predictor.s_runs;
+  check Alcotest.string "digest jobs-independent"
+    (Predictor.summary_digest s1)
+    (Predictor.summary_digest s2)
+
+let test_journal_matches_observer () =
+  let file = tmpfile () in
+  let s_live = observe_campaign ~jobs:2 ~journal:file () in
+  let inputs = Predictor.inputs_of_journal file in
+  check Alcotest.int "journaled runs" 4 (List.length inputs);
+  let s_offline = Predictor.fold_inputs inputs in
+  check Alcotest.string "offline fold = live observer"
+    (Predictor.summary_digest s_live)
+    (Predictor.summary_digest s_offline);
+  (* the journal-wide pair set repackages into an analysis *)
+  let a = Predictor.analysis_of_summary s_offline in
+  check Alcotest.int "pairs carried over"
+    (List.length s_offline.Predictor.s_pairs)
+    (List.length a.Predict.pairs);
+  Sys.remove file
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "predict"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "hard-ordered pairs are skipped" `Quick
+            test_hard_ordered_skipped;
+          Alcotest.test_case "common lock excludes" `Quick
+            test_lockset_excludes;
+          Alcotest.test_case "unordered writes are Must with witnesses" `Quick
+            test_must_pair_and_witnesses;
+          Alcotest.test_case "relaxed-ordered pair is May, no witness" `Quick
+            test_may_pair_no_witness;
+        ] );
+      ( "format",
+        [
+          Alcotest.test_case "normalize_prefix" `Quick test_normalize_prefix;
+          Alcotest.test_case "recorded_prefix replays the schedule" `Quick
+            test_recorded_prefix_replays;
+          Alcotest.test_case "encode/decode round-trip" `Quick
+            test_encode_decode_roundtrip;
+          Alcotest.test_case "decode rejects garbage" `Quick
+            test_decode_rejects_garbage;
+        ] );
+      ( "lockorder",
+        [
+          qtest failed_trylock_no_edge;
+          Alcotest.test_case "successful trylock contributes" `Quick
+            test_successful_trylock_contributes;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "May pairs never verified or reported" `Quick
+            test_may_never_verified_or_reported;
+          Alcotest.test_case "refuted pairs never reported or admitted" `Quick
+            test_refuted_not_reported;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "fig1 races predicted and confirmed" `Slow
+            (test_e2e "fig1");
+          Alcotest.test_case "dekker-fences races predicted and confirmed"
+            `Slow
+            (test_e2e "dekker-fences");
+          Alcotest.test_case "mcs-lock races predicted and confirmed" `Slow
+            (test_e2e "mcs-lock");
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "verify report jobs-independent" `Slow
+            test_verify_jobs_independent;
+          Alcotest.test_case "observer digest jobs-independent" `Quick
+            test_observer_jobs_independent;
+          Alcotest.test_case "journal fold matches live observer" `Quick
+            test_journal_matches_observer;
+        ] );
+    ]
